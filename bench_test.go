@@ -1,0 +1,271 @@
+package bncg
+
+// Benchmark harness: one benchmark per paper artifact (E1–E10 regenerate
+// the corresponding experiment table in quick mode), plus substrate
+// micro-benchmarks and the ablations called out in DESIGN.md (patch-based
+// swap pricing vs naive re-evaluation, sequential vs parallel APSP and
+// checking, best-response vs random-improving dynamics).
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dynamics"
+	"repro/internal/experiments"
+	"repro/internal/games"
+	"repro/internal/graph"
+	"repro/internal/iso"
+	"repro/internal/nash"
+	"repro/internal/treegen"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	cfg := experiments.Config{Quick: true, Seed: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.RunOne(io.Discard, e, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// One benchmark per reproduced table/figure.
+
+func BenchmarkE1SumTrees(b *testing.B)      { benchExperiment(b, "E1") }
+func BenchmarkE2MaxTrees(b *testing.B)      { benchExperiment(b, "E2") }
+func BenchmarkE3Fig3(b *testing.B)          { benchExperiment(b, "E3") }
+func BenchmarkE4SumDiameter(b *testing.B)   { benchExperiment(b, "E4") }
+func BenchmarkE5Torus(b *testing.B)         { benchExperiment(b, "E5") }
+func BenchmarkE6MultiDim(b *testing.B)      { benchExperiment(b, "E6") }
+func BenchmarkE7Balance(b *testing.B)       { benchExperiment(b, "E7") }
+func BenchmarkE8Uniformity(b *testing.B)    { benchExperiment(b, "E8") }
+func BenchmarkE9Cayley(b *testing.B)        { benchExperiment(b, "E9") }
+func BenchmarkE10Alpha(b *testing.B)        { benchExperiment(b, "E10") }
+func BenchmarkE11Lemma10(b *testing.B)      { benchExperiment(b, "E11") }
+func BenchmarkE12AlphaGame(b *testing.B)    { benchExperiment(b, "E12") }
+func BenchmarkE13PairUniform(b *testing.B)  { benchExperiment(b, "E13") }
+func BenchmarkE14IsoClasses(b *testing.B)   { benchExperiment(b, "E14") }
+func BenchmarkE15Proofs(b *testing.B)       { benchExperiment(b, "E15") }
+func BenchmarkE16Conjecture14(b *testing.B) { benchExperiment(b, "E16") }
+
+// Substrate micro-benchmarks.
+
+func benchGraph(n int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := treegen.RandomTree(n, rng)
+	for i := 0; i < n; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+func BenchmarkBFS(b *testing.B) {
+	g := benchGraph(2000, 1)
+	dist := make([]int32, g.N())
+	queue := make([]int, 0, g.N())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.BFSInto(i%g.N(), dist, queue)
+	}
+}
+
+func BenchmarkBFSFrozen(b *testing.B) {
+	g := benchGraph(2000, 1)
+	f := g.Freeze()
+	dist := make([]int32, f.N())
+	queue := make([]int32, 0, f.N())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.BFSInto(i%f.N(), dist, queue)
+	}
+}
+
+func BenchmarkAPSPSequential(b *testing.B) {
+	g := benchGraph(400, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.AllPairs()
+	}
+}
+
+func BenchmarkAPSPParallel(b *testing.B) {
+	g := benchGraph(400, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.AllPairsParallel(0)
+	}
+}
+
+func BenchmarkCheckSumStar(b *testing.B) {
+	g := Star(128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ok, _, err := core.CheckSum(g, 0); !ok || err != nil {
+			b.Fatal("star rejected")
+		}
+	}
+}
+
+func BenchmarkCheckMaxTorusSequential(b *testing.B) {
+	g := NewTorus(4).Graph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ok, _, err := core.CheckMax(g, 1); !ok || err != nil {
+			b.Fatal("torus rejected")
+		}
+	}
+}
+
+func BenchmarkCheckMaxTorusParallel(b *testing.B) {
+	g := NewTorus(4).Graph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ok, _, err := core.CheckMax(g, 0); !ok || err != nil {
+			b.Fatal("torus rejected")
+		}
+	}
+}
+
+func BenchmarkInsertionStableTorus(b *testing.B) {
+	g := NewTorus(5).Graph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ok, _, err := core.IsInsertionStable(g, 0); !ok || err != nil {
+			b.Fatal("torus rejected")
+		}
+	}
+}
+
+func BenchmarkTorusOracleDist(b *testing.B) {
+	tor := NewTorus(64) // n = 8192: far beyond explicit APSP
+	n := tor.N()
+	b.ResetTimer()
+	sum := 0
+	for i := 0; i < b.N; i++ {
+		sum += tor.Dist(i%n, (i*7919)%n)
+	}
+	_ = sum
+}
+
+// Ablation: patch-based pricing of all swaps of a vertex vs naive
+// apply-BFS-revert per candidate.
+
+func BenchmarkSwapPricingPatch(b *testing.B) {
+	g := benchGraph(150, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := i % g.N()
+		core.PriceSwaps(g, v, core.Sum, func(core.Move, int64) bool { return true })
+	}
+}
+
+func BenchmarkSwapPricingNaive(b *testing.B) {
+	g := benchGraph(150, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := i % g.N()
+		for _, w := range g.Neighbors(v) {
+			for wp := 0; wp < g.N(); wp++ {
+				if wp == v {
+					continue
+				}
+				core.EvaluateMove(g, core.Move{V: v, Drop: w, Add: wp}, core.Sum)
+			}
+		}
+	}
+}
+
+// Ablation: dynamics policies on the same instance.
+
+func benchDynamics(b *testing.B, policy dynamics.Policy) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		rng := rand.New(rand.NewSource(7))
+		g := treegen.RandomTree(48, rng)
+		b.StartTimer()
+		res, err := dynamics.Run(g, dynamics.Options{
+			Objective: core.Sum, Policy: policy, Seed: 7,
+		})
+		if err != nil || !res.Converged {
+			b.Fatal("dynamics failed")
+		}
+	}
+}
+
+func BenchmarkDynamicsBestResponse(b *testing.B)     { benchDynamics(b, dynamics.BestResponse) }
+func BenchmarkDynamicsFirstImprovement(b *testing.B) { benchDynamics(b, dynamics.FirstImprovement) }
+func BenchmarkDynamicsRandomImproving(b *testing.B)  { benchDynamics(b, dynamics.RandomImproving) }
+
+func BenchmarkGraph6RoundTrip(b *testing.B) {
+	g := benchGraph(200, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := ToGraph6(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := FromGraph6(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIsoCertificateExact(b *testing.B) {
+	g := Star(8) // n=8: full permutation canonicalization
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		iso.Certificate(g)
+	}
+}
+
+func BenchmarkIsoCertificateRefine(b *testing.B) {
+	g := NewTorus(6).Graph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		iso.Certificate(g)
+	}
+}
+
+func BenchmarkNashBestResponse(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	g := treegen.RandomTree(40, rng)
+	st, err := nash.NewState(g, games.MinOwnership(g), 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.BestResponse(i % g.N())
+	}
+}
+
+func BenchmarkPruferDecode(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	n := 512
+	seq := make([]int, n-2)
+	for i := range seq {
+		seq[i] = rng.Intn(n)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := treegen.PruferDecode(seq); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

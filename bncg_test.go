@@ -1,0 +1,170 @@
+package bncg
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// The facade tests exercise the public API end to end, mirroring what a
+// downstream user would write.
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	// Build a graph, run dynamics, certify the result.
+	rng := rand.New(rand.NewSource(2))
+	g := RandomTree(12, rng)
+	res, err := RunDynamics(g, DynamicsOptions{Objective: Sum, Policy: BestResponse})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("dynamics did not converge")
+	}
+	ok, viol, err := CheckSum(g, 0)
+	if err != nil || !ok {
+		t.Fatalf("result not an equilibrium: %v %v", viol, err)
+	}
+	if d, _ := g.Diameter(); d > 2 {
+		t.Errorf("equilibrium tree diameter %d > 2", d)
+	}
+}
+
+func TestFacadeConstructionsAndPredicates(t *testing.T) {
+	tor := NewTorus(3)
+	g := tor.Graph()
+	if ok, _, _ := CheckMax(g, 0); !ok {
+		t.Error("torus not a max equilibrium via facade")
+	}
+	if ok, _, _ := IsInsertionStable(g, 0); !ok {
+		t.Error("torus not insertion-stable via facade")
+	}
+	if ok, _, _ := IsDeletionCritical(g, 0); !ok {
+		t.Error("torus not deletion-critical via facade")
+	}
+	if ok, _, _ := IsKInsertionStable(NewMultiTorus(3, 2).Graph(), 2, 0); !ok {
+		t.Error("3-d torus not 2-insertion-stable via facade")
+	}
+}
+
+func TestFacadeCostsAndSwaps(t *testing.T) {
+	g := Cycle(6)
+	if c := Cost(g, 0, Sum); c != 9 {
+		t.Errorf("Cost = %d, want 9", c)
+	}
+	if sc := SocialCost(g, Sum); sc != 54 {
+		t.Errorf("SocialCost = %d, want 54", sc)
+	}
+	m, newCost, improves := BestSwap(g, 0, Sum)
+	if !improves {
+		t.Fatal("no improving swap on C6")
+	}
+	if got := EvaluateMove(g, m, Sum); got != newCost {
+		t.Errorf("EvaluateMove = %d, want %d", got, newCost)
+	}
+}
+
+func TestFacadeIO(t *testing.T) {
+	g := Fig3()
+	s, err := ToGraph6(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromGraph6(s)
+	if err != nil || !back.Equal(g) {
+		t.Error("graph6 round trip failed via facade")
+	}
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back2, err := ReadEdgeList(&buf)
+	if err != nil || !back2.Equal(g) {
+		t.Error("edge list round trip failed via facade")
+	}
+	dot := ToDOT(g, "fig3", Fig3Labels())
+	if !strings.Contains(dot, "b1") {
+		t.Error("DOT output missing labels")
+	}
+}
+
+func TestFacadeExperimentRegistry(t *testing.T) {
+	if len(Experiments()) != 16 {
+		t.Fatalf("Experiments() = %d entries, want 16", len(Experiments()))
+	}
+	e, ok := ExperimentByID("E3")
+	if !ok {
+		t.Fatal("E3 missing")
+	}
+	var buf bytes.Buffer
+	if err := RunExperiment(&buf, e, ExperimentConfig{Quick: true, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Theorem 5") {
+		t.Error("experiment output missing artifact title")
+	}
+}
+
+func TestFacadeFromEdges(t *testing.T) {
+	g, err := FromEdges(3, []Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	if err != nil || g.M() != 2 {
+		t.Fatalf("FromEdges: %v", err)
+	}
+	if _, err := FromEdges(2, []Edge{{U: 0, V: 0}}); err == nil {
+		t.Error("self-loop accepted")
+	}
+}
+
+func TestFacadeAllTrees(t *testing.T) {
+	count := AllTrees(5, func(g *Graph) bool { return true })
+	if count != 125 {
+		t.Errorf("AllTrees(5) = %d, want 125", count)
+	}
+}
+
+func TestFacadeProofWitnesses(t *testing.T) {
+	g := Path(6)
+	m, err := Theorem1Witness(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if EvaluateMove(g, m, Sum) >= Cost(g, m.V, Sum) {
+		t.Error("Theorem1Witness move does not improve")
+	}
+	m2, err := Lemma2Witness(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if EvaluateMove(g, m2, Max) >= Cost(g, m2.V, Max) {
+		t.Error("Lemma2Witness move does not improve")
+	}
+}
+
+func TestFacadeSparse6(t *testing.T) {
+	g := NewTorus(3).Graph()
+	s, err := ToSparse6(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromSparse6(s)
+	if err != nil || !back.Equal(g) {
+		t.Error("sparse6 round trip failed via facade")
+	}
+}
+
+func TestFacadeGamesAndIso(t *testing.T) {
+	star := Star(9)
+	if got := PriceOfAnarchyProxy(star, 5); got != 1 {
+		t.Errorf("star PoA proxy = %v, want 1", got)
+	}
+	lo, hi, ok, err := StableAlphaInterval(star, MinOwnership(star), Sum, 0)
+	if err != nil || !ok || lo != 1 || hi <= lo {
+		t.Errorf("star alpha interval = [%d,%d] ok=%v err=%v", lo, hi, ok, err)
+	}
+	if !Isomorphic(Star(6), Star(6)) {
+		t.Error("identical stars not isomorphic")
+	}
+	if IsoCertificate(Path(5)) == IsoCertificate(Star(5)) {
+		t.Error("P5 and star certificates collide")
+	}
+}

@@ -1,0 +1,335 @@
+// Command bncg is the CLI for the basic network creation game library:
+//
+//	bncg construct  -family torus -k 5 -format edgelist|graph6|dot [-o file]
+//	bncg check      -in graph.txt [-format edgelist|graph6] [-obj sum|max]
+//	bncg dynamics   -n 40 -init tree|chords [-obj sum|max] [-policy best|first|random] [-seed 1]
+//	bncg experiments [-id E5] [-quick] [-seed 1]
+//
+// `construct` emits one of the paper's graphs, `check` runs every
+// equilibrium and stability predicate on an input graph, `dynamics` runs
+// swap dynamics from a random start and certifies the result, and
+// `experiments` regenerates the paper's tables (see EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	bncg "repro"
+	"repro/internal/core"
+	"repro/internal/dynamics"
+	"repro/internal/experiments"
+	"repro/internal/graph"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "construct":
+		err = cmdConstruct(os.Args[2:])
+	case "check":
+		err = cmdCheck(os.Args[2:])
+	case "dynamics":
+		err = cmdDynamics(os.Args[2:])
+	case "experiments":
+		err = cmdExperiments(os.Args[2:])
+	case "proofs":
+		err = cmdProofs(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "bncg: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bncg:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: bncg <command> [flags]
+
+commands:
+  construct    build one of the paper's graphs (star, doublestar, fig3,
+               repaired, torus, multitorus, cycle, path, complete, hypercube)
+  check        run equilibrium + stability predicates on a graph file
+  dynamics     run swap dynamics from a random start and certify the result
+  experiments  regenerate the paper's tables (E1..E16)
+  proofs       construct the Theorem 1 / Lemma 2 improving moves for a graph
+
+run 'bncg <command> -h' for flags`)
+}
+
+func buildFamily(family string, n, k, d, left, right int) (*graph.Graph, error) {
+	switch family {
+	case "star":
+		return bncg.Star(n), nil
+	case "path":
+		return bncg.Path(n), nil
+	case "cycle":
+		return bncg.Cycle(n), nil
+	case "complete":
+		return bncg.Complete(n), nil
+	case "hypercube":
+		return bncg.Hypercube(d), nil
+	case "doublestar":
+		return bncg.DoubleStar(left, right), nil
+	case "fig3":
+		return bncg.Fig3(), nil
+	case "repaired":
+		if k < 4 {
+			k = 4
+		}
+		return bncg.DiameterThreeSumEquilibrium(k), nil
+	case "torus":
+		return bncg.NewTorus(k).Graph(), nil
+	case "multitorus":
+		return bncg.NewMultiTorus(d, k).Graph(), nil
+	default:
+		return nil, fmt.Errorf("unknown family %q", family)
+	}
+}
+
+func cmdConstruct(args []string) error {
+	fs := flag.NewFlagSet("construct", flag.ExitOnError)
+	family := fs.String("family", "torus", "graph family")
+	n := fs.Int("n", 10, "vertex count (families parameterized by n)")
+	k := fs.Int("k", 4, "torus half-period / repaired branch count")
+	d := fs.Int("d", 3, "dimension (hypercube, multitorus)")
+	left := fs.Int("left", 2, "double star left leaves")
+	right := fs.Int("right", 2, "double star right leaves")
+	format := fs.String("format", "edgelist", "edgelist|graph6|dot")
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := buildFamily(*family, *n, *k, *d, *left, *right)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "edgelist":
+		return bncg.WriteEdgeList(w, g)
+	case "graph6":
+		s, err := bncg.ToGraph6(g)
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintln(w, s)
+		return err
+	case "dot":
+		var labels map[int]string
+		if *family == "fig3" {
+			labels = bncg.Fig3Labels()
+		}
+		_, err := fmt.Fprint(w, bncg.ToDOT(g, *family, labels))
+		return err
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+}
+
+func readGraph(path, format string) (*graph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if format == "graph6" {
+		buf := make([]byte, 1<<20)
+		n, _ := f.Read(buf)
+		return bncg.FromGraph6(strings.TrimSpace(string(buf[:n])))
+	}
+	return bncg.ReadEdgeList(f)
+}
+
+func cmdCheck(args []string) error {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	in := fs.String("in", "", "input graph file (required)")
+	format := fs.String("format", "edgelist", "edgelist|graph6")
+	workers := fs.Int("workers", 0, "parallel workers (0 = all cores)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("check: -in is required")
+	}
+	g, err := readGraph(*in, *format)
+	if err != nil {
+		return err
+	}
+	diam, connected := g.Diameter()
+	fmt.Printf("graph: n=%d m=%d connected=%v", g.N(), g.M(), connected)
+	if connected {
+		girth := "acyclic"
+		if gv, ok := g.Girth(); ok {
+			girth = fmt.Sprint(gv)
+		}
+		fmt.Printf(" diameter=%d girth=%s", diam, girth)
+	}
+	fmt.Println()
+	if !connected {
+		return fmt.Errorf("predicates need a connected graph")
+	}
+
+	report := func(name string, ok bool, viol *core.Violation, err error) {
+		if err != nil {
+			fmt.Printf("%-22s error: %v\n", name, err)
+			return
+		}
+		if ok {
+			fmt.Printf("%-22s yes\n", name)
+		} else {
+			fmt.Printf("%-22s no   (%v)\n", name, viol)
+		}
+	}
+	ok, viol, err := core.CheckSum(g, *workers)
+	report("sum equilibrium", ok, viol, err)
+	ok, viol, err = core.CheckMax(g, *workers)
+	report("max equilibrium", ok, viol, err)
+	ok, viol, err = core.IsInsertionStable(g, *workers)
+	report("insertion-stable", ok, viol, err)
+	ok, viol, err = core.IsDeletionCritical(g, *workers)
+	report("deletion-critical", ok, viol, err)
+	spread, err := core.LocalDiameterSpread(g)
+	if err == nil {
+		fmt.Printf("%-22s %d\n", "local diam spread", spread)
+	}
+	return nil
+}
+
+func cmdDynamics(args []string) error {
+	fs := flag.NewFlagSet("dynamics", flag.ExitOnError)
+	n := fs.Int("n", 40, "vertex count")
+	initKind := fs.String("init", "tree", "tree|chords (tree plus n/4 chords)")
+	obj := fs.String("obj", "sum", "sum|max")
+	policy := fs.String("policy", "best", "best|first|random")
+	seed := fs.Int64("seed", 1, "random seed")
+	trace := fs.Bool("trace", false, "print every applied move")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	g := bncg.RandomTree(*n, rng)
+	if *initKind == "chords" {
+		for i := 0; i < *n/4; i++ {
+			u, v := rng.Intn(*n), rng.Intn(*n)
+			if u != v {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	objective := core.Sum
+	if *obj == "max" {
+		objective = core.Max
+	}
+	var pol dynamics.Policy
+	switch *policy {
+	case "best":
+		pol = dynamics.BestResponse
+	case "first":
+		pol = dynamics.FirstImprovement
+	case "random":
+		pol = dynamics.RandomImproving
+	default:
+		return fmt.Errorf("unknown policy %q", *policy)
+	}
+	before, _ := g.Diameter()
+	res, err := bncg.RunDynamics(g, dynamics.Options{
+		Objective: objective, Policy: pol, Seed: *seed, Trace: *trace,
+	})
+	if err != nil {
+		return err
+	}
+	if *trace {
+		for _, e := range res.Trace {
+			fmt.Printf("move %3d: %v cost %d→%d\n", e.MoveRank, e.Move, e.OldCost, e.NewCost)
+		}
+	}
+	after, _ := g.Diameter()
+	fmt.Printf("n=%d init=%s obj=%s policy=%s: converged=%v moves=%d sweeps=%d diameter %d→%d\n",
+		*n, *initKind, objective, pol, res.Converged, res.Moves, res.Sweeps, before, after)
+	if res.Converged {
+		stable, viol, err := core.CheckSwapStable(g, objective, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("certified swap-stable: %v", stable)
+		if viol != nil {
+			fmt.Printf(" (%v)", viol)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func cmdProofs(args []string) error {
+	fs := flag.NewFlagSet("proofs", flag.ExitOnError)
+	in := fs.String("in", "", "input graph file (required)")
+	format := fs.String("format", "edgelist", "edgelist|graph6")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("proofs: -in is required")
+	}
+	g, err := readGraph(*in, *format)
+	if err != nil {
+		return err
+	}
+	if m, err := core.Theorem1Witness(g); err != nil {
+		fmt.Printf("Theorem 1 witness: not applicable (%v)\n", err)
+	} else {
+		before := core.SumCost(g, m.V)
+		after := core.EvaluateMove(g, m, core.Sum)
+		fmt.Printf("Theorem 1 witness: %v lowers agent %d's distance sum %d→%d\n",
+			m, m.V, before, after)
+	}
+	if m, err := core.Lemma2Witness(g); err != nil {
+		fmt.Printf("Lemma 2 witness:   not applicable (%v)\n", err)
+	} else {
+		before := core.MaxCost(g, m.V)
+		after := core.EvaluateMove(g, m, core.Max)
+		fmt.Printf("Lemma 2 witness:   %v lowers agent %d's eccentricity %d→%d\n",
+			m, m.V, before, after)
+	}
+	return nil
+}
+
+func cmdExperiments(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
+	id := fs.String("id", "", "single experiment id (e.g. E5); empty = all")
+	quick := fs.Bool("quick", false, "reduced instance sizes")
+	seed := fs.Int64("seed", 1, "random seed")
+	workers := fs.Int("workers", 0, "parallel workers (0 = all cores)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := experiments.Config{Workers: *workers, Quick: *quick, Seed: *seed}
+	if *id == "" {
+		return bncg.RunExperiments(os.Stdout, cfg)
+	}
+	e, ok := experiments.ByID(*id)
+	if !ok {
+		return fmt.Errorf("unknown experiment %q", *id)
+	}
+	return bncg.RunExperiment(os.Stdout, e, cfg)
+}

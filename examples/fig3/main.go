@@ -1,0 +1,70 @@
+// Fig3 walks through this reproduction's headline finding about Theorem 5:
+// the paper's explicit Figure 3 graph satisfies every stated structural
+// invariant yet admits an improving swap, while the generalized
+// construction with four branches is a verified diameter-3 sum equilibrium.
+//
+//	go run ./examples/fig3
+package main
+
+import (
+	"fmt"
+	"log"
+
+	bncg "repro"
+	"repro/internal/core"
+)
+
+func main() {
+	g := bncg.Fig3()
+	labels := bncg.Fig3Labels()
+
+	fmt.Println("The literal Figure 3 graph (Theorem 5, SPAA 2010):")
+	diam, _ := g.Diameter()
+	girth, _ := g.Girth()
+	fmt.Printf("  n=%d m=%d diameter=%d girth=%d\n", g.N(), g.M(), diam, girth)
+	fmt.Println("  local diameters (paper: a,b,d → 3; c → 2):")
+	for v := 0; v < g.N(); v++ {
+		ecc, _ := g.Eccentricity(v)
+		fmt.Printf("    %-5s %d\n", labels[v], ecc)
+	}
+
+	ok, viol, err := bncg.CheckSum(g, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n  sum equilibrium? %v\n", ok)
+	if !ok {
+		fmt.Printf("  improving swap found: %s drops its edge to %s and connects to %s\n",
+			labels[viol.Move.V], labels[viol.Move.Drop], labels[viol.Move.Add])
+		fmt.Printf("  %s's distance sum: %d → %d\n",
+			labels[viol.Move.V], viol.OldCost, viol.NewCost)
+		fmt.Println("\n  Why the proof misses it: the new endpoint is a matching")
+		fmt.Println("  partner of the dropped one, so Lemma 8's 'loses at least 2'")
+		fmt.Println("  weakens to 'at least 1' — gain 3 beats loss 2.")
+
+		// Show the exact accounting.
+		before := g.BFS(viol.Move.V)
+		undo := core.ApplyMove(g, viol.Move)
+		after := g.BFS(viol.Move.V)
+		fmt.Println("\n  per-vertex distance changes for the mover:")
+		for x := 0; x < g.N(); x++ {
+			if before[x] != after[x] {
+				fmt.Printf("    d(%s,%s): %d → %d\n",
+					labels[viol.Move.V], labels[x], before[x], after[x])
+			}
+		}
+		undo()
+	}
+
+	fmt.Println("\nThe repaired witness (four branches, all-crossed matchings):")
+	r := bncg.DiameterThreeSumEquilibrium(4)
+	diam, _ = r.Diameter()
+	girth, _ = r.Girth()
+	ok, _, err = bncg.CheckSum(r, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  n=%d m=%d diameter=%d girth=%d sum equilibrium=%v\n",
+		r.N(), r.M(), diam, girth, ok)
+	fmt.Println("  → Theorem 5's statement stands: diameter-3 sum equilibria exist.")
+}

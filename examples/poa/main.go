@@ -1,0 +1,85 @@
+// Poa demonstrates the paper's transfer principle and the price of anarchy
+// across the α spectrum of the classic network creation game: swap moves
+// price identically for every α, so swap equilibria of the basic game are
+// "equilibrium skeletons" for all α at once; buying and deleting edges
+// merely clip an α-interval.
+//
+//	go run ./examples/poa
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	bncg "repro"
+	"repro/internal/core"
+	"repro/internal/games"
+)
+
+func main() {
+	instances := []struct {
+		name string
+		g    *bncg.Graph
+	}{
+		{"star(16)", bncg.Star(16)},
+		{"repaired diam-3 equilibrium", bncg.DiameterThreeSumEquilibrium(4)},
+		{"torus k=3", bncg.NewTorus(3).Graph()},
+		{"C5", bncg.Cycle(5)},
+	}
+
+	fmt.Println("transfer principle: swap deltas at α=0.01 vs α=10000 (must match):")
+	rng := rand.New(rand.NewSource(5))
+	for _, inst := range instances {
+		o := games.MinOwnership(inst.g)
+		maxDiff := 0.0
+		for t := 0; t < 100; t++ {
+			v := rng.Intn(inst.g.N())
+			nbs := inst.g.Neighbors(v)
+			if len(nbs) == 0 {
+				continue
+			}
+			w := nbs[rng.Intn(len(nbs))]
+			wp := rng.Intn(inst.g.N())
+			if wp == v || inst.g.HasEdge(v, wp) {
+				continue
+			}
+			a, b := games.SwapDelta(inst.g, o, core.Move{V: v, Drop: w, Add: wp}, 0.01, 10000)
+			if d := a - b; d > maxDiff || -d > maxDiff {
+				if d < 0 {
+					d = -d
+				}
+				maxDiff = d
+			}
+		}
+		fmt.Printf("  %-28s max |Δ(α₁)−Δ(α₂)| = %g\n", inst.name, maxDiff)
+	}
+
+	fmt.Println("\nα-interval on which each swap equilibrium is a greedy α-equilibrium:")
+	for _, inst := range instances {
+		lo, hi, ok, err := games.StableAlphaInterval(inst.g, games.MinOwnership(inst.g), core.Sum, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		switch {
+		case !ok && lo == 0 && hi == 0:
+			fmt.Printf("  %-28s not swap-stable: no α works\n", inst.name)
+		case hi >= core.InfCost:
+			fmt.Printf("  %-28s stable for all α ≥ %d\n", inst.name, lo)
+		default:
+			fmt.Printf("  %-28s stable for α ∈ [%d, %d]\n", inst.name, lo, hi)
+		}
+	}
+
+	fmt.Println("\nprice of anarchy proxy C(G,α)/min(star,clique) across α:")
+	fmt.Printf("  %-28s %8s %8s %8s %8s  (diameter)\n", "graph", "α=0.5", "α=2", "α=n", "α=n²")
+	for _, inst := range instances {
+		n := float64(inst.g.N())
+		diam, _ := inst.g.Diameter()
+		fmt.Printf("  %-28s %8.3f %8.3f %8.3f %8.3f  (%d)\n", inst.name,
+			games.PriceOfAnarchyProxy(inst.g, 0.5),
+			games.PriceOfAnarchyProxy(inst.g, 2),
+			games.PriceOfAnarchyProxy(inst.g, n),
+			games.PriceOfAnarchyProxy(inst.g, n*n), diam)
+	}
+}

@@ -1,0 +1,63 @@
+// Quickstart: build graphs, check equilibria, run swap dynamics.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	bncg "repro"
+)
+
+func main() {
+	// 1. The star is the unique sum-equilibrium tree (Theorem 1).
+	star := bncg.Star(10)
+	ok, _, err := bncg.CheckSum(star, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("star(10) is a sum equilibrium: %v\n", ok)
+
+	// 2. A long cycle is not: some agent has an improving swap.
+	c12 := bncg.Cycle(12)
+	ok, viol, err := bncg.CheckSum(c12, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cycle(12) is a sum equilibrium: %v (witness: %v)\n", ok, viol)
+
+	// 3. Swap dynamics repair it: run best-response until equilibrium.
+	res, err := bncg.RunDynamics(c12, bncg.DynamicsOptions{
+		Objective: bncg.Sum, Policy: bncg.BestResponse,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	diam, _ := c12.Diameter()
+	fmt.Printf("dynamics: converged=%v after %d moves; final diameter %d\n",
+		res.Converged, res.Moves, diam)
+
+	// 4. Random trees always collapse to a star under sum dynamics.
+	rng := rand.New(rand.NewSource(7))
+	tree := bncg.RandomTree(30, rng)
+	before, _ := tree.Diameter()
+	if _, err := bncg.RunDynamics(tree, bncg.DynamicsOptions{
+		Objective: bncg.Sum, Policy: bncg.BestResponse,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	after, _ := tree.Diameter()
+	fmt.Printf("random tree: diameter %d → %d (a star)\n", before, after)
+
+	// 5. The Theorem 12 torus: a max equilibrium of diameter Θ(√n).
+	torus := bncg.NewTorus(4).Graph()
+	ok, _, err = bncg.CheckMax(torus, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	diam, _ = torus.Diameter()
+	fmt.Printf("torus(k=4): n=%d, diameter=%d, max equilibrium: %v\n",
+		torus.N(), diam, ok)
+}

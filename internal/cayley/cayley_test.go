@@ -1,0 +1,273 @@
+package cayley
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/constructions"
+	"repro/internal/uniformity"
+)
+
+func TestNewGroupValidation(t *testing.T) {
+	if _, err := NewGroup(); err == nil {
+		t.Error("empty factor list accepted")
+	}
+	if _, err := NewGroup(3, 0); err == nil {
+		t.Error("zero modulus accepted")
+	}
+	g, err := NewGroup(3, 4, 5)
+	if err != nil || g.Order() != 60 {
+		t.Errorf("Order = %d err=%v, want 60", g.Order(), err)
+	}
+}
+
+func TestIndexElemRoundTrip(t *testing.T) {
+	g, _ := NewGroup(3, 5, 2)
+	for idx := 0; idx < g.Order(); idx++ {
+		if got := g.Index(g.Elem(idx, nil)); got != idx {
+			t.Fatalf("Index(Elem(%d)) = %d", idx, got)
+		}
+	}
+	// Reduction of out-of-range components.
+	if g.Index([]int{-1, 7, 3}) != g.Index([]int{2, 2, 1}) {
+		t.Error("Index does not reduce components")
+	}
+}
+
+func TestGroupOps(t *testing.T) {
+	g, _ := NewGroup(5)
+	sum := g.Add([]int{3}, []int{4})
+	if sum[0] != 2 {
+		t.Errorf("3+4 mod 5 = %d, want 2", sum[0])
+	}
+	neg := g.Neg([]int{2})
+	if neg[0] != 3 {
+		t.Errorf("-2 mod 5 = %d, want 3", neg[0])
+	}
+	if g.Neg([]int{0})[0] != 0 {
+		t.Error("-0 != 0")
+	}
+}
+
+func TestCayleyGraphCycle(t *testing.T) {
+	// Z_n with S={±1} is the cycle C_n.
+	g, _ := NewGroup(7)
+	cg, err := g.CayleyGraph([][]int{{1}, {6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cg.Equal(constructions.Cycle(7)) {
+		// Edge sets may be labeled differently... C7 is 0-1-...-6-0 and the
+		// Cayley graph of Z7 with ±1 is exactly that labeling.
+		t.Error("Cayley(Z7, ±1) != C7")
+	}
+}
+
+func TestCayleyGraphHypercube(t *testing.T) {
+	// Z_2^d with unit generators is Q_d (generators are self-inverse).
+	g, _ := NewGroup(2, 2, 2)
+	cg, err := g.CayleyGraph([][]int{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cg.N() != 8 || cg.M() != 12 {
+		t.Fatalf("Cayley(Z2^3) n=%d m=%d", cg.N(), cg.M())
+	}
+	if diam, ok := cg.Diameter(); !ok || diam != 3 {
+		t.Errorf("diameter = %d,%v, want 3", diam, ok)
+	}
+}
+
+func TestCayleyGraphRejectsBadGens(t *testing.T) {
+	g, _ := NewGroup(6)
+	if _, err := g.CayleyGraph([][]int{{0}}); err == nil {
+		t.Error("identity generator accepted")
+	}
+	if _, err := g.CayleyGraph([][]int{{1}}); err == nil {
+		t.Error("asymmetric set accepted (missing -1)")
+	}
+	if _, err := g.CayleyGraph([][]int{{1, 2}}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if _, err := g.CayleyGraph(nil); err == nil {
+		t.Error("empty generating set accepted")
+	}
+	// Self-inverse generator (3 in Z6) is fine alone.
+	if _, err := g.CayleyGraph([][]int{{3}}); err != nil {
+		t.Errorf("self-inverse generator rejected: %v", err)
+	}
+}
+
+func TestSymmetricClosure(t *testing.T) {
+	g, _ := NewGroup(9)
+	gens := g.SymmetricClosure([][]int{{2}})
+	if len(gens) != 2 {
+		t.Fatalf("closure size %d, want 2", len(gens))
+	}
+	if _, err := g.CayleyGraph(gens); err != nil {
+		t.Errorf("closure not accepted: %v", err)
+	}
+	// Self-inverse and identity handling.
+	g2, _ := NewGroup(2)
+	gens2 := g2.SymmetricClosure([][]int{{1}, {0}})
+	if len(gens2) != 1 {
+		t.Errorf("Z2 closure = %v, want single element", gens2)
+	}
+}
+
+func TestTorusIsCayleyGraphComponent(t *testing.T) {
+	// The paper: the Theorem 12 torus is the Cayley graph of the even-sum
+	// subgroup of Z_{2k}² with generators (±1, ±1). The full Cayley graph
+	// on Z_{2k}² splits into the even and odd components; each has the
+	// torus's distance profile.
+	k := 3
+	zg, _ := NewGroup(2*k, 2*k)
+	gens := zg.SymmetricClosure([][]int{{1, 1}, {1, 2*k - 1}})
+	cg, err := zg.CayleyGraph(gens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comps := cg.ConnectedComponents()
+	if len(comps) != 2 {
+		t.Fatalf("Cayley(Z6²,diag) has %d components, want 2", len(comps))
+	}
+	if len(comps[0]) != 2*k*k {
+		t.Fatalf("component size %d, want %d", len(comps[0]), 2*k*k)
+	}
+	// Compare distance histograms with the torus construction.
+	tor := constructions.NewTorus(k).Graph()
+	torHist := tor.AllPairs().Histogram(0)
+	// BFS from component vertex 0 within cg.
+	dist := cg.BFS(comps[0][0])
+	hist := make([]int, len(torHist))
+	for _, d := range dist {
+		if d >= 0 && int(d) < len(hist) {
+			hist[d]++
+		} else if int(d) >= len(hist) {
+			t.Fatalf("component distance %d exceeds torus diameter %d", d, len(torHist)-1)
+		}
+	}
+	for i := range torHist {
+		if hist[i] != torHist[i] {
+			t.Fatalf("distance histograms differ at %d: %v vs %v", i, hist, torHist)
+		}
+	}
+}
+
+func TestSumsetSizesCycle(t *testing.T) {
+	// Z_9 with ±1: |iS| = 1+2i until wrapping covers everything.
+	g, _ := NewGroup(9)
+	sizes, err := g.SumsetSizes(g.SymmetricClosure([][]int{{1}}), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3, 4, 5, 6, 7}
+	// iS for Z9 ±1: sums of exactly i steps: i=1: {±1} = 2 elements;
+	// i=2: {-2,0,2} = 3; i=3: {-3,-1,1,3} = 4...
+	for i, w := range want {
+		if sizes[i] != w {
+			t.Fatalf("sizes = %v, want %v", sizes, want)
+		}
+	}
+}
+
+func TestSumsetSizesHypercube(t *testing.T) {
+	// Z_2^4 with unit gens: iS = vectors of weight ≡ i (mod 2) and weight
+	// <= i: |1S|=4, |2S|= C(4,0)+C(4,2)=7, |3S|=C(4,1)+C(4,3)=8,
+	// |4S|=1+6+1=8... compute: weight<=4 even: 1+6+1=8.
+	g, _ := NewGroup(2, 2, 2, 2)
+	gens := [][]int{{1, 0, 0, 0}, {0, 1, 0, 0}, {0, 0, 1, 0}, {0, 0, 0, 1}}
+	sizes, err := g.SumsetSizes(gens, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 4, 7, 8, 8}
+	for i, w := range want {
+		if sizes[i] != w {
+			t.Fatalf("sizes = %v, want %v", sizes, want)
+		}
+	}
+}
+
+func TestPlunneckeHoldsOnExamples(t *testing.T) {
+	groups := []struct {
+		mods []int
+		gens [][]int
+	}{
+		{[]int{17}, [][]int{{1}, {16}}},
+		{[]int{12}, [][]int{{1}, {11}, {3}, {9}}},
+		{[]int{2, 2, 2, 2, 2}, [][]int{{1, 0, 0, 0, 0}, {0, 1, 0, 0, 0}, {0, 0, 1, 0, 0}, {0, 0, 0, 1, 0}, {0, 0, 0, 0, 1}}},
+		{[]int{6, 6}, [][]int{{1, 1}, {5, 5}, {1, 5}, {5, 1}}},
+	}
+	for _, c := range groups {
+		g, err := NewGroup(c.mods...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes, err := g.SumsetSizes(c.gens, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v := PlunneckeViolations(sizes); len(v) != 0 {
+			t.Errorf("mods=%v: Plünnecke violations %v on sizes %v", c.mods, v, sizes)
+		}
+	}
+}
+
+func TestPlunneckeDetectsFabricatedViolation(t *testing.T) {
+	// |2S| > |1S|² is impossible; fabricate it to prove the checker works.
+	if v := PlunneckeViolations([]int{1, 2, 5}); len(v) == 0 {
+		t.Error("fabricated violation not detected")
+	}
+}
+
+func TestTheorem15BoundOnHypercube(t *testing.T) {
+	// Q_d is ε-distance-uniform with ε = 1 − C(d,d/2)/2^d (around 0.73 for
+	// d=8 — too coarse), but the *bound* must at least hold whenever
+	// ε < 1/4. Use K_n (Cayley graph of Z_n with all non-identity
+	// generators): ε = 1/n, diameter 1.
+	n := 32
+	g, _ := NewGroup(n)
+	var gens [][]int
+	for s := 1; s < n; s++ {
+		gens = append(gens, []int{s})
+	}
+	cg, err := g.CayleyGraph(gens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := uniformity.Analyze(cg.AllPairs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Epsilon >= 0.25 {
+		t.Fatalf("K32 ε = %v, want < 1/4", prof.Epsilon)
+	}
+	diam, _ := cg.Diameter()
+	bound := Theorem15Bound(cg.N(), prof.Epsilon)
+	if float64(diam) > bound {
+		t.Errorf("diameter %d exceeds Theorem 15 bound %v", diam, bound)
+	}
+}
+
+func TestTheorem15BoundEdgeCases(t *testing.T) {
+	if !math.IsInf(Theorem15Bound(100, 0.6), 1) {
+		t.Error("ε >= 1/2 should give +Inf")
+	}
+	if Theorem15Bound(1, 0.1) != 0 {
+		t.Error("n<2 should give 0")
+	}
+	if b := Theorem15Bound(100, 0); math.IsInf(b, 1) || b <= 0 {
+		t.Errorf("ε=0 bound = %v, want finite positive", b)
+	}
+}
+
+func TestIndexArityPanics(t *testing.T) {
+	g, _ := NewGroup(3, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("arity mismatch did not panic")
+		}
+	}()
+	g.Index([]int{1})
+}

@@ -1,0 +1,314 @@
+// Package constructions builds the named graph families used throughout the
+// paper: the elementary families (paths, cycles, stars, complete and
+// bipartite graphs, hypercubes, grids), the equilibrium witnesses (the
+// double star of Figure 2, the diameter-3 sum equilibrium of Figure 3 /
+// Theorem 5), and the lower-bound constructions of Section 4 (the diagonal
+// torus of Figure 4 / Theorem 12 and its d-dimensional generalization),
+// together with closed-form distance oracles for the tori.
+package constructions
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Path returns the path graph P_n (vertices 0..n-1 in a line).
+func Path(n int) *graph.Graph {
+	g := graph.New(n)
+	for v := 0; v+1 < n; v++ {
+		g.AddEdge(v, v+1)
+	}
+	return g
+}
+
+// Cycle returns the cycle C_n; for n < 3 it degenerates to a path.
+func Cycle(n int) *graph.Graph {
+	g := Path(n)
+	if n >= 3 {
+		g.AddEdge(n-1, 0)
+	}
+	return g
+}
+
+// Star returns the star K_{1,n-1} with center 0.
+func Star(n int) *graph.Graph {
+	g := graph.New(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(0, v)
+	}
+	return g
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *graph.Graph {
+	g := graph.New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// CompleteBipartite returns K_{a,b} with parts {0..a-1} and {a..a+b-1}.
+func CompleteBipartite(a, b int) *graph.Graph {
+	g := graph.New(a + b)
+	for u := 0; u < a; u++ {
+		for v := a; v < a+b; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// DoubleStar returns the Figure 2 tree: adjacent roots 0 and 1 carrying
+// left and right leaves respectively. With left, right >= 2 it is a max
+// equilibrium of diameter 3 — the extremal max-equilibrium tree
+// (Theorem 4).
+func DoubleStar(left, right int) *graph.Graph {
+	g := graph.New(2 + left + right)
+	g.AddEdge(0, 1)
+	for i := 0; i < left; i++ {
+		g.AddEdge(0, 2+i)
+	}
+	for i := 0; i < right; i++ {
+		g.AddEdge(1, 2+left+i)
+	}
+	return g
+}
+
+// Hypercube returns the d-dimensional hypercube Q_d on 2^d vertices, with
+// vertex x adjacent to x XOR 2^i.
+func Hypercube(d int) *graph.Graph {
+	n := 1 << uint(d)
+	g := graph.New(n)
+	for v := 0; v < n; v++ {
+		for i := 0; i < d; i++ {
+			g.AddEdge(v, v^(1<<uint(i)))
+		}
+	}
+	return g
+}
+
+// Grid returns the rows×cols king-free grid (4-neighborhood, no wraparound).
+func Grid(rows, cols int) *graph.Graph {
+	g := graph.New(rows * cols)
+	idx := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.AddEdge(idx(r, c), idx(r, c+1))
+			}
+			if r+1 < rows {
+				g.AddEdge(idx(r, c), idx(r+1, c))
+			}
+		}
+	}
+	return g
+}
+
+// Petersen returns the Petersen graph (outer C5 on 0..4, inner pentagram on
+// 5..9, spokes i–i+5). Girth 5, diameter 2; a classic stress test for the
+// structural predicates.
+func Petersen() *graph.Graph {
+	g := graph.New(10)
+	for i := 0; i < 5; i++ {
+		g.AddEdge(i, (i+1)%5)
+		g.AddEdge(5+i, 5+(i+2)%5)
+		g.AddEdge(i, 5+i)
+	}
+	return g
+}
+
+// Broom returns a path of handle vertices ending in a star of bristles:
+// vertices 0..handle-1 form the handle, the last handle vertex carries
+// bristles leaves.
+func Broom(handle, bristles int) *graph.Graph {
+	g := graph.New(handle + bristles)
+	for v := 0; v+1 < handle; v++ {
+		g.AddEdge(v, v+1)
+	}
+	for i := 0; i < bristles; i++ {
+		g.AddEdge(handle-1, handle+i)
+	}
+	return g
+}
+
+// Caterpillar returns a spine of `spine` vertices each carrying `legs`
+// leaves.
+func Caterpillar(spine, legs int) *graph.Graph {
+	g := graph.New(spine * (1 + legs))
+	for s := 0; s+1 < spine; s++ {
+		g.AddEdge(s, s+1)
+	}
+	leaf := spine
+	for s := 0; s < spine; s++ {
+		for l := 0; l < legs; l++ {
+			g.AddEdge(s, leaf)
+			leaf++
+		}
+	}
+	return g
+}
+
+// Spider returns `legs` paths of length legLen joined at a center (vertex 0).
+func Spider(legs, legLen int) *graph.Graph {
+	g := graph.New(1 + legs*legLen)
+	v := 1
+	for l := 0; l < legs; l++ {
+		prev := 0
+		for i := 0; i < legLen; i++ {
+			g.AddEdge(prev, v)
+			prev = v
+			v++
+		}
+	}
+	return g
+}
+
+// StarOfPaths returns the construction behind the paper's Conjecture 14
+// remark: a center of degree `spokes` attached to paths of length pathLen,
+// with a clique "blob" of blobSize vertices at the end of each path. With
+// many spokes and large blobs, almost all *pairs* of vertices realize the
+// same distance (blob-to-blob through the center), yet the per-vertex
+// distance-uniformity of Conjecture 14 fails badly and the diameter is
+// large — showing why the conjecture must quantify over every vertex.
+//
+// Layout: vertex 0 is the center; spoke s occupies path vertices
+// 1+s*(pathLen+blobSize) … and then its blob.
+func StarOfPaths(spokes, pathLen, blobSize int) *graph.Graph {
+	per := pathLen + blobSize
+	g := graph.New(1 + spokes*per)
+	for s := 0; s < spokes; s++ {
+		base := 1 + s*per
+		prev := 0
+		for i := 0; i < pathLen; i++ {
+			g.AddEdge(prev, base+i)
+			prev = base + i
+		}
+		blob := base + pathLen
+		for i := 0; i < blobSize; i++ {
+			g.AddEdge(prev, blob+i)
+			for j := 0; j < i; j++ {
+				g.AddEdge(blob+i, blob+j)
+			}
+		}
+	}
+	return g
+}
+
+// Circulant returns the circulant graph on n vertices with the given jump
+// set: v is adjacent to v±j (mod n) for each jump j. Jumps are reduced
+// modulo n; jump 0 and duplicates are ignored.
+func Circulant(n int, jumps []int) *graph.Graph {
+	g := graph.New(n)
+	for _, j := range jumps {
+		j = ((j % n) + n) % n
+		if j == 0 {
+			continue
+		}
+		for v := 0; v < n; v++ {
+			g.AddEdge(v, (v+j)%n)
+		}
+	}
+	return g
+}
+
+// Fig3 returns the 13-vertex graph of Figure 3 exactly as described in
+// Theorem 5 of the SPAA 2010 paper. Vertex layout: a=0; b_i=i (i=1..3);
+// c_{i,k}=3+2(i-1)+k (i=1..3, k=1..2, so c-range 4..9); d_i=9+i (i=1..3).
+//
+// One vertex a has neighbors b1..b3; each b_i has two private neighbors
+// C_i = {c_{i,1}, c_{i,2}}; each d_i is joined to all of C_i; and the C_i
+// are pairwise joined by perfect matchings — the straight matching between
+// C1,C2 and C2,C3, and the crossed matching between C1,C3.
+//
+// Reproduction note: this graph has diameter 3, girth 4, and the local
+// diameters claimed in the paper (3 for a, b_i, d_i; 2 for c_{i,k}) —
+// but it is NOT a sum equilibrium. Agent d_1 strictly improves by swapping
+// its edge d_1–c_{1,1} onto the matched partner c_{2,1} (cost 27→26): the
+// swap gains 1 each for c_{2,1}, b_2 and d_2 while losing only 1 each for
+// c_{1,1} and its other matching partner, because the "at least 2" loss
+// from Lemma 8 does not apply when the new endpoint is adjacent to the
+// dropped one. The same improving swap exists under every straight/crossed
+// matching assignment on three branches. See DiameterThreeSumEquilibrium
+// for the repaired witness (four branches), which restores the theorem's
+// statement.
+func Fig3() *graph.Graph {
+	g := graph.New(13)
+	a := 0
+	b := func(i int) int { return i }                  // i in 1..3
+	c := func(i, k int) int { return 3 + 2*(i-1) + k } // i in 1..3, k in 1..2
+	d := func(i int) int { return 9 + i }              // i in 1..3
+
+	for i := 1; i <= 3; i++ {
+		g.AddEdge(a, b(i))
+		g.AddEdge(b(i), c(i, 1))
+		g.AddEdge(b(i), c(i, 2))
+		g.AddEdge(d(i), c(i, 1))
+		g.AddEdge(d(i), c(i, 2))
+	}
+	// Straight matchings C1–C2 and C2–C3.
+	for k := 1; k <= 2; k++ {
+		g.AddEdge(c(1, k), c(2, k))
+		g.AddEdge(c(2, k), c(3, k))
+	}
+	// Crossed matching C1–C3.
+	g.AddEdge(c(1, 1), c(3, 2))
+	g.AddEdge(c(1, 2), c(3, 1))
+	return g
+}
+
+// Fig3Labels maps Fig3 vertex indices to the paper's vertex names.
+func Fig3Labels() map[int]string {
+	labels := map[int]string{0: "a"}
+	for i := 1; i <= 3; i++ {
+		labels[i] = fmt.Sprintf("b%d", i)
+		labels[9+i] = fmt.Sprintf("d%d", i)
+		for k := 1; k <= 2; k++ {
+			labels[3+2*(i-1)+k] = fmt.Sprintf("c%d,%d", i, k)
+		}
+	}
+	return labels
+}
+
+// DiameterThreeSumEquilibrium returns a verified diameter-3 sum equilibrium
+// on 4g+1 vertices — the repaired witness for Theorem 5. It generalizes the
+// Figure 3 skeleton to `groups` >= 4 branches: a center a adjacent to
+// b_1..b_g; each b_i with two private neighbors C_i = {c_{i,1}, c_{i,2}};
+// each d_i joined to all of C_i; and *crossed* perfect matchings
+// c_{i,1}–c_{j,2}, c_{i,2}–c_{j,1} between every pair C_i, C_j.
+//
+// With four or more branches, dropping an edge d_i–c_{i,k} distances d_i
+// from c_{i,k} and from its >= 3 matching partners, which absorbs the
+// gain of at most 3 (the new endpoint plus b_j and d_j) that broke the
+// three-branch construction. All-crossed matchings keep every triple of
+// matchings triangle-free (girth 4). The result is verified exhaustively
+// to be a sum equilibrium for groups = 4, 5, 6 in the test suite; the
+// checker accepts any groups >= 4.
+//
+// Vertex layout: a=0; b_i=i (1..g); c_{i,k}=g+2(i-1)+k; d_i=3g+i.
+func DiameterThreeSumEquilibrium(groups int) *graph.Graph {
+	if groups < 4 {
+		panic(fmt.Sprintf("constructions: DiameterThreeSumEquilibrium requires groups >= 4, got %d", groups))
+	}
+	g := graph.New(4*groups + 1)
+	b := func(i int) int { return i }
+	c := func(i, k int) int { return groups + 2*(i-1) + k }
+	d := func(i int) int { return 3*groups + i }
+	for i := 1; i <= groups; i++ {
+		g.AddEdge(0, b(i))
+		g.AddEdge(b(i), c(i, 1))
+		g.AddEdge(b(i), c(i, 2))
+		g.AddEdge(d(i), c(i, 1))
+		g.AddEdge(d(i), c(i, 2))
+	}
+	for i := 1; i <= groups; i++ {
+		for j := i + 1; j <= groups; j++ {
+			g.AddEdge(c(i, 1), c(j, 2))
+			g.AddEdge(c(i, 2), c(j, 1))
+		}
+	}
+	return g
+}

@@ -1,0 +1,195 @@
+package constructions
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func TestElementaryFamilies(t *testing.T) {
+	cases := []struct {
+		name       string
+		g          *graph.Graph
+		n, m, diam int
+	}{
+		{"path6", Path(6), 6, 5, 5},
+		{"cycle7", Cycle(7), 7, 7, 3},
+		{"star8", Star(8), 8, 7, 2},
+		{"K6", Complete(6), 6, 15, 1},
+		{"K34", CompleteBipartite(3, 4), 7, 12, 2},
+		{"Q3", Hypercube(3), 8, 12, 3},
+		{"Q4", Hypercube(4), 16, 32, 4},
+		{"grid34", Grid(3, 4), 12, 17, 5},
+		{"petersen", Petersen(), 10, 15, 2},
+		{"doubleStar22", DoubleStar(2, 2), 6, 5, 3},
+		{"broom", Broom(3, 4), 7, 6, 3},
+		{"caterpillar", Caterpillar(3, 2), 9, 8, 4},
+		{"spider", Spider(3, 2), 7, 6, 4},
+		{"circulant", Circulant(8, []int{1, 2}), 8, 16, 2},
+	}
+	for _, c := range cases {
+		if c.g.N() != c.n {
+			t.Errorf("%s: n=%d want %d", c.name, c.g.N(), c.n)
+		}
+		if c.g.M() != c.m {
+			t.Errorf("%s: m=%d want %d", c.name, c.g.M(), c.m)
+		}
+		diam, ok := c.g.Diameter()
+		if !ok || diam != c.diam {
+			t.Errorf("%s: diam=%d,%v want %d,true", c.name, diam, ok, c.diam)
+		}
+	}
+}
+
+func TestTreesAreTrees(t *testing.T) {
+	for name, g := range map[string]*graph.Graph{
+		"path":        Path(9),
+		"star":        Star(9),
+		"doubleStar":  DoubleStar(3, 4),
+		"broom":       Broom(4, 3),
+		"caterpillar": Caterpillar(4, 3),
+		"spider":      Spider(4, 3),
+	} {
+		if !g.IsTree() {
+			t.Errorf("%s is not a tree (n=%d m=%d)", name, g.N(), g.M())
+		}
+	}
+}
+
+func TestHypercubeRegularity(t *testing.T) {
+	g := Hypercube(5)
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) != 5 {
+			t.Fatalf("Q5 degree(%d)=%d, want 5", v, g.Degree(v))
+		}
+	}
+}
+
+func TestCirculantIgnoresBadJumps(t *testing.T) {
+	g := Circulant(6, []int{0, 6, 12, -1, 1})
+	// jumps 0, 6, 12 are no-ops mod 6; -1 and 1 coincide: C6.
+	if g.M() != 6 {
+		t.Errorf("m=%d, want 6 (plain cycle)", g.M())
+	}
+}
+
+func TestFig3StructuralClaims(t *testing.T) {
+	g := Fig3()
+	if g.N() != 13 || g.M() != 21 {
+		t.Fatalf("Fig3 n=%d m=%d, want 13, 21", g.N(), g.M())
+	}
+	if diam, ok := g.Diameter(); !ok || diam != 3 {
+		t.Errorf("Fig3 diameter = %d,%v, want 3", diam, ok)
+	}
+	if girth, ok := g.Girth(); !ok || girth != 4 {
+		t.Errorf("Fig3 girth = %d,%v, want 4", girth, ok)
+	}
+	if !g.NeighborhoodsIndependent() {
+		t.Error("Fig3 has a triangle; paper claims girth 4")
+	}
+	// Paper's local diameters: a, b_i, d_i: 3; c_{i,k}: 2.
+	labels := Fig3Labels()
+	for v := 0; v < g.N(); v++ {
+		ecc, ok := g.Eccentricity(v)
+		if !ok {
+			t.Fatalf("Fig3 disconnected at %d", v)
+		}
+		want := 3
+		if labels[v][0] == 'c' {
+			want = 2
+		}
+		if ecc != want {
+			t.Errorf("Fig3 ecc(%s) = %d, want %d", labels[v], ecc, want)
+		}
+	}
+}
+
+func TestFig3LabelsComplete(t *testing.T) {
+	labels := Fig3Labels()
+	if len(labels) != 13 {
+		t.Fatalf("labels cover %d vertices, want 13", len(labels))
+	}
+	counts := map[byte]int{}
+	for v := 0; v < 13; v++ {
+		name, ok := labels[v]
+		if !ok || name == "" {
+			t.Fatalf("vertex %d unlabeled", v)
+		}
+		counts[name[0]]++
+	}
+	if counts['a'] != 1 || counts['b'] != 3 || counts['c'] != 6 || counts['d'] != 3 {
+		t.Errorf("label distribution wrong: %v", counts)
+	}
+}
+
+func TestFig3IsNotASumEquilibrium(t *testing.T) {
+	// Reproduction finding: the literal Figure 3 graph admits an improving
+	// swap for an agent d_i onto a matched partner, so it is not a sum
+	// equilibrium. Pin the exact witness so regressions are caught.
+	g := Fig3()
+	ok, viol, err := core.CheckSum(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("Fig3 reported as sum equilibrium; expected the d_i violation")
+	}
+	if viol == nil || viol.Kind != core.SwapImproves {
+		t.Fatalf("violation = %v, want SwapImproves", viol)
+	}
+	// The improving move must involve a d vertex dropping a C-edge for a
+	// matched partner, improving cost by exactly 1 (27→26).
+	labels := Fig3Labels()
+	if labels[viol.Move.V][0] != 'd' {
+		t.Errorf("violating agent = %s, want a d vertex", labels[viol.Move.V])
+	}
+	if viol.OldCost != 27 || viol.NewCost != 26 {
+		t.Errorf("violation costs %d→%d, want 27→26", viol.OldCost, viol.NewCost)
+	}
+	// Confirm with the independent evaluator.
+	if got := core.EvaluateMove(g, viol.Move, core.Sum); got != viol.NewCost {
+		t.Errorf("EvaluateMove = %d, want %d", got, viol.NewCost)
+	}
+}
+
+func TestDiameterThreeSumEquilibrium(t *testing.T) {
+	for _, groups := range []int{4, 5, 6} {
+		g := DiameterThreeSumEquilibrium(groups)
+		if g.N() != 4*groups+1 {
+			t.Fatalf("groups=%d: n=%d, want %d", groups, g.N(), 4*groups+1)
+		}
+		if diam, ok := g.Diameter(); !ok || diam != 3 {
+			t.Errorf("groups=%d: diameter = %d,%v, want 3", groups, diam, ok)
+		}
+		if girth, ok := g.Girth(); !ok || girth != 4 {
+			t.Errorf("groups=%d: girth = %d,%v, want 4", groups, girth, ok)
+		}
+		ok, viol, err := core.CheckSum(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("groups=%d: not a sum equilibrium, witness %v", groups, viol)
+		}
+	}
+}
+
+func TestDiameterThreeSumEquilibriumPanicsBelow4(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("groups=3 did not panic")
+		}
+	}()
+	DiameterThreeSumEquilibrium(3)
+}
+
+func TestDoubleStarMaxEquilibrium(t *testing.T) {
+	// Theorem 4 / Figure 2: double stars with >= 2 leaves per root are the
+	// extremal (diameter 3) max-equilibrium trees.
+	g := DoubleStar(2, 3)
+	ok, viol, err := core.CheckMax(g, 1)
+	if err != nil || !ok {
+		t.Errorf("DoubleStar(2,3) should be a max equilibrium: %v %v", viol, err)
+	}
+}

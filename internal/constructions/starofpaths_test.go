@@ -1,0 +1,51 @@
+package constructions
+
+import "testing"
+
+func TestStarOfPathsShape(t *testing.T) {
+	spokes, pathLen, blob := 4, 3, 5
+	g := StarOfPaths(spokes, pathLen, blob)
+	wantN := 1 + spokes*(pathLen+blob)
+	if g.N() != wantN {
+		t.Fatalf("n = %d, want %d", g.N(), wantN)
+	}
+	// Edges: per spoke: pathLen path edges + blob edges to the path end +
+	// C(blob,2) internal blob edges.
+	wantM := spokes * (pathLen + blob + blob*(blob-1)/2)
+	if g.M() != wantM {
+		t.Fatalf("m = %d, want %d", g.M(), wantM)
+	}
+	if g.Degree(0) != spokes {
+		t.Errorf("center degree = %d, want %d", g.Degree(0), spokes)
+	}
+	if !g.IsConnected() {
+		t.Error("disconnected")
+	}
+	// Diameter: blob → center → blob = 2*(pathLen+1).
+	if diam, _ := g.Diameter(); diam != 2*(pathLen+1) {
+		t.Errorf("diameter = %d, want %d", diam, 2*(pathLen+1))
+	}
+}
+
+func TestStarOfPathsBlobIsClique(t *testing.T) {
+	g := StarOfPaths(2, 2, 4)
+	// First spoke's blob starts at 1+2 = 3: vertices 3,4,5,6.
+	for i := 3; i <= 6; i++ {
+		for j := i + 1; j <= 6; j++ {
+			if !g.HasEdge(i, j) {
+				t.Errorf("blob edge %d-%d missing", i, j)
+			}
+		}
+	}
+}
+
+func TestStarOfPathsZeroPath(t *testing.T) {
+	// pathLen 0: blobs attach directly to the center.
+	g := StarOfPaths(3, 0, 2)
+	if g.N() != 7 {
+		t.Fatalf("n = %d, want 7", g.N())
+	}
+	if diam, ok := g.Diameter(); !ok || diam != 2 {
+		t.Errorf("diameter = %d,%v, want 2", diam, ok)
+	}
+}

@@ -1,0 +1,215 @@
+package constructions
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Torus is the diagonal 2D torus of Theorem 12 / Figure 4: a 2D torus
+// rotated 45°. It has n = 2k² vertices, one per pair (i,j) with
+// 0 ≤ i,j < 2k and i+j even; vertex (i,j) is adjacent to (i±1, j±1)
+// (all four sign combinations, coordinates mod 2k). The graph is
+// vertex-transitive, 4-regular (k ≥ 2), has local diameter exactly k at
+// every vertex, and is both insertion-stable and deletion-critical — hence
+// a max equilibrium of diameter Θ(√n).
+//
+// Torus doubles as a closed-form distance oracle (graph.Metric):
+// d((i,j),(i',j')) = max(cd(i,i'), cd(j,j')) with cd the circular distance
+// on Z_{2k}, allowing equilibrium spot-checks at sizes where explicit APSP
+// is infeasible.
+type Torus struct {
+	K int
+}
+
+// NewTorus returns the Theorem 12 torus oracle for the given k >= 1.
+func NewTorus(k int) *Torus {
+	if k < 1 {
+		panic(fmt.Sprintf("constructions: torus k=%d out of range", k))
+	}
+	return &Torus{K: k}
+}
+
+// N returns the number of vertices, 2k².
+func (t *Torus) N() int { return 2 * t.K * t.K }
+
+// Index maps coordinates (i,j) (with i+j even, taken mod 2k) to a vertex id.
+func (t *Torus) Index(i, j int) int {
+	m := 2 * t.K
+	i = ((i % m) + m) % m
+	j = ((j % m) + m) % m
+	if (i+j)%2 != 0 {
+		panic(fmt.Sprintf("constructions: torus coordinate (%d,%d) has odd parity", i, j))
+	}
+	// Rows are indexed by i; within row i the valid j share i's parity.
+	return i*t.K + (j-(i%2))/2
+}
+
+// Coords inverts Index.
+func (t *Torus) Coords(v int) (i, j int) {
+	i = v / t.K
+	j = 2*(v%t.K) + (i % 2)
+	return i, j
+}
+
+// Dist returns the closed-form distance max(cd(i,i'), cd(j,j')).
+func (t *Torus) Dist(u, v int) int {
+	iu, ju := t.Coords(u)
+	iv, jv := t.Coords(v)
+	m := 2 * t.K
+	return maxInt(circDist(iu, iv, m), circDist(ju, jv, m))
+}
+
+// Graph materializes the torus as an explicit graph.
+func (t *Torus) Graph() *graph.Graph {
+	g := graph.New(t.N())
+	for v := 0; v < t.N(); v++ {
+		i, j := t.Coords(v)
+		for _, di := range [2]int{-1, 1} {
+			for _, dj := range [2]int{-1, 1} {
+				u := t.Index(i+di, j+dj)
+				if u != v {
+					g.AddEdge(v, u)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// LocalDiameter returns k, the proven local diameter of every vertex.
+func (t *Torus) LocalDiameter() int { return t.K }
+
+// MultiTorus is the d-dimensional generalization from Section 4: one vertex
+// per tuple (i_1,…,i_d) with i_1 ≡ i_2 ≡ … ≡ i_d (mod 2), each coordinate
+// in Z_{2k}, and edges to (i_1±1, …, i_d±1) for all 2^d independent sign
+// choices. It has n = 2k^d vertices, diameter Θ(n^{1/d}) = k, is
+// deletion-critical, and is stable under the insertion (or swapping) of up
+// to d−1 edges at one vertex — the diameter-versus-agent-power trade-off.
+type MultiTorus struct {
+	D int // dimension (>= 1)
+	K int // half-period: coordinates live in Z_{2k}
+}
+
+// NewMultiTorus returns the d-dimensional torus oracle.
+func NewMultiTorus(d, k int) *MultiTorus {
+	if d < 1 || k < 1 {
+		panic(fmt.Sprintf("constructions: multitorus d=%d k=%d out of range", d, k))
+	}
+	return &MultiTorus{D: d, K: k}
+}
+
+// N returns the number of vertices, 2·k^d.
+func (t *MultiTorus) N() int {
+	n := 2
+	for i := 0; i < t.D; i++ {
+		n *= t.K
+	}
+	return n
+}
+
+// Index maps a coordinate tuple (all entries sharing one parity, mod 2k) to
+// a vertex id: parity·k^d + Σ_j ((i_j − parity)/2)·k^j.
+func (t *MultiTorus) Index(coords []int) int {
+	if len(coords) != t.D {
+		panic("constructions: multitorus coordinate arity mismatch")
+	}
+	m := 2 * t.K
+	parity := (((coords[0] % m) + m) % m) % 2
+	id := 0
+	for j := t.D - 1; j >= 0; j-- {
+		c := ((coords[j] % m) + m) % m
+		if c%2 != parity {
+			panic(fmt.Sprintf("constructions: multitorus coordinates %v mix parity", coords))
+		}
+		id = id*t.K + (c-parity)/2
+	}
+	half := t.N() / 2
+	return parity*half + id
+}
+
+// Coords inverts Index into the provided slice (length D) and returns it.
+func (t *MultiTorus) Coords(v int, coords []int) []int {
+	if coords == nil {
+		coords = make([]int, t.D)
+	}
+	half := t.N() / 2
+	parity := 0
+	if v >= half {
+		parity = 1
+		v -= half
+	}
+	for j := 0; j < t.D; j++ {
+		coords[j] = 2*(v%t.K) + parity
+		v /= t.K
+	}
+	return coords
+}
+
+// Dist returns the closed-form distance max_j cd(i_j, i'_j).
+func (t *MultiTorus) Dist(u, v int) int {
+	cu := t.Coords(u, nil)
+	cv := t.Coords(v, nil)
+	m := 2 * t.K
+	best := 0
+	for j := 0; j < t.D; j++ {
+		if d := circDist(cu[j], cv[j], m); d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// Graph materializes the multitorus as an explicit graph (2^d-regular for
+// k >= 2).
+func (t *MultiTorus) Graph() *graph.Graph {
+	g := graph.New(t.N())
+	coords := make([]int, t.D)
+	shifted := make([]int, t.D)
+	m := 2 * t.K
+	for v := 0; v < t.N(); v++ {
+		t.Coords(v, coords)
+		for signs := 0; signs < 1<<uint(t.D); signs++ {
+			for j := 0; j < t.D; j++ {
+				delta := 1
+				if signs&(1<<uint(j)) != 0 {
+					delta = -1
+				}
+				shifted[j] = ((coords[j]+delta)%m + m) % m
+			}
+			u := t.Index(shifted)
+			if u != v {
+				g.AddEdge(v, u)
+			}
+		}
+	}
+	return g
+}
+
+// LocalDiameter returns k, the diameter of the multitorus.
+func (t *MultiTorus) LocalDiameter() int { return t.K }
+
+// circDist is the circular distance min(|a-b|, m-|a-b|) on Z_m.
+func circDist(a, b, m int) int {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if m-d < d {
+		return m - d
+	}
+	return d
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Interface conformance: both tori are distance oracles.
+var (
+	_ graph.Metric = (*Torus)(nil)
+	_ graph.Metric = (*MultiTorus)(nil)
+)

@@ -1,0 +1,264 @@
+package constructions
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func TestTorusBasicShape(t *testing.T) {
+	for k := 1; k <= 6; k++ {
+		tor := NewTorus(k)
+		g := tor.Graph()
+		if g.N() != 2*k*k {
+			t.Fatalf("k=%d: n=%d, want %d", k, g.N(), 2*k*k)
+		}
+		if k >= 2 {
+			for v := 0; v < g.N(); v++ {
+				if g.Degree(v) != 4 {
+					t.Fatalf("k=%d: degree(%d)=%d, want 4", k, v, g.Degree(v))
+				}
+			}
+		}
+		if diam, ok := g.Diameter(); !ok || diam != k {
+			t.Errorf("k=%d: diameter = %d,%v, want %d (Θ(√n))", k, diam, ok, k)
+		}
+	}
+}
+
+func TestTorusIndexCoordsRoundTrip(t *testing.T) {
+	tor := NewTorus(4)
+	for v := 0; v < tor.N(); v++ {
+		i, j := tor.Coords(v)
+		if (i+j)%2 != 0 {
+			t.Fatalf("Coords(%d) = (%d,%d) has odd parity", v, i, j)
+		}
+		if got := tor.Index(i, j); got != v {
+			t.Fatalf("Index(Coords(%d)) = %d", v, got)
+		}
+	}
+	// Index must accept arbitrary residues.
+	if tor.Index(8, 8) != tor.Index(0, 0) {
+		t.Error("Index does not reduce mod 2k")
+	}
+	if tor.Index(-1, 1) != tor.Index(7, 1) {
+		t.Error("Index does not handle negatives")
+	}
+}
+
+func TestTorusIndexOddParityPanics(t *testing.T) {
+	tor := NewTorus(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd-parity Index did not panic")
+		}
+	}()
+	tor.Index(0, 1)
+}
+
+func TestTorusDistanceFormulaMatchesBFS(t *testing.T) {
+	// The closed-form oracle max(cd(i,i'), cd(j,j')) must agree with BFS on
+	// the materialized graph — validating the paper's distance claim.
+	for k := 1; k <= 6; k++ {
+		tor := NewTorus(k)
+		g := tor.Graph()
+		ap := g.AllPairs()
+		for u := 0; u < g.N(); u++ {
+			for v := 0; v < g.N(); v++ {
+				if got, want := tor.Dist(u, v), ap.Dist(u, v); got != want {
+					t.Fatalf("k=%d: Dist(%d,%d) = %d, BFS %d", k, u, v, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestTorusVertexTransitivityOfDistances(t *testing.T) {
+	// Every vertex must see the identical multiset of distances.
+	tor := NewTorus(5)
+	g := tor.Graph()
+	ap := g.AllPairs()
+	ref := ap.Histogram(0)
+	for v := 1; v < g.N(); v++ {
+		h := ap.Histogram(v)
+		if len(h) != len(ref) {
+			t.Fatalf("vertex %d histogram %v != %v", v, h, ref)
+		}
+		for i := range ref {
+			if h[i] != ref[i] {
+				t.Fatalf("vertex %d histogram %v != %v", v, h, ref)
+			}
+		}
+	}
+}
+
+func TestTorusLocalDiameterExactlyK(t *testing.T) {
+	for k := 2; k <= 5; k++ {
+		g := NewTorus(k).Graph()
+		for v := 0; v < g.N(); v++ {
+			ecc, ok := g.Eccentricity(v)
+			if !ok || ecc != k {
+				t.Fatalf("k=%d: ecc(%d) = %d,%v, want %d", k, v, ecc, ok, k)
+			}
+		}
+	}
+}
+
+func TestTorusIsMaxEquilibrium(t *testing.T) {
+	// Theorem 12: the torus is insertion-stable and deletion-critical,
+	// hence a max equilibrium. Exhaustive check for small k.
+	for k := 2; k <= 4; k++ {
+		g := NewTorus(k).Graph()
+		ins, iv, err := core.IsInsertionStable(g, 0)
+		if err != nil || !ins {
+			t.Errorf("k=%d: not insertion-stable: %v %v", k, iv, err)
+		}
+		del, dv, err := core.IsDeletionCritical(g, 0)
+		if err != nil || !del {
+			t.Errorf("k=%d: not deletion-critical: %v %v", k, dv, err)
+		}
+		eq, ev, err := core.CheckMax(g, 0)
+		if err != nil || !eq {
+			t.Errorf("k=%d: not a max equilibrium: %v %v", k, ev, err)
+		}
+	}
+}
+
+func TestTorusSampledStabilityLargeK(t *testing.T) {
+	// At k=12 (n=288) use the closed-form oracle + sampling.
+	tor := NewTorus(12)
+	rng := rand.New(rand.NewSource(77))
+	if ok, e := core.SampleInsertionStable(tor, 150, rng); !ok {
+		t.Errorf("sampled insertion-stability failed at %v", e)
+	}
+	g := tor.Graph()
+	if ok, e := core.SampleDeletionCritical(g, 80, rng); !ok {
+		t.Errorf("sampled deletion-criticality failed at %v", e)
+	}
+}
+
+func TestMultiTorusShape(t *testing.T) {
+	cases := []struct {
+		d, k, n, deg int
+	}{
+		{1, 4, 8, 2},
+		{2, 3, 18, 4},
+		{3, 2, 16, 8},
+		{3, 3, 54, 8},
+		{4, 2, 32, 16},
+	}
+	for _, c := range cases {
+		mt := NewMultiTorus(c.d, c.k)
+		g := mt.Graph()
+		if g.N() != c.n {
+			t.Fatalf("d=%d k=%d: n=%d, want %d", c.d, c.k, g.N(), c.n)
+		}
+		for v := 0; v < g.N(); v++ {
+			if g.Degree(v) != c.deg {
+				t.Fatalf("d=%d k=%d: degree(%d)=%d, want %d", c.d, c.k, v, g.Degree(v), c.deg)
+			}
+		}
+		if diam, ok := g.Diameter(); !ok || diam != c.k {
+			t.Errorf("d=%d k=%d: diameter = %d,%v, want %d (Θ(n^{1/d}))", c.d, c.k, diam, ok, c.k)
+		}
+	}
+}
+
+func TestMultiTorusIndexCoordsRoundTrip(t *testing.T) {
+	mt := NewMultiTorus(3, 3)
+	coords := make([]int, 3)
+	for v := 0; v < mt.N(); v++ {
+		mt.Coords(v, coords)
+		p := coords[0] % 2
+		for _, c := range coords {
+			if c%2 != p {
+				t.Fatalf("Coords(%d) = %v mixes parity", v, coords)
+			}
+		}
+		if got := mt.Index(coords); got != v {
+			t.Fatalf("Index(Coords(%d)) = %d", v, got)
+		}
+	}
+}
+
+func TestMultiTorusDistanceFormulaMatchesBFS(t *testing.T) {
+	for _, dk := range [][2]int{{1, 3}, {2, 3}, {3, 2}, {3, 3}} {
+		mt := NewMultiTorus(dk[0], dk[1])
+		g := mt.Graph()
+		ap := g.AllPairs()
+		for u := 0; u < g.N(); u++ {
+			for v := 0; v < g.N(); v++ {
+				if got, want := mt.Dist(u, v), ap.Dist(u, v); got != want {
+					t.Fatalf("d=%d k=%d: Dist(%d,%d) = %d, BFS %d",
+						dk[0], dk[1], u, v, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestMultiTorusMatchesTorusForD2(t *testing.T) {
+	// Same family, different labeling: distance histograms must agree.
+	k := 4
+	a := NewTorus(k).Graph().AllPairs().Histogram(0)
+	b := NewMultiTorus(2, k).Graph().AllPairs().Histogram(0)
+	if len(a) != len(b) {
+		t.Fatalf("histograms differ: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("histograms differ: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestMultiTorusKInsertionStability(t *testing.T) {
+	// Section 4 trade-off: the d-dimensional torus is deletion-critical and
+	// stable under up to d−1 simultaneous insertions at one vertex.
+	for _, dk := range [][2]int{{3, 2}, {3, 3}} {
+		d, k := dk[0], dk[1]
+		g := NewMultiTorus(d, k).Graph()
+		del, dv, err := core.IsDeletionCritical(g, 0)
+		if err != nil || !del {
+			t.Errorf("d=%d k=%d: not deletion-critical: %v %v", d, k, dv, err)
+		}
+		for kk := 1; kk <= d-1; kk++ {
+			st, wit, err := core.IsKInsertionStable(g, kk, 0)
+			if err != nil || !st {
+				t.Errorf("d=%d k=%d: not %d-insertion-stable: %+v %v", d, k, kk, wit, err)
+			}
+		}
+	}
+}
+
+func TestNewTorusPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTorus(0) did not panic")
+		}
+	}()
+	NewTorus(0)
+}
+
+func TestNewMultiTorusPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewMultiTorus(0,3) did not panic")
+		}
+	}()
+	NewMultiTorus(0, 3)
+}
+
+func TestMultiTorusIndexArityPanics(t *testing.T) {
+	mt := NewMultiTorus(2, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("arity mismatch did not panic")
+		}
+	}()
+	mt.Index([]int{1})
+}
+
+var _ graph.Metric = (*Torus)(nil)

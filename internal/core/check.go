@@ -1,0 +1,251 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/par"
+)
+
+// PriceSwaps invokes fn once for every candidate swap of agent v — every
+// pair (w, w') with w a current neighbor and w' any other vertex — passing
+// the agent's usage cost after performing Move{v, w, w'}. Candidates where
+// w' == w (no-ops) are included and price to the current cost, which
+// callers may use as a consistency check. fn returning false stops the
+// scan early. g is mutated during the scan and restored before return; it
+// must not be shared concurrently.
+func PriceSwaps(g *graph.Graph, v int, obj Objective, fn func(m Move, newCost int64) bool) {
+	n := g.N()
+	for _, w := range g.Neighbors(v) {
+		g.RemoveEdge(v, w)
+		ap := g.AllPairs()
+		dv := ap.Row(v)
+		stop := false
+		for wp := 0; wp < n && !stop; wp++ {
+			if wp == v {
+				continue
+			}
+			var cost int64
+			if obj == Sum {
+				cost = patchedSum(dv, ap.Row(wp))
+			} else {
+				cost = patchedEcc(dv, ap.Row(wp))
+			}
+			if !fn(Move{V: v, Drop: w, Add: wp}, cost) {
+				stop = true
+			}
+		}
+		g.AddEdge(v, w)
+		if stop {
+			return
+		}
+	}
+}
+
+// BestSwap returns the cost-minimizing swap for agent v under obj, its new
+// cost, and whether it strictly improves on v's current cost. Ties are
+// broken toward the lexicographically smallest (Drop, Add), making the
+// result deterministic. g is temporarily mutated and restored.
+func BestSwap(g *graph.Graph, v int, obj Objective) (best Move, newCost int64, improves bool) {
+	cur := Cost(g, v, obj)
+	newCost = cur
+	PriceSwaps(g, v, obj, func(m Move, c int64) bool {
+		if c < newCost {
+			newCost = c
+			best = m
+		}
+		return true
+	})
+	return best, newCost, newCost < cur
+}
+
+// EvaluateMove prices a single move by applying it, measuring the agent's
+// cost, and reverting. It is the slow-but-simple reference the patch-based
+// pricing is validated against. The graph is restored before returning.
+// Applying a no-op (Add == Drop) or a move whose Add edge already exists
+// (a deletion) is handled per the game's semantics.
+func EvaluateMove(g *graph.Graph, m Move, obj Objective) int64 {
+	removedDrop := g.RemoveEdge(m.V, m.Drop)
+	addedNew := g.AddEdge(m.V, m.Add)
+	cost := Cost(g, m.V, obj)
+	if addedNew {
+		g.RemoveEdge(m.V, m.Add)
+	}
+	if removedDrop {
+		g.AddEdge(m.V, m.Drop)
+	}
+	return cost
+}
+
+// ApplyMove applies m to g: removes V–Drop and inserts V–Add. It returns a
+// function that undoes the move. Invalid moves (Drop not a neighbor) panic.
+func ApplyMove(g *graph.Graph, m Move) (undo func()) {
+	if !g.HasEdge(m.V, m.Drop) {
+		panic("core: ApplyMove drop edge missing")
+	}
+	g.RemoveEdge(m.V, m.Drop)
+	added := g.AddEdge(m.V, m.Add)
+	return func() {
+		if added {
+			g.RemoveEdge(m.V, m.Add)
+		}
+		g.AddEdge(m.V, m.Drop)
+	}
+}
+
+// CheckSum reports whether g is in sum equilibrium: no edge swap strictly
+// decreases the moving agent's total distance. On failure a witness
+// violation is returned. workers <= 0 selects par.DefaultWorkers.
+// Returns ErrDisconnected for disconnected input.
+func CheckSum(g *graph.Graph, workers int) (bool, *Violation, error) {
+	return checkEquilibrium(g, Sum, workers)
+}
+
+// CheckMax reports whether g is in max equilibrium: no edge swap strictly
+// decreases the moving agent's local diameter, and deleting any edge
+// strictly increases the local diameter of the agent. On failure a witness
+// violation is returned. workers <= 0 selects par.DefaultWorkers.
+func CheckMax(g *graph.Graph, workers int) (bool, *Violation, error) {
+	return checkEquilibrium(g, Max, workers)
+}
+
+// Check dispatches to CheckSum or CheckMax.
+func Check(g *graph.Graph, obj Objective, workers int) (bool, *Violation, error) {
+	if obj == Sum {
+		return CheckSum(g, workers)
+	}
+	return CheckMax(g, workers)
+}
+
+// CheckSwapStable reports whether no single swap strictly improves any
+// agent under obj. For Sum this coincides with sum equilibrium; for Max it
+// is the weaker half of max equilibrium that swap dynamics converge to
+// (the deletion-criticality condition is checked separately by
+// IsDeletionCritical).
+func CheckSwapStable(g *graph.Graph, obj Objective, workers int) (bool, *Violation, error) {
+	if obj == Sum {
+		return checkEquilibrium(g, Sum, workers)
+	}
+	return checkEquilibriumOpts(g, Max, workers, false)
+}
+
+func checkEquilibrium(g *graph.Graph, obj Objective, workers int) (bool, *Violation, error) {
+	return checkEquilibriumOpts(g, obj, workers, true)
+}
+
+func checkEquilibriumOpts(g *graph.Graph, obj Objective, workers int, deletionCritical bool) (bool, *Violation, error) {
+	n := g.N()
+	if n <= 1 {
+		return true, nil, nil
+	}
+	if !g.IsConnected() {
+		return false, nil, ErrDisconnected
+	}
+	if workers <= 0 {
+		workers = par.DefaultWorkers
+	}
+	if workers > n {
+		workers = n
+	}
+
+	var stop atomic.Bool
+	var mu sync.Mutex
+	var found *Violation
+	record := func(viol Violation) {
+		mu.Lock()
+		if found == nil {
+			found = &viol
+		}
+		mu.Unlock()
+		stop.Store(true)
+	}
+
+	var next par.Counter
+	par.Workers(workers, func(int) {
+		gw := g.Clone()
+		for v := next.Next(); v < n; v = next.Next() {
+			if stop.Load() {
+				return
+			}
+			checkVertex(gw, v, obj, deletionCritical, &stop, record)
+		}
+	})
+	return found == nil, found, nil
+}
+
+// checkVertex scans all moves of agent v, recording the first violation.
+func checkVertex(g *graph.Graph, v int, obj Objective, deletionCritical bool, stop *atomic.Bool, record func(Violation)) {
+	cur := Cost(g, v, obj)
+	n := g.N()
+	for _, w := range g.Neighbors(v) {
+		if stop.Load() {
+			return
+		}
+		g.RemoveEdge(v, w)
+		ap := g.AllPairs()
+		dv := ap.Row(v)
+
+		if obj == Max && deletionCritical {
+			// Deletion-criticality half of the max-equilibrium condition:
+			// deleting vw must strictly increase v's local diameter.
+			if del := eccOfRow(dv); del <= cur {
+				g.AddEdge(v, w)
+				record(Violation{
+					Kind:    DeletionSafe,
+					Edge:    graph.NewEdge(v, w),
+					Agent:   v,
+					OldCost: cur,
+					NewCost: del,
+				})
+				return
+			}
+		}
+
+		for wp := 0; wp < n; wp++ {
+			if wp == v {
+				continue
+			}
+			var cost int64
+			if obj == Sum {
+				cost = patchedSum(dv, ap.Row(wp))
+			} else {
+				cost = patchedEcc(dv, ap.Row(wp))
+			}
+			if cost < cur {
+				g.AddEdge(v, w)
+				record(Violation{
+					Kind:    SwapImproves,
+					Move:    Move{V: v, Drop: w, Add: wp},
+					Agent:   v,
+					OldCost: cur,
+					NewCost: cost,
+				})
+				return
+			}
+		}
+		g.AddEdge(v, w)
+	}
+}
+
+// LocalDiameterSpread returns max_v ecc(v) − min_v ecc(v). Lemma 2 of the
+// paper proves the spread is at most 1 in any max equilibrium.
+func LocalDiameterSpread(g *graph.Graph) (int, error) {
+	if g.N() == 0 {
+		return 0, ErrDisconnected
+	}
+	lo, hi := -1, -1
+	for v := 0; v < g.N(); v++ {
+		ecc, ok := g.Eccentricity(v)
+		if !ok {
+			return 0, ErrDisconnected
+		}
+		if lo < 0 || ecc < lo {
+			lo = ecc
+		}
+		if ecc > hi {
+			hi = ecc
+		}
+	}
+	return hi - lo, nil
+}

@@ -1,0 +1,463 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func pathGraph(n int) *graph.Graph {
+	g := graph.New(n)
+	for v := 0; v+1 < n; v++ {
+		g.AddEdge(v, v+1)
+	}
+	return g
+}
+
+func cycleGraph(n int) *graph.Graph {
+	g := pathGraph(n)
+	if n >= 3 {
+		g.AddEdge(n-1, 0)
+	}
+	return g
+}
+
+func completeGraph(n int) *graph.Graph {
+	g := graph.New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+func starGraph(n int) *graph.Graph {
+	g := graph.New(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(0, v)
+	}
+	return g
+}
+
+// doubleStar builds the Fig 2 tree: roots 0 and 1 joined by an edge, with
+// `left` leaves on 0 and `right` leaves on 1.
+func doubleStar(left, right int) *graph.Graph {
+	g := graph.New(2 + left + right)
+	g.AddEdge(0, 1)
+	for i := 0; i < left; i++ {
+		g.AddEdge(0, 2+i)
+	}
+	for i := 0; i < right; i++ {
+		g.AddEdge(1, 2+left+i)
+	}
+	return g
+}
+
+func randomConnected(rng *rand.Rand, n int, p float64) *graph.Graph {
+	g := graph.New(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(v, rng.Intn(v))
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if !g.HasEdge(u, v) && rng.Float64() < p {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+func TestSumCostAndMaxCost(t *testing.T) {
+	g := starGraph(5)
+	if c := SumCost(g, 0); c != 4 {
+		t.Errorf("SumCost(center) = %d, want 4", c)
+	}
+	if c := SumCost(g, 1); c != 7 {
+		t.Errorf("SumCost(leaf) = %d, want 7", c)
+	}
+	if c := MaxCost(g, 0); c != 1 {
+		t.Errorf("MaxCost(center) = %d, want 1", c)
+	}
+	if c := MaxCost(g, 1); c != 2 {
+		t.Errorf("MaxCost(leaf) = %d, want 2", c)
+	}
+	d := graph.New(3)
+	d.AddEdge(0, 1)
+	if SumCost(d, 0) != InfCost || MaxCost(d, 2) != InfCost {
+		t.Error("disconnected costs should be InfCost")
+	}
+}
+
+func TestSocialCost(t *testing.T) {
+	g := starGraph(4)
+	// center 3, each of 3 leaves 1+2+2=5 → 18
+	if c := SocialCost(g, Sum); c != 18 {
+		t.Errorf("SocialCost(star4, Sum) = %d, want 18", c)
+	}
+	if c := SocialCost(g, Max); c != 1+3*2 {
+		t.Errorf("SocialCost(star4, Max) = %d, want 7", c)
+	}
+	d := graph.New(2)
+	if SocialCost(d, Sum) != InfCost {
+		t.Error("disconnected social cost should be InfCost")
+	}
+}
+
+func TestObjectiveString(t *testing.T) {
+	if Sum.String() != "sum" || Max.String() != "max" {
+		t.Error("Objective.String wrong")
+	}
+	if Objective(9).String() == "" {
+		t.Error("unknown objective should still format")
+	}
+}
+
+func TestCheckSumStar(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 9, 16} {
+		ok, viol, err := CheckSum(starGraph(n), 1)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !ok {
+			t.Errorf("star n=%d not in sum equilibrium: %v", n, viol)
+		}
+	}
+}
+
+func TestCheckSumCompleteGraph(t *testing.T) {
+	ok, viol, err := CheckSum(completeGraph(6), 0)
+	if err != nil || !ok {
+		t.Errorf("K6 should be a sum equilibrium, got ok=%v viol=%v err=%v", ok, viol, err)
+	}
+}
+
+func TestCheckSumCycle5(t *testing.T) {
+	ok, viol, err := CheckSum(cycleGraph(5), 1)
+	if err != nil || !ok {
+		t.Errorf("C5 should be a sum equilibrium, got ok=%v viol=%v err=%v", ok, viol, err)
+	}
+}
+
+func TestCheckSumCycle6Fails(t *testing.T) {
+	ok, viol, err := CheckSum(cycleGraph(6), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("C6 incorrectly reported as sum equilibrium")
+	}
+	if viol == nil || viol.Kind != SwapImproves {
+		t.Fatalf("C6 violation = %v, want a SwapImproves witness", viol)
+	}
+	// Verify the witness against the slow evaluator.
+	g := cycleGraph(6)
+	before := SumCost(g, viol.Move.V)
+	after := EvaluateMove(g, viol.Move, Sum)
+	if before != viol.OldCost || after != viol.NewCost || after >= before {
+		t.Errorf("witness inconsistent: reported %d→%d, measured %d→%d",
+			viol.OldCost, viol.NewCost, before, after)
+	}
+}
+
+func TestCheckSumPathFails(t *testing.T) {
+	// Theorem 1: the only sum-equilibrium tree is the star, so P4 fails.
+	ok, viol, err := CheckSum(pathGraph(4), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("P4 incorrectly reported as sum equilibrium")
+	}
+	if viol == nil {
+		t.Fatal("no witness for P4")
+	}
+}
+
+func TestCheckSumTrivial(t *testing.T) {
+	for _, n := range []int{0, 1} {
+		g := graph.New(n)
+		ok, _, err := CheckSum(g, 1)
+		if err != nil || !ok {
+			t.Errorf("trivial graph n=%d: ok=%v err=%v", n, ok, err)
+		}
+	}
+	two := pathGraph(2)
+	ok, _, err := CheckSum(two, 1)
+	if err != nil || !ok {
+		t.Errorf("single edge: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestCheckDisconnected(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	if _, _, err := CheckSum(g, 1); err != ErrDisconnected {
+		t.Errorf("CheckSum disconnected err = %v, want ErrDisconnected", err)
+	}
+	if _, _, err := CheckMax(g, 1); err != ErrDisconnected {
+		t.Errorf("CheckMax disconnected err = %v, want ErrDisconnected", err)
+	}
+}
+
+func TestCheckMaxStar(t *testing.T) {
+	ok, viol, err := CheckMax(starGraph(7), 1)
+	if err != nil || !ok {
+		t.Errorf("star should be a max equilibrium, got ok=%v viol=%v err=%v", ok, viol, err)
+	}
+}
+
+func TestCheckMaxCompleteGraph(t *testing.T) {
+	ok, viol, err := CheckMax(completeGraph(5), 2)
+	if err != nil || !ok {
+		t.Errorf("K5 should be a max equilibrium, got ok=%v viol=%v err=%v", ok, viol, err)
+	}
+}
+
+func TestCheckMaxDoubleStar(t *testing.T) {
+	// Fig 2: double stars with >=2 leaves per root are max equilibria of
+	// diameter 3.
+	g := doubleStar(2, 2)
+	if d, _ := g.Diameter(); d != 3 {
+		t.Fatalf("double star diameter = %d, want 3", d)
+	}
+	ok, viol, err := CheckMax(g, 1)
+	if err != nil || !ok {
+		t.Errorf("double star (2,2) should be max equilibrium, got ok=%v viol=%v err=%v",
+			ok, viol, err)
+	}
+	g2 := doubleStar(3, 4)
+	ok, viol, err = CheckMax(g2, 1)
+	if err != nil || !ok {
+		t.Errorf("double star (3,4) should be max equilibrium, got ok=%v viol=%v err=%v",
+			ok, viol, err)
+	}
+}
+
+func TestCheckMaxDegenerateDoubleStarFails(t *testing.T) {
+	// With a single leaf on one root the lone leaf can swap onto the far
+	// root and lower its eccentricity (paper, Fig 2 discussion).
+	g := doubleStar(1, 2)
+	ok, viol, err := CheckMax(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("double star (1,2) incorrectly reported as max equilibrium")
+	}
+	if viol == nil {
+		t.Fatal("no witness")
+	}
+	if viol.Kind == SwapImproves {
+		g := doubleStar(1, 2)
+		before := MaxCost(g, viol.Move.V)
+		after := EvaluateMove(g, viol.Move, Max)
+		if after >= before {
+			t.Errorf("witness swap does not improve: %d→%d", before, after)
+		}
+	}
+}
+
+func TestCheckMaxPath4Fails(t *testing.T) {
+	ok, _, err := CheckMax(pathGraph(4), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("P4 incorrectly reported as max equilibrium")
+	}
+}
+
+func TestCheckMaxCycleDeletionSafeDetected(t *testing.T) {
+	// C5 with a chord: deleting the chord leaves eccentricities unchanged,
+	// so the graph violates the deletion-criticality half of max
+	// equilibrium (or has an improving swap; both are valid rejections).
+	g := cycleGraph(5)
+	g.AddEdge(0, 2)
+	ok, viol, err := CheckMax(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("C5+chord incorrectly reported as max equilibrium")
+	}
+	if viol == nil {
+		t.Fatal("no witness")
+	}
+}
+
+func TestCheckParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 15; trial++ {
+		g := randomConnected(rng, 3+rng.Intn(10), rng.Float64()*0.4)
+		for _, obj := range []Objective{Sum, Max} {
+			seqOK, _, err1 := Check(g, obj, 1)
+			parOK, _, err2 := Check(g, obj, 4)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("errors: %v %v", err1, err2)
+			}
+			if seqOK != parOK {
+				t.Fatalf("trial %d obj=%v: sequential=%v parallel=%v", trial, obj, seqOK, parOK)
+			}
+		}
+	}
+}
+
+func TestPriceSwapsMatchesEvaluateMove(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 12; trial++ {
+		g := randomConnected(rng, 3+rng.Intn(9), rng.Float64()*0.5)
+		ref := g.Clone()
+		for _, obj := range []Objective{Sum, Max} {
+			for v := 0; v < g.N(); v++ {
+				PriceSwaps(g, v, obj, func(m Move, c int64) bool {
+					want := EvaluateMove(g, m, obj)
+					if c != want {
+						t.Fatalf("trial %d obj=%v move %v: priced %d, evaluated %d",
+							trial, obj, m, c, want)
+					}
+					return true
+				})
+			}
+		}
+		if !g.Equal(ref) {
+			t.Fatal("PriceSwaps did not restore the graph")
+		}
+	}
+}
+
+func TestPriceSwapsNoOpPricesCurrentCost(t *testing.T) {
+	g := cycleGraph(7)
+	cur := SumCost(g, 0)
+	seen := false
+	PriceSwaps(g, 0, Sum, func(m Move, c int64) bool {
+		if m.Add == m.Drop {
+			seen = true
+			if c != cur {
+				t.Errorf("no-op move %v priced %d, want current %d", m, c, cur)
+			}
+		}
+		return true
+	})
+	if !seen {
+		t.Error("no-op candidates never offered")
+	}
+}
+
+func TestPriceSwapsEarlyStop(t *testing.T) {
+	g := completeGraph(6)
+	calls := 0
+	PriceSwaps(g, 0, Sum, func(Move, int64) bool {
+		calls++
+		return false
+	})
+	if calls != 1 {
+		t.Errorf("early stop made %d calls, want 1", calls)
+	}
+}
+
+func TestBestSwapFindsImprovement(t *testing.T) {
+	g := cycleGraph(6)
+	// Find an agent with an improving swap; on C6 every agent has one.
+	m, newCost, improves := BestSwap(g, 0, Sum)
+	if !improves {
+		t.Fatal("BestSwap found no improvement on C6")
+	}
+	cur := SumCost(g, 0)
+	if newCost >= cur {
+		t.Errorf("newCost %d not better than %d", newCost, cur)
+	}
+	if got := EvaluateMove(g, m, Sum); got != newCost {
+		t.Errorf("EvaluateMove(%v) = %d, want %d", m, got, newCost)
+	}
+}
+
+func TestBestSwapNoImprovementOnStar(t *testing.T) {
+	g := starGraph(8)
+	for v := 0; v < g.N(); v++ {
+		if _, _, improves := BestSwap(g, v, Sum); improves {
+			t.Errorf("BestSwap claims improvement for %d on star", v)
+		}
+	}
+}
+
+func TestBestSwapDeterministic(t *testing.T) {
+	g := cycleGraph(8)
+	m1, c1, _ := BestSwap(g, 3, Sum)
+	m2, c2, _ := BestSwap(g, 3, Sum)
+	if m1 != m2 || c1 != c2 {
+		t.Errorf("BestSwap nondeterministic: %v/%d vs %v/%d", m1, c1, m2, c2)
+	}
+}
+
+func TestApplyMoveUndo(t *testing.T) {
+	g := cycleGraph(6)
+	ref := g.Clone()
+	undo := ApplyMove(g, Move{V: 0, Drop: 1, Add: 3})
+	if !g.HasEdge(0, 3) || g.HasEdge(0, 1) {
+		t.Error("ApplyMove did not apply")
+	}
+	undo()
+	if !g.Equal(ref) {
+		t.Error("undo did not restore")
+	}
+	// Deletion-style move (Add already a neighbor).
+	undo = ApplyMove(g, Move{V: 0, Drop: 1, Add: 5})
+	if g.HasEdge(0, 1) || !g.HasEdge(0, 5) || g.M() != ref.M()-1 {
+		t.Error("deletion-style move wrong")
+	}
+	undo()
+	if !g.Equal(ref) {
+		t.Error("undo after deletion-style move did not restore")
+	}
+}
+
+func TestApplyMovePanicsOnBadDrop(t *testing.T) {
+	g := cycleGraph(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ApplyMove with missing drop edge did not panic")
+		}
+	}()
+	ApplyMove(g, Move{V: 0, Drop: 2, Add: 3})
+}
+
+func TestLocalDiameterSpread(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want int
+	}{
+		{"path5", pathGraph(5), 2},
+		{"star6", starGraph(6), 1},
+		{"cycle6", cycleGraph(6), 0},
+		{"K4", completeGraph(4), 0},
+	}
+	for _, c := range cases {
+		got, err := LocalDiameterSpread(c.g)
+		if err != nil || got != c.want {
+			t.Errorf("%s: spread = %d, %v, want %d", c.name, got, err, c.want)
+		}
+	}
+	if _, err := LocalDiameterSpread(graph.New(3)); err == nil {
+		t.Error("disconnected spread should error")
+	}
+}
+
+func TestMoveAndViolationString(t *testing.T) {
+	m := Move{V: 1, Drop: 2, Add: 3}
+	if m.String() != "1: 2→3" {
+		t.Errorf("Move.String = %q", m.String())
+	}
+	v := &Violation{Kind: SwapImproves, Move: m, OldCost: 9, NewCost: 7}
+	if v.String() == "" {
+		t.Error("empty Violation.String")
+	}
+	for _, k := range []ViolationKind{SwapImproves, DeletionSafe, InsertionHelps, ViolationKind(9)} {
+		if k.String() == "" {
+			t.Error("empty ViolationKind.String")
+		}
+	}
+}

@@ -1,0 +1,242 @@
+// Package core implements the basic network creation game of Alon, Demaine,
+// Hajiaghayi and Leighton, "Basic Network Creation Games" (SPAA 2010).
+//
+// In the basic game the players are the vertices of a connected undirected
+// graph, and the only move is an edge swap: vertex v replaces one incident
+// edge vw by another incident edge vw'. Swapping onto an already existing
+// edge realizes a pure deletion. Two usage costs are studied:
+//
+//   - sum: the total distance from v to all other vertices, and
+//   - max: the local diameter (eccentricity) of v.
+//
+// A graph is in sum (resp. max) equilibrium when no single swap strictly
+// decreases the moving agent's usage cost — and, in the max version, when
+// additionally deleting any edge strictly increases the local diameter of
+// the agent. Unlike Nash equilibria of the α-parametrized network creation
+// games, these conditions are decidable in polynomial time; this package
+// provides exhaustive checkers returning witness moves, the related
+// structural predicates (deletion-critical, insertion-stable,
+// k-insertion-stable), and move-pricing used by the dynamics engines.
+//
+// Swap pricing relies on the single-edge patch identity: in G' = G − vw,
+// adding edge vw' yields d(v,x) = min(d_{G'}(v,x), 1 + d_{G'}(w',x)), so a
+// single all-pairs computation on G' prices every candidate swap of the
+// edge vw simultaneously.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Objective selects which usage cost the agents minimize.
+type Objective int
+
+const (
+	// Sum is the local-average-distance version: cost(v) = Σ_u d(v,u).
+	Sum Objective = iota
+	// Max is the local-diameter version: cost(v) = max_u d(v,u).
+	Max
+)
+
+// String returns "sum" or "max".
+func (o Objective) String() string {
+	switch o {
+	case Sum:
+		return "sum"
+	case Max:
+		return "max"
+	default:
+		return fmt.Sprintf("Objective(%d)", int(o))
+	}
+}
+
+// InfCost is the usage cost of a disconnected position. Any swap that
+// disconnects the agent from some vertex prices to InfCost and is therefore
+// never improving.
+const InfCost = int64(1) << 60
+
+// ErrDisconnected is returned by checkers that require connected input.
+var ErrDisconnected = errors.New("core: graph must be connected")
+
+// Move is an edge swap performed by agent V: the edge V–Drop is replaced by
+// the edge V–Add. Add == Drop encodes a no-op; Add being an existing
+// neighbor of V encodes a net deletion of V–Drop.
+type Move struct {
+	V    int // the moving agent
+	Drop int // current neighbor losing its edge to V
+	Add  int // new endpoint of V's edge
+}
+
+// String formats the move as "v: drop→add".
+func (m Move) String() string { return fmt.Sprintf("%d: %d→%d", m.V, m.Drop, m.Add) }
+
+// ViolationKind classifies why a graph fails an equilibrium or stability
+// predicate.
+type ViolationKind int
+
+const (
+	// SwapImproves: the recorded Move strictly decreases the agent's cost.
+	SwapImproves ViolationKind = iota
+	// DeletionSafe: deleting the recorded edge does not strictly increase
+	// the endpoint's local diameter (violates the max-equilibrium and
+	// deletion-critical conditions).
+	DeletionSafe
+	// InsertionHelps: inserting the recorded edge strictly decreases the
+	// endpoint's local diameter (violates insertion stability).
+	InsertionHelps
+)
+
+// String names the violation kind.
+func (k ViolationKind) String() string {
+	switch k {
+	case SwapImproves:
+		return "swap-improves"
+	case DeletionSafe:
+		return "deletion-safe"
+	case InsertionHelps:
+		return "insertion-helps"
+	default:
+		return fmt.Sprintf("ViolationKind(%d)", int(k))
+	}
+}
+
+// Violation is a witness that a predicate fails: either an improving swap
+// (SwapImproves, see Move) or an offending edge with the affected agent.
+type Violation struct {
+	Kind    ViolationKind
+	Move    Move       // valid when Kind == SwapImproves
+	Edge    graph.Edge // valid for DeletionSafe / InsertionHelps
+	Agent   int        // the agent whose cost witnesses the violation
+	OldCost int64      // agent's cost before the change
+	NewCost int64      // agent's cost after the change
+}
+
+// String renders the witness with costs.
+func (v *Violation) String() string {
+	switch v.Kind {
+	case SwapImproves:
+		return fmt.Sprintf("swap %v improves cost %d→%d", v.Move, v.OldCost, v.NewCost)
+	case DeletionSafe:
+		return fmt.Sprintf("deleting %v leaves agent %d cost %d→%d (no increase)",
+			v.Edge, v.Agent, v.OldCost, v.NewCost)
+	case InsertionHelps:
+		return fmt.Sprintf("inserting %v improves agent %d cost %d→%d",
+			v.Edge, v.Agent, v.OldCost, v.NewCost)
+	default:
+		return "unknown violation"
+	}
+}
+
+// SumCost returns agent v's usage cost in the sum version: the total
+// distance to all other vertices, or InfCost if some vertex is unreachable.
+func SumCost(g *graph.Graph, v int) int64 {
+	sum, reached := g.SumOfDistances(v)
+	if reached != g.N() {
+		return InfCost
+	}
+	return sum
+}
+
+// MaxCost returns agent v's usage cost in the max version: its local
+// diameter (eccentricity), or InfCost if some vertex is unreachable.
+func MaxCost(g *graph.Graph, v int) int64 {
+	ecc, ok := g.Eccentricity(v)
+	if !ok {
+		return InfCost
+	}
+	return int64(ecc)
+}
+
+// Cost returns agent v's usage cost under the given objective.
+func Cost(g *graph.Graph, v int, obj Objective) int64 {
+	if obj == Sum {
+		return SumCost(g, v)
+	}
+	return MaxCost(g, v)
+}
+
+// SocialCost returns the sum over all agents of their usage cost (the
+// quantity whose ratio to the optimum defines the price of anarchy), or
+// InfCost when g is disconnected.
+func SocialCost(g *graph.Graph, obj Objective) int64 {
+	var total int64
+	for v := 0; v < g.N(); v++ {
+		c := Cost(g, v, obj)
+		if c >= InfCost {
+			return InfCost
+		}
+		total += c
+	}
+	return total
+}
+
+// patchedSum prices Σ_x min(dv[x], 1+dw[x]) where dv are distances from v
+// and dw distances from the new neighbor w', both measured in G' = G − vw;
+// -1 entries mean unreachable. Returns InfCost when the patched graph
+// leaves some vertex unreachable from v.
+func patchedSum(dv, dw []int32) int64 {
+	var sum int64
+	for x := range dv {
+		a, b := dv[x], dw[x]
+		var d int32
+		switch {
+		case a == graph.Unreachable && b == graph.Unreachable:
+			return InfCost
+		case a == graph.Unreachable:
+			d = b + 1
+		case b == graph.Unreachable:
+			d = a
+		case b+1 < a:
+			d = b + 1
+		default:
+			d = a
+		}
+		sum += int64(d)
+	}
+	return sum
+}
+
+// patchedEcc prices max_x min(dv[x], 1+dw[x]) under the same conventions as
+// patchedSum.
+func patchedEcc(dv, dw []int32) int64 {
+	var ecc int64
+	for x := range dv {
+		a, b := dv[x], dw[x]
+		var d int64
+		switch {
+		case a == graph.Unreachable && b == graph.Unreachable:
+			return InfCost
+		case a == graph.Unreachable:
+			d = int64(b) + 1
+		case b == graph.Unreachable:
+			d = int64(a)
+		default:
+			d = int64(a)
+			if alt := int64(b) + 1; alt < d {
+				d = alt
+			}
+		}
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// eccOfRow returns the maximum entry of a BFS row, or InfCost when some
+// vertex is unreachable.
+func eccOfRow(row []int32) int64 {
+	var ecc int64
+	for _, d := range row {
+		if d == graph.Unreachable {
+			return InfCost
+		}
+		if int64(d) > ecc {
+			ecc = int64(d)
+		}
+	}
+	return ecc
+}

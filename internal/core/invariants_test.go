@@ -1,0 +1,180 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+// These tests pin down cross-predicate invariants of the model on random
+// instances — the implications the paper's definitions promise.
+
+func randomConnectedQuick(rng *rand.Rand) *graph.Graph {
+	n := 3 + rng.Intn(10)
+	return randomConnected(rng, n, rng.Float64()*0.4)
+}
+
+func TestQuickBestSwapIsOptimal(t *testing.T) {
+	// BestSwap must equal the exhaustive minimum over EvaluateMove.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomConnectedQuick(rng)
+		for _, obj := range []Objective{Sum, Max} {
+			for v := 0; v < g.N(); v++ {
+				_, got, _ := BestSwap(g, v, obj)
+				best := Cost(g, v, obj)
+				for _, w := range g.Neighbors(v) {
+					for wp := 0; wp < g.N(); wp++ {
+						if wp == v {
+							continue
+						}
+						if c := EvaluateMove(g, Move{V: v, Drop: w, Add: wp}, obj); c < best {
+							best = c
+						}
+					}
+				}
+				if got != best {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMaxEquilibriumImpliesSwapStable(t *testing.T) {
+	// CheckMax is strictly stronger than CheckSwapStable(Max).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomConnectedQuick(rng)
+		eq, _, err := CheckMax(g, 1)
+		if err != nil {
+			return false
+		}
+		stable, _, err := CheckSwapStable(g, Max, 1)
+		if err != nil {
+			return false
+		}
+		return !eq || stable
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickInsertionPlusDeletionImpliesMaxEq(t *testing.T) {
+	// Paper §1: insertion-stable ∧ deletion-critical ⇒ max equilibrium.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomConnectedQuick(rng)
+		ins, _, err1 := IsInsertionStable(g, 1)
+		del, _, err2 := IsDeletionCritical(g, 1)
+		eq, _, err3 := CheckMax(g, 1)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		return !(ins && del) || eq
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickEquilibriumImpliesLemma2(t *testing.T) {
+	// Max equilibria have eccentricity spread <= 1 (Lemma 2), on random
+	// instances that happen to be equilibria — plus the contrapositive:
+	// spread >= 2 implies CheckMax fails.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomConnectedQuick(rng)
+		eq, _, err := CheckMax(g, 1)
+		if err != nil {
+			return false
+		}
+		spread, err := LocalDiameterSpread(g)
+		if err != nil {
+			return false
+		}
+		return !eq || spread <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSumEquilibriumNoImprovingAddForFree(t *testing.T) {
+	// In a sum equilibrium, a swap is never improving — but a pure ADD can
+	// be (that's the α-game's buy move). Sanity: the checker must not
+	// conflate them: C5 is a sum equilibrium although adding a chord
+	// improves the adder.
+	g := cycleGraph(5)
+	ok, _, err := CheckSum(g, 1)
+	if err != nil || !ok {
+		t.Fatal("C5 must be a sum equilibrium")
+	}
+	base := SumCost(g, 0)
+	g.AddEdge(0, 2)
+	after := SumCost(g, 0)
+	if after >= base {
+		t.Error("adding a chord to C5 should improve the adder")
+	}
+}
+
+func TestQuickCheckersRestoreGraph(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomConnectedQuick(rng)
+		ref := g.Clone()
+		CheckSum(g, 2)
+		CheckMax(g, 2)
+		IsInsertionStable(g, 2)
+		IsDeletionCritical(g, 2)
+		IsKInsertionStable(g, 2, 2)
+		Lemma10CheckAll(g, 2)
+		return g.Equal(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickViolationWitnessesVerify(t *testing.T) {
+	// Every violation reported by any checker must be independently
+	// verifiable with the slow evaluator.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomConnectedQuick(rng)
+		for _, obj := range []Objective{Sum, Max} {
+			ok, viol, err := Check(g, obj, 1)
+			if err != nil {
+				return false
+			}
+			if ok || viol == nil {
+				continue
+			}
+			switch viol.Kind {
+			case SwapImproves:
+				if EvaluateMove(g, viol.Move, obj) >= Cost(g, viol.Move.V, obj) {
+					return false
+				}
+			case DeletionSafe:
+				before := MaxCost(g, viol.Agent)
+				g.RemoveEdge(viol.Edge.U, viol.Edge.V)
+				after := MaxCost(g, viol.Agent)
+				g.AddEdge(viol.Edge.U, viol.Edge.V)
+				if after > before {
+					return false // deletion did increase: witness wrong
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/par"
+)
+
+// Lemma10Result is the outcome of the constructive Lemma 10 check at a
+// vertex u: either the graph already has diameter ≤ 2·lg n, or some edge xy
+// with d(u,x) ≤ lg n can be removed at bounded cost to x.
+type Lemma10Result struct {
+	U int
+	// SmallDiameter is true when diameter ≤ 2 lg n (first disjunct).
+	SmallDiameter bool
+	// Edge is the cheapest qualifying edge (valid when !SmallDiameter and
+	// Found).
+	Edge graph.Edge
+	// RemovalCost is the increase in x's distance sum caused by deleting
+	// Edge (InfCost when deletion disconnects).
+	RemovalCost int64
+	// Bound is the lemma's budget 2n(1+lg n).
+	Bound float64
+	// Found is true when some edge within radius lg n exists.
+	Found bool
+	// Holds reports whether the lemma's disjunction is satisfied at u.
+	Holds bool
+}
+
+// Lemma10Check constructively evaluates Lemma 10 at vertex u: it scans all
+// edges xy with d(u,x) ≤ lg n, prices the deletion cost to x, and reports
+// the cheapest. For sum equilibrium graphs the lemma guarantees
+// Holds == true; on arbitrary graphs the check may fail, which the
+// experiments use as a sanity control.
+func Lemma10Check(g *graph.Graph, u int) (Lemma10Result, error) {
+	n := g.N()
+	if n == 0 || !g.IsConnected() {
+		return Lemma10Result{}, ErrDisconnected
+	}
+	lgn := math.Log2(float64(n))
+	res := Lemma10Result{U: u, Bound: 2 * float64(n) * (1 + lgn)}
+
+	if diam, ok := g.Diameter(); ok && float64(diam) <= 2*lgn {
+		res.SmallDiameter = true
+		res.Holds = true
+		return res, nil
+	}
+
+	du := g.BFS(u)
+	dist := make([]int32, n)
+	queue := make([]int, 0, n)
+	best := InfCost
+	var bestEdge graph.Edge
+	for _, e := range g.Edges() {
+		// The lemma's x is the endpoint within radius lg n of u.
+		for _, xy := range [2][2]int{{e.U, e.V}, {e.V, e.U}} {
+			x, y := xy[0], xy[1]
+			if float64(du[x]) > lgn {
+				continue
+			}
+			baseSum, _ := g.SumOfDistances(x)
+			g.RemoveEdge(x, y)
+			reached := g.BFSInto(x, dist, queue)
+			var after int64 = InfCost
+			if reached == n {
+				after = 0
+				for _, d := range dist {
+					after += int64(d)
+				}
+			}
+			g.AddEdge(x, y)
+			cost := InfCost
+			if after < InfCost {
+				cost = after - baseSum
+			}
+			if cost < best {
+				best, bestEdge = cost, graph.NewEdge(x, y)
+				res.Found = true
+			}
+		}
+	}
+	res.Edge, res.RemovalCost = bestEdge, best
+	res.Holds = res.Found && float64(best) <= res.Bound
+	return res, nil
+}
+
+// BallSizes returns, for every vertex u, the cumulative ball sizes
+// B_k(u) = #{v : d(u,v) ≤ k} for k = 0..diameter, from an APSP matrix.
+func BallSizes(m *graph.Matrix) [][]int {
+	n := m.N()
+	diam, _ := m.Diameter()
+	out := make([][]int, n)
+	for u := 0; u < n; u++ {
+		counts := make([]int, diam+1)
+		for _, d := range m.Row(u) {
+			if d >= 0 {
+				counts[d]++
+			}
+		}
+		for k := 1; k <= diam; k++ {
+			counts[k] += counts[k-1]
+		}
+		out[u] = counts
+	}
+	return out
+}
+
+// MinBall returns B_k = min_u B_k(u) for each k, the quantity driving the
+// Theorem 9 ball-growth recursion.
+func MinBall(balls [][]int) []int {
+	if len(balls) == 0 {
+		return nil
+	}
+	diam := len(balls[0]) - 1
+	out := make([]int, diam+1)
+	for k := 0; k <= diam; k++ {
+		out[k] = int(math.MaxInt32)
+		for _, b := range balls {
+			v := b[min(k, len(b)-1)]
+			if v < out[k] {
+				out[k] = v
+			}
+		}
+	}
+	return out
+}
+
+// BallGrowthPoint is one row of the Theorem 9 inequality (1) evaluation:
+// for each k, either B_{4k} > n/2 or B_{4k} ≥ (k / 20 lg n) · B_k.
+type BallGrowthPoint struct {
+	K      int
+	BK     int
+	B4K    int
+	Factor float64 // k / (20 lg n)
+	Holds  bool
+}
+
+// BallGrowth evaluates inequality (1) of Theorem 9 for every k with
+// 4k ≤ diameter. Sum equilibrium graphs must satisfy every row.
+func BallGrowth(m *graph.Matrix) []BallGrowthPoint {
+	n := m.N()
+	if n < 2 {
+		return nil
+	}
+	minBall := MinBall(BallSizes(m))
+	diam := len(minBall) - 1
+	lgn := math.Log2(float64(n))
+	var out []BallGrowthPoint
+	for k := 1; 4*k <= diam; k++ {
+		p := BallGrowthPoint{
+			K:      k,
+			BK:     minBall[k],
+			B4K:    minBall[4*k],
+			Factor: float64(k) / (20 * lgn),
+		}
+		p.Holds = p.B4K > n/2 || float64(p.B4K) >= p.Factor*float64(p.BK)
+		out = append(out, p)
+	}
+	return out
+}
+
+// Lemma10CheckAll runs Lemma10Check from every vertex in parallel and
+// reports whether the lemma holds everywhere, with the first failing vertex.
+func Lemma10CheckAll(g *graph.Graph, workers int) (bool, int, error) {
+	n := g.N()
+	if !g.IsConnected() {
+		return false, -1, ErrDisconnected
+	}
+	if workers <= 0 {
+		workers = par.DefaultWorkers
+	}
+	fails := make([]bool, n)
+	errs := make([]error, n)
+	var next par.Counter
+	par.Workers(workers, func(int) {
+		gw := g.Clone()
+		for u := next.Next(); u < n; u = next.Next() {
+			res, err := Lemma10Check(gw, u)
+			if err != nil {
+				errs[u] = err
+				return
+			}
+			fails[u] = !res.Holds
+		}
+	})
+	for u := 0; u < n; u++ {
+		if errs[u] != nil {
+			return false, u, errs[u]
+		}
+		if fails[u] {
+			return false, u, nil
+		}
+	}
+	return true, -1, nil
+}

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestLemma10SmallDiameterBranch(t *testing.T) {
+	// Star: diameter 2 <= 2 lg n for n >= 3.
+	g := starGraph(8)
+	res, err := Lemma10Check(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.SmallDiameter || !res.Holds {
+		t.Errorf("star: %+v, want small-diameter branch", res)
+	}
+}
+
+func TestLemma10EdgeBranchOnEquilibrium(t *testing.T) {
+	// C5 is a sum equilibrium with diameter 2 < 2 lg 5 ≈ 4.6: small branch.
+	res, err := Lemma10Check(cycleGraph(5), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Errorf("C5: lemma must hold: %+v", res)
+	}
+}
+
+func TestLemma10LongPathEdgeBranch(t *testing.T) {
+	// P40 has diameter 39 > 2 lg 40 ≈ 10.6, so the edge branch is taken.
+	// The path is NOT a sum equilibrium, but near the start vertex the
+	// cheap edge still exists (removing a pendant-side edge disconnects,
+	// but edges near u have bounded cost... in fact every tree edge
+	// disconnects: cost = InfCost, so Lemma 10 FAILS — which is consistent,
+	// because P40 is not an equilibrium).
+	g := pathGraph(40)
+	res, err := Lemma10Check(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SmallDiameter {
+		t.Fatal("P40 diameter should exceed 2 lg n")
+	}
+	if res.Holds {
+		t.Errorf("P40 (non-equilibrium tree): lemma unexpectedly holds: %+v", res)
+	}
+}
+
+func TestLemma10CycleEdgeBranch(t *testing.T) {
+	// C64: diameter 32 > 2 lg 64 = 12. Removing any edge xy increases x's
+	// sum by a bounded amount (the alternate path around the cycle):
+	// the check must find an edge within the budget 2n(1+lg n) ≈ 896.
+	g := cycleGraph(64)
+	res, err := Lemma10Check(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SmallDiameter {
+		t.Fatal("C64 diameter should exceed 2 lg n")
+	}
+	if !res.Found {
+		t.Fatal("no candidate edge found within radius lg n")
+	}
+	// Removal cost of a cycle edge for endpoint x: every former distance
+	// d becomes... sum goes from 2*(1+..+31)+32 = 1024 to 1+2+...+63 = 2016:
+	// increase 992. Hmm — that exceeds 896; but cost is minimized over
+	// candidate edges and all are symmetric: expect 992 > bound, so Holds
+	// may be false. C64 is not a sum equilibrium, so either way is
+	// consistent; just validate the numbers.
+	if res.RemovalCost != 992 {
+		t.Errorf("C64 removal cost = %d, want 992", res.RemovalCost)
+	}
+}
+
+func TestLemma10Disconnected(t *testing.T) {
+	if _, err := Lemma10Check(graph.New(4), 0); err != ErrDisconnected {
+		t.Errorf("err = %v, want ErrDisconnected", err)
+	}
+}
+
+func TestLemma10CheckAllOnEquilibria(t *testing.T) {
+	// Sum equilibria must satisfy Lemma 10 at every vertex.
+	for name, g := range map[string]*graph.Graph{
+		"star": starGraph(10),
+		"C5":   cycleGraph(5),
+		"K7":   completeGraph(7),
+	} {
+		ok, at, err := Lemma10CheckAll(g, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("%s: Lemma 10 fails at vertex %d", name, at)
+		}
+	}
+}
+
+func TestBallSizesPath(t *testing.T) {
+	m := pathGraph(5).AllPairs()
+	balls := BallSizes(m)
+	// From vertex 0: B_0=1, B_1=2, B_2=3, B_3=4, B_4=5.
+	want0 := []int{1, 2, 3, 4, 5}
+	for k, w := range want0 {
+		if balls[0][k] != w {
+			t.Errorf("B_%d(0) = %d, want %d", k, balls[0][k], w)
+		}
+	}
+	// From the middle vertex 2: B_0=1, B_1=3, B_2=5 then saturated.
+	if balls[2][1] != 3 || balls[2][2] != 5 {
+		t.Errorf("middle balls = %v", balls[2])
+	}
+}
+
+func TestMinBall(t *testing.T) {
+	m := pathGraph(5).AllPairs()
+	mb := MinBall(BallSizes(m))
+	want := []int{1, 2, 3, 4, 5}
+	for k, w := range want {
+		if mb[k] != w {
+			t.Errorf("minB_%d = %d, want %d", k, mb[k], w)
+		}
+	}
+	if MinBall(nil) != nil {
+		t.Error("MinBall(nil) should be nil")
+	}
+}
+
+func TestBallGrowthHoldsOnEquilibriumTorus(t *testing.T) {
+	// The torus is a max equilibrium (not necessarily sum), but its
+	// homogeneous ball growth B_k = Θ(k²) easily satisfies inequality (1):
+	// B_4k / B_k ≈ 16 ≥ k/(20 lg n) for the sizes here.
+	m := torusGraph(8).AllPairs()
+	points := BallGrowth(m)
+	if len(points) == 0 {
+		t.Fatal("no ball-growth points for torus k=8 (diameter 8)")
+	}
+	for _, p := range points {
+		if !p.Holds {
+			t.Errorf("inequality (1) fails at k=%d: %+v", p.K, p)
+		}
+	}
+}
+
+// torusGraph builds the diagonal torus inline (avoiding an import cycle
+// with constructions, which imports core in its tests).
+func torusGraph(k int) *graph.Graph {
+	m := 2 * k
+	idx := func(i, j int) int {
+		i = ((i % m) + m) % m
+		j = ((j % m) + m) % m
+		return i*k + (j-(i%2))/2
+	}
+	g := graph.New(2 * k * k)
+	for i := 0; i < m; i++ {
+		for j := i % 2; j < m; j += 2 {
+			for _, di := range [2]int{-1, 1} {
+				for _, dj := range [2]int{-1, 1} {
+					u := idx(i+di, j+dj)
+					if u != idx(i, j) {
+						g.AddEdge(idx(i, j), u)
+					}
+				}
+			}
+		}
+	}
+	return g
+}
+
+func TestBallGrowthPathViolations(t *testing.T) {
+	// A long path has linear ball growth: B_4k ≈ 4·B_k, so the inequality
+	// holds only while k/(20 lg n) <= 4 — at these sizes it always does.
+	// Validate consistency: Holds must equal the recomputed condition.
+	m := pathGraph(60).AllPairs()
+	n := 60
+	for _, p := range BallGrowth(m) {
+		recheck := p.B4K > n/2 || float64(p.B4K) >= p.Factor*float64(p.BK)
+		if p.Holds != recheck {
+			t.Errorf("k=%d: Holds=%v inconsistent", p.K, p.Holds)
+		}
+	}
+}
+
+func TestBallGrowthRandomEquilibria(t *testing.T) {
+	// Equilibria reached by exhaustive improvement (via findAnyImprovement
+	// from the dynamics package would be an import cycle; emulate a tiny
+	// best-response loop here) must satisfy inequality (1).
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 3; trial++ {
+		g := randomConnected(rng, 20, 0.1)
+		for moves := 0; moves < 500; moves++ {
+			improved := false
+			for v := 0; v < g.N() && !improved; v++ {
+				m, _, ok := BestSwap(g, v, Sum)
+				if ok {
+					ApplyMove(g, m)
+					improved = true
+				}
+			}
+			if !improved {
+				break
+			}
+		}
+		if ok, _, _ := CheckSum(g, 1); !ok {
+			continue // budget exhausted; skip
+		}
+		for _, p := range BallGrowth(g.AllPairs()) {
+			if !p.Holds {
+				t.Errorf("trial %d: inequality (1) fails at k=%d on an equilibrium", trial, p.K)
+			}
+		}
+		_ = math.Sqrt // keep math imported if assertions change
+	}
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// This file makes two of the paper's proofs *executable*: given an object
+// the theorem forbids, it constructs the exact improving move the proof
+// exhibits, so the test suite can verify the argument itself (not merely
+// the statement) over exhaustively enumerated instances.
+
+// ErrNotApplicable is returned when a proof witness is requested for an
+// object the corresponding lemma/theorem does not constrain.
+var ErrNotApplicable = errors.New("core: proof witness not applicable")
+
+// Theorem1Witness takes a tree of diameter at least 3 and returns the
+// improving sum-version swap constructed in the proof of Theorem 1.
+//
+// The proof: pick vertices v, w at distance exactly 3 along a path
+// v–a–b–w, and let s_v, s_a, s_b, s_w be the sizes of the four components
+// obtained by deleting the path's edges. Swapping va→vb gains
+// s_b + s_w − s_a; swapping wb→wa gains s_v + s_a − s_b. If neither were
+// positive then s_v + s_w ≤ 0 — absurd — so at least one strictly improves.
+// The returned move is one that does (preferring the v-side on ties).
+func Theorem1Witness(t *graph.Graph) (Move, error) {
+	if !t.IsTree() {
+		return Move{}, fmt.Errorf("%w: input is not a tree", ErrNotApplicable)
+	}
+	v, a, b, w, err := distanceThreePath(t)
+	if err != nil {
+		return Move{}, err
+	}
+	sizes := pathComponentSizes(t, []int{v, a, b, w})
+	sv, sa, sb, sw := sizes[0], sizes[1], sizes[2], sizes[3]
+
+	if sb+sw > sa {
+		return Move{V: v, Drop: a, Add: b}, nil
+	}
+	if sv+sa > sb {
+		return Move{V: w, Drop: b, Add: a}, nil
+	}
+	// Unreachable by the proof's counting argument.
+	return Move{}, fmt.Errorf("core: Theorem 1 argument failed: sizes %v", sizes)
+}
+
+// distanceThreePath finds vertices (v,a,b,w) forming a shortest path of
+// length exactly 3 in a tree of diameter >= 3.
+func distanceThreePath(t *graph.Graph) (v, a, b, w int, err error) {
+	// Double sweep: the second BFS finds a diametral path.
+	d0 := t.BFS(0)
+	far := 0
+	for x, d := range d0 {
+		if d > d0[far] {
+			far = x
+		}
+	}
+	parent, dist := t.BFSTree(far)
+	end := far
+	for x, d := range dist {
+		if d > dist[end] {
+			end = x
+		}
+	}
+	if dist[end] < 3 {
+		return 0, 0, 0, 0, fmt.Errorf("%w: tree diameter %d < 3", ErrNotApplicable, dist[end])
+	}
+	// Walk up from end: end, parent, grandparent, great-grandparent.
+	w = end
+	b = int(parent[w])
+	a = int(parent[b])
+	v = int(parent[a])
+	return v, a, b, w, nil
+}
+
+// pathComponentSizes deletes the consecutive edges of the given path in a
+// tree and returns the component size containing each path vertex.
+func pathComponentSizes(t *graph.Graph, path []int) []int {
+	work := t.Clone()
+	for i := 0; i+1 < len(path); i++ {
+		work.RemoveEdge(path[i], path[i+1])
+	}
+	sizes := make([]int, len(path))
+	dist := make([]int32, work.N())
+	queue := make([]int, 0, work.N())
+	for i, p := range path {
+		sizes[i] = work.BFSInto(p, dist, queue)
+	}
+	return sizes
+}
+
+// Lemma2Witness takes a connected graph whose local diameters differ by at
+// least 2 and returns the improving max-version move from the Lemma 2
+// proof: the vertex w of largest eccentricity swaps its BFS-tree parent
+// edge (toward the vertex v of smallest eccentricity) for a direct edge to
+// v, dropping its eccentricity to at most ecc(v)+1.
+//
+// It returns ErrNotApplicable when the spread is at most 1 (Lemma 2 places
+// no constraint), so on max equilibria it always returns ErrNotApplicable —
+// which is exactly the lemma.
+func Lemma2Witness(g *graph.Graph) (Move, error) {
+	if !g.IsConnected() {
+		return Move{}, ErrDisconnected
+	}
+	n := g.N()
+	bestV, minEcc := -1, 0
+	worstW, maxEcc := -1, -1
+	for x := 0; x < n; x++ {
+		ecc, _ := g.Eccentricity(x)
+		if bestV < 0 || ecc < minEcc {
+			bestV, minEcc = x, ecc
+		}
+		if ecc > maxEcc {
+			worstW, maxEcc = x, ecc
+		}
+	}
+	if maxEcc-minEcc < 2 {
+		return Move{}, fmt.Errorf("%w: eccentricity spread %d <= 1", ErrNotApplicable, maxEcc-minEcc)
+	}
+	parent, _ := g.BFSTree(bestV)
+	p := int(parent[worstW])
+	if p < 0 {
+		return Move{}, fmt.Errorf("core: BFS tree has no parent for %d", worstW)
+	}
+	return Move{V: worstW, Drop: p, Add: bestV}, nil
+}

@@ -1,0 +1,313 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/par"
+)
+
+// IsDeletionCritical reports whether deleting any edge strictly increases
+// the local diameter of *both* endpoints (the paper's deletion-critical
+// property, used in the Section 4 lower-bound constructions). Disconnection
+// counts as an increase. Returns a witness violation on failure.
+func IsDeletionCritical(g *graph.Graph, workers int) (bool, *Violation, error) {
+	if !g.IsConnected() {
+		return false, nil, ErrDisconnected
+	}
+	edges := g.Edges()
+	ecc := eccentricities(g, workers)
+
+	var stop atomic.Bool
+	var mu sync.Mutex
+	var found *Violation
+	var next par.Counter
+	if workers <= 0 {
+		workers = par.DefaultWorkers
+	}
+	par.Workers(workers, func(int) {
+		gw := g.Clone()
+		dist := make([]int32, gw.N())
+		queue := make([]int, 0, gw.N())
+		for i := next.Next(); i < len(edges); i = next.Next() {
+			if stop.Load() {
+				return
+			}
+			e := edges[i]
+			gw.RemoveEdge(e.U, e.V)
+			for _, endpoint := range [2]int{e.U, e.V} {
+				gw.BFSInto(endpoint, dist, queue)
+				after := eccOfRow(dist)
+				if after <= int64(ecc[endpoint]) {
+					mu.Lock()
+					if found == nil {
+						found = &Violation{
+							Kind:    DeletionSafe,
+							Edge:    e,
+							Agent:   endpoint,
+							OldCost: int64(ecc[endpoint]),
+							NewCost: after,
+						}
+					}
+					mu.Unlock()
+					stop.Store(true)
+					break
+				}
+			}
+			gw.AddEdge(e.U, e.V)
+		}
+	})
+	return found == nil, found, nil
+}
+
+// IsInsertionStable reports whether inserting any single absent edge leaves
+// the local diameter of both endpoints unchanged or larger (it can never
+// grow, so "stable" means no strict decrease for either endpoint). Returns
+// a witness violation on failure.
+func IsInsertionStable(g *graph.Graph, workers int) (bool, *Violation, error) {
+	if !g.IsConnected() {
+		return false, nil, ErrDisconnected
+	}
+	n := g.N()
+	if workers <= 0 {
+		workers = par.DefaultWorkers
+	}
+	ap := g.AllPairsParallel(workers)
+
+	var stop atomic.Bool
+	var mu sync.Mutex
+	var found *Violation
+	var next par.Counter
+	par.Workers(workers, func(int) {
+		for u := next.Next(); u < n; u = next.Next() {
+			if stop.Load() {
+				return
+			}
+			du := ap.Row(u)
+			eccU := eccOfRow(du)
+			for v := u + 1; v < n; v++ {
+				if g.HasEdge(u, v) {
+					continue
+				}
+				dv := ap.Row(v)
+				// After inserting uv, ecc(u) becomes max_x min(du[x], 1+dv[x])
+				// and symmetrically for v.
+				if after := patchedEcc(du, dv); after < eccU {
+					record(&mu, &stop, &found, Violation{
+						Kind: InsertionHelps, Edge: graph.NewEdge(u, v),
+						Agent: u, OldCost: eccU, NewCost: after,
+					})
+					return
+				}
+				if after := patchedEcc(dv, du); after < eccOfRow(dv) {
+					record(&mu, &stop, &found, Violation{
+						Kind: InsertionHelps, Edge: graph.NewEdge(u, v),
+						Agent: v, OldCost: eccOfRow(dv), NewCost: after,
+					})
+					return
+				}
+			}
+		}
+	})
+	return found == nil, found, nil
+}
+
+func record(mu *sync.Mutex, stop *atomic.Bool, found **Violation, v Violation) {
+	mu.Lock()
+	if *found == nil {
+		c := v
+		*found = &c
+	}
+	mu.Unlock()
+	stop.Store(true)
+}
+
+// eccentricities computes every vertex's local diameter in parallel.
+// Unreachable pairs yield InfCost-capped values; callers checking
+// connectivity first will only see finite entries.
+func eccentricities(g *graph.Graph, workers int) []int64 {
+	n := g.N()
+	out := make([]int64, n)
+	if workers <= 0 {
+		workers = par.DefaultWorkers
+	}
+	var next par.Counter
+	par.Workers(workers, func(int) {
+		dist := make([]int32, n)
+		queue := make([]int, 0, n)
+		for v := next.Next(); v < n; v = next.Next() {
+			g.BFSInto(v, dist, queue)
+			out[v] = eccOfRow(dist)
+		}
+	})
+	return out
+}
+
+// KInsertionResult reports a k-insertion-stability counterexample: agent V
+// strictly lowered its local diameter by inserting the edges V–Adds[i].
+type KInsertionResult struct {
+	V       int
+	Adds    []int
+	OldCost int64
+	NewCost int64
+}
+
+// IsKInsertionStable reports whether no agent can strictly decrease its
+// local diameter by inserting up to k incident edges simultaneously (the
+// Section 4 generalization trading diameter against agent power). The scan
+// enumerates all C(candidates, k) subsets per vertex and is exponential in
+// k; it is intended for the small k (k ≤ d−1) of the paper's constructions.
+func IsKInsertionStable(g *graph.Graph, k, workers int) (bool, *KInsertionResult, error) {
+	if !g.IsConnected() {
+		return false, nil, ErrDisconnected
+	}
+	if k < 1 {
+		return true, nil, nil
+	}
+	n := g.N()
+	if workers <= 0 {
+		workers = par.DefaultWorkers
+	}
+	ap := g.AllPairsParallel(workers)
+
+	var stop atomic.Bool
+	var mu sync.Mutex
+	var found *KInsertionResult
+	var next par.Counter
+	par.Workers(workers, func(int) {
+		patched := make([]int32, n)
+		for v := next.Next(); v < n; v = next.Next() {
+			if stop.Load() {
+				return
+			}
+			dv := ap.Row(v)
+			eccV := eccOfRow(dv)
+			cands := g.NonNeighbors(v)
+			if len(cands) == 0 {
+				continue
+			}
+			kk := k
+			if kk > len(cands) {
+				kk = len(cands)
+			}
+			// Enumerate subsets of size exactly 1..kk. A subset of size
+			// j < kk that helps is found when enumerating size j.
+			for size := 1; size <= kk && !stop.Load(); size++ {
+				subset := make([]int, size)
+				if res := enumSubsets(cands, subset, 0, 0, func(sel []int) *KInsertionResult {
+					copy(patched, dv)
+					for _, a := range sel {
+						da := ap.Row(a)
+						for x := 0; x < n; x++ {
+							if alt := da[x] + 1; alt < patched[x] {
+								patched[x] = alt
+							}
+						}
+					}
+					after := eccOfRow(patched)
+					if after < eccV {
+						adds := append([]int(nil), sel...)
+						return &KInsertionResult{V: v, Adds: adds, OldCost: eccV, NewCost: after}
+					}
+					return nil
+				}); res != nil {
+					mu.Lock()
+					if found == nil {
+						found = res
+					}
+					mu.Unlock()
+					stop.Store(true)
+				}
+			}
+		}
+	})
+	return found == nil, found, nil
+}
+
+// enumSubsets enumerates size-len(subset) subsets of cands starting at
+// index from, invoking fn for each completed subset; the first non-nil
+// result aborts the enumeration.
+func enumSubsets(cands, subset []int, from, depth int, fn func([]int) *KInsertionResult) *KInsertionResult {
+	if depth == len(subset) {
+		return fn(subset)
+	}
+	for i := from; i <= len(cands)-(len(subset)-depth); i++ {
+		subset[depth] = cands[i]
+		if res := enumSubsets(cands, subset, i+1, depth+1, fn); res != nil {
+			return res
+		}
+	}
+	return nil
+}
+
+// SampleInsertionStable draws trials random vertex pairs from a distance
+// oracle and checks the insertion-stability inequality on each, scanning
+// all n vertices per pair. It supports closed-form metrics (e.g. the
+// Theorem 12 torus) at sizes where an explicit APSP is infeasible.
+// It returns the first violating pair, if any.
+func SampleInsertionStable(m graph.Metric, trials int, rng *rand.Rand) (bool, *graph.Edge) {
+	n := m.N()
+	if n < 2 {
+		return true, nil
+	}
+	for t := 0; t < trials; t++ {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		if u == v {
+			continue
+		}
+		// ecc(u) before and after inserting uv.
+		var before, after int64
+		for x := 0; x < n; x++ {
+			du := int64(m.Dist(u, x))
+			dv := int64(m.Dist(v, x))
+			if du > before {
+				before = du
+			}
+			d := du
+			if alt := dv + 1; alt < d {
+				d = alt
+			}
+			if d > after {
+				after = d
+			}
+		}
+		if after < before {
+			e := graph.NewEdge(u, v)
+			return false, &e
+		}
+	}
+	return true, nil
+}
+
+// SampleDeletionCritical removes `trials` random edges (with replacement)
+// and verifies both endpoints' local diameters strictly increase,
+// restoring the graph after each probe.
+func SampleDeletionCritical(g *graph.Graph, trials int, rng *rand.Rand) (bool, *graph.Edge) {
+	edges := g.Edges()
+	if len(edges) == 0 {
+		return true, nil
+	}
+	dist := make([]int32, g.N())
+	queue := make([]int, 0, g.N())
+	for t := 0; t < trials; t++ {
+		e := edges[rng.Intn(len(edges))]
+		g.BFSInto(e.U, dist, queue)
+		eccU := eccOfRow(dist)
+		g.BFSInto(e.V, dist, queue)
+		eccV := eccOfRow(dist)
+		g.RemoveEdge(e.U, e.V)
+		g.BFSInto(e.U, dist, queue)
+		afterU := eccOfRow(dist)
+		g.BFSInto(e.V, dist, queue)
+		afterV := eccOfRow(dist)
+		g.AddEdge(e.U, e.V)
+		if afterU <= eccU || afterV <= eccV {
+			ee := e
+			return false, &ee
+		}
+	}
+	return true, nil
+}

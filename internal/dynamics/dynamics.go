@@ -1,0 +1,237 @@
+// Package dynamics runs swap dynamics for the basic network creation game:
+// agents repeatedly perform improving edge swaps until no agent can improve
+// (a swap equilibrium) or a move budget is exhausted. Three scheduling
+// policies are provided — deterministic round-robin best response,
+// deterministic first improvement, and seeded random improving moves — all
+// of which terminate in a certified equilibrium when they converge,
+// because convergence is declared only after a full exhaustive pass finds
+// no improving swap.
+//
+// Swap dynamics need not converge in general (the game is not a potential
+// game), so Run enforces MaxMoves and reports Converged=false when the
+// budget is exhausted; in practice the experiments converge quickly.
+package dynamics
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Policy selects the move scheduling rule.
+type Policy int
+
+const (
+	// BestResponse sweeps vertices round-robin; each vertex plays its
+	// cost-minimizing improving swap, if any.
+	BestResponse Policy = iota
+	// FirstImprovement sweeps vertices round-robin; each vertex plays the
+	// first improving swap found in deterministic scan order.
+	FirstImprovement
+	// RandomImproving samples random candidate swaps; a certification
+	// sweep declares equilibrium once random probing stops finding moves.
+	RandomImproving
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case BestResponse:
+		return "best-response"
+	case FirstImprovement:
+		return "first-improvement"
+	case RandomImproving:
+		return "random-improving"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Options configures a dynamics run. The zero value is a usable sum-version
+// best-response run with default budgets.
+type Options struct {
+	Objective core.Objective
+	Policy    Policy
+	// MaxMoves caps the number of applied moves (default 10_000).
+	MaxMoves int
+	// Seed drives RandomImproving sampling (ignored by the deterministic
+	// policies).
+	Seed int64
+	// PatienceFactor scales how many consecutive failed random samples
+	// trigger a certification sweep (default 20, multiplied by m).
+	PatienceFactor int
+	// Trace records every applied move when true.
+	Trace bool
+}
+
+// TraceEntry records one applied move and the mover's cost change,
+// together with the social cost after the move — individual improvements
+// do not imply social improvement (the game has no potential function),
+// and the trace makes that observable.
+type TraceEntry struct {
+	Move       core.Move
+	OldCost    int64
+	NewCost    int64
+	SocialCost int64 // social cost under the run's objective, post-move
+	MoveRank   int   // 1-based index in the run
+}
+
+// Result reports the outcome of a dynamics run. The input graph is mutated
+// in place and is the equilibrium graph when Converged is true.
+type Result struct {
+	Converged bool
+	Moves     int
+	Sweeps    int // full certification / improvement sweeps performed
+	Trace     []TraceEntry
+}
+
+// ErrTooSmall is returned for graphs with fewer than 2 vertices.
+var ErrTooSmall = errors.New("dynamics: graph needs at least 2 vertices")
+
+// Run executes swap dynamics on g (mutating it) until equilibrium or the
+// move budget is exhausted.
+func Run(g *graph.Graph, opt Options) (*Result, error) {
+	if g.N() < 2 {
+		return nil, ErrTooSmall
+	}
+	if !g.IsConnected() {
+		return nil, core.ErrDisconnected
+	}
+	if opt.MaxMoves <= 0 {
+		opt.MaxMoves = 10000
+	}
+	if opt.PatienceFactor <= 0 {
+		opt.PatienceFactor = 20
+	}
+	res := &Result{}
+	switch opt.Policy {
+	case BestResponse, FirstImprovement:
+		runSweeping(g, opt, res)
+	case RandomImproving:
+		runRandom(g, opt, res)
+	default:
+		return nil, fmt.Errorf("dynamics: unknown policy %v", opt.Policy)
+	}
+	return res, nil
+}
+
+// applyAndRecord applies m and appends a trace entry when enabled.
+func applyAndRecord(g *graph.Graph, m core.Move, oldCost, newCost int64, opt Options, res *Result) {
+	core.ApplyMove(g, m)
+	res.Moves++
+	if opt.Trace {
+		res.Trace = append(res.Trace, TraceEntry{
+			Move: m, OldCost: oldCost, NewCost: newCost,
+			SocialCost: core.SocialCost(g, opt.Objective),
+			MoveRank:   res.Moves,
+		})
+	}
+}
+
+func runSweeping(g *graph.Graph, opt Options, res *Result) {
+	n := g.N()
+	for res.Moves < opt.MaxMoves {
+		res.Sweeps++
+		movedThisSweep := false
+		for v := 0; v < n && res.Moves < opt.MaxMoves; v++ {
+			if opt.Policy == BestResponse {
+				m, newCost, improves := core.BestSwap(g, v, opt.Objective)
+				if improves {
+					old := core.Cost(g, v, opt.Objective)
+					applyAndRecord(g, m, old, newCost, opt, res)
+					movedThisSweep = true
+				}
+				continue
+			}
+			// FirstImprovement: apply the first improving swap in scan order.
+			cur := core.Cost(g, v, opt.Objective)
+			var chosen *core.Move
+			var chosenCost int64
+			core.PriceSwaps(g, v, opt.Objective, func(m core.Move, c int64) bool {
+				if c < cur {
+					mm := m
+					chosen, chosenCost = &mm, c
+					return false
+				}
+				return true
+			})
+			if chosen != nil {
+				applyAndRecord(g, *chosen, cur, chosenCost, opt, res)
+				movedThisSweep = true
+			}
+		}
+		if !movedThisSweep {
+			res.Converged = true
+			return
+		}
+	}
+}
+
+func runRandom(g *graph.Graph, opt Options, res *Result) {
+	rng := rand.New(rand.NewSource(opt.Seed))
+	n := g.N()
+	patience := opt.PatienceFactor * g.M()
+	if patience < 50 {
+		patience = 50
+	}
+	failStreak := 0
+	for res.Moves < opt.MaxMoves {
+		if failStreak >= patience {
+			// Certification sweep: exhaustively search for any improving
+			// swap; none ⇒ certified equilibrium.
+			res.Sweeps++
+			m, old, newCost, found := findAnyImprovement(g, opt.Objective)
+			if !found {
+				res.Converged = true
+				return
+			}
+			applyAndRecord(g, m, old, newCost, opt, res)
+			failStreak = 0
+			continue
+		}
+		v := rng.Intn(n)
+		if g.Degree(v) == 0 {
+			failStreak++
+			continue
+		}
+		nbs := g.Neighbors(v)
+		w := nbs[rng.Intn(len(nbs))]
+		wp := rng.Intn(n)
+		if wp == v || wp == w {
+			failStreak++
+			continue
+		}
+		cur := core.Cost(g, v, opt.Objective)
+		m := core.Move{V: v, Drop: w, Add: wp}
+		if c := core.EvaluateMove(g, m, opt.Objective); c < cur {
+			applyAndRecord(g, m, cur, c, opt, res)
+			failStreak = 0
+		} else {
+			failStreak++
+		}
+	}
+}
+
+// findAnyImprovement scans all vertices for an improving swap.
+func findAnyImprovement(g *graph.Graph, obj core.Objective) (core.Move, int64, int64, bool) {
+	for v := 0; v < g.N(); v++ {
+		cur := core.Cost(g, v, obj)
+		var chosen *core.Move
+		var chosenCost int64
+		core.PriceSwaps(g, v, obj, func(m core.Move, c int64) bool {
+			if c < cur {
+				mm := m
+				chosen, chosenCost = &mm, c
+				return false
+			}
+			return true
+		})
+		if chosen != nil {
+			return *chosen, cur, chosenCost, true
+		}
+	}
+	return core.Move{}, 0, 0, false
+}

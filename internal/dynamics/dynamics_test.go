@@ -1,0 +1,222 @@
+package dynamics
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/constructions"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/treegen"
+)
+
+func TestRunRejectsBadInput(t *testing.T) {
+	if _, err := Run(graph.New(1), Options{}); err != ErrTooSmall {
+		t.Errorf("tiny graph err = %v, want ErrTooSmall", err)
+	}
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	if _, err := Run(g, Options{}); err != core.ErrDisconnected {
+		t.Errorf("disconnected err = %v, want ErrDisconnected", err)
+	}
+	if _, err := Run(constructions.Cycle(5), Options{Policy: Policy(42)}); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestRunOnEquilibriumIsNoOp(t *testing.T) {
+	for _, pol := range []Policy{BestResponse, FirstImprovement, RandomImproving} {
+		g := constructions.Star(8)
+		ref := g.Clone()
+		res, err := Run(g, Options{Objective: core.Sum, Policy: pol, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged || res.Moves != 0 {
+			t.Errorf("%v on star: converged=%v moves=%d, want true, 0", pol, res.Converged, res.Moves)
+		}
+		if !g.Equal(ref) {
+			t.Errorf("%v mutated an equilibrium graph", pol)
+		}
+	}
+}
+
+func TestSumDynamicsOnTreesReachesStar(t *testing.T) {
+	// Theorem 1 corollary: sum swap dynamics on trees can only stop at the
+	// star (diameter <= 2). Trees stay trees under swaps that keep the
+	// graph connected... actually swaps preserve edge count and improving
+	// swaps preserve connectivity, so the equilibrium is a tree and thus a
+	// star.
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 12; trial++ {
+		n := 5 + rng.Intn(20)
+		g := treegen.RandomTree(n, rng)
+		res, err := Run(g, Options{Objective: core.Sum, Policy: BestResponse})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("trial %d: did not converge", trial)
+		}
+		if !g.IsTree() {
+			t.Fatalf("trial %d: equilibrium is not a tree (m=%d)", trial, g.M())
+		}
+		if diam, _ := g.Diameter(); diam > 2 {
+			t.Errorf("trial %d: equilibrium tree diameter %d > 2 (not a star)", trial, diam)
+		}
+		ok, viol, err := core.CheckSum(g, 1)
+		if err != nil || !ok {
+			t.Errorf("trial %d: final graph not certified equilibrium: %v %v", trial, viol, err)
+		}
+	}
+}
+
+func TestAllPoliciesReachSumEquilibrium(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 6; trial++ {
+		n := 8 + rng.Intn(12)
+		base := treegen.RandomTree(n, rng)
+		// add a few chords
+		for extra := 0; extra < 4; extra++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				base.AddEdge(u, v)
+			}
+		}
+		for _, pol := range []Policy{BestResponse, FirstImprovement, RandomImproving} {
+			g := base.Clone()
+			res, err := Run(g, Options{Objective: core.Sum, Policy: pol, Seed: int64(trial)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Converged {
+				t.Fatalf("trial %d %v: did not converge", trial, pol)
+			}
+			if g.M() != base.M() {
+				t.Fatalf("trial %d %v: edge count changed %d→%d", trial, pol, base.M(), g.M())
+			}
+			ok, viol, err := core.CheckSum(g, 1)
+			if err != nil || !ok {
+				t.Errorf("trial %d %v: final not an equilibrium: %v %v", trial, pol, viol, err)
+			}
+		}
+	}
+}
+
+func TestMaxDynamicsReachesSwapStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 6; trial++ {
+		n := 6 + rng.Intn(10)
+		g := treegen.RandomTree(n, rng)
+		res, err := Run(g, Options{Objective: core.Max, Policy: BestResponse})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("trial %d: did not converge", trial)
+		}
+		ok, viol, err := core.CheckSwapStable(g, core.Max, 1)
+		if err != nil || !ok {
+			t.Errorf("trial %d: final not swap-stable: %v %v", trial, viol, err)
+		}
+		// Lemma 2 applies to full max equilibria; trees reached here are
+		// also deletion-critical (tree edges disconnect), so check it.
+		if g.IsTree() {
+			okEq, violEq, err := core.CheckMax(g, 1)
+			if err != nil || !okEq {
+				t.Errorf("trial %d: tree equilibrium fails CheckMax: %v %v", trial, violEq, err)
+			}
+			if diam, _ := g.Diameter(); diam > 3 {
+				t.Errorf("trial %d: max-equilibrium tree has diameter %d > 3", trial, diam)
+			}
+		}
+	}
+}
+
+func TestTraceRecordsImprovingMoves(t *testing.T) {
+	g := constructions.Path(8)
+	res, err := Run(g, Options{Objective: core.Sum, Policy: BestResponse, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) != res.Moves || res.Moves == 0 {
+		t.Fatalf("trace length %d, moves %d", len(res.Trace), res.Moves)
+	}
+	for i, e := range res.Trace {
+		if e.NewCost >= e.OldCost {
+			t.Errorf("trace %d: move %v not improving (%d→%d)", i, e.Move, e.OldCost, e.NewCost)
+		}
+		if e.MoveRank != i+1 {
+			t.Errorf("trace %d: rank %d", i, e.MoveRank)
+		}
+		if e.SocialCost <= 0 || e.SocialCost >= core.InfCost {
+			t.Errorf("trace %d: social cost %d out of range", i, e.SocialCost)
+		}
+	}
+	// The final trace entry's social cost must match the final graph.
+	last := res.Trace[len(res.Trace)-1]
+	if got := core.SocialCost(g, core.Sum); got != last.SocialCost {
+		t.Errorf("final social cost %d, trace says %d", got, last.SocialCost)
+	}
+}
+
+func TestMaxMovesBudget(t *testing.T) {
+	g := constructions.Path(30)
+	res, err := Run(g, Options{Objective: core.Sum, Policy: BestResponse, MaxMoves: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged || res.Moves != 3 {
+		t.Errorf("budget run: converged=%v moves=%d, want false, 3", res.Converged, res.Moves)
+	}
+}
+
+func TestDeterminismOfSweepingPolicies(t *testing.T) {
+	for _, pol := range []Policy{BestResponse, FirstImprovement} {
+		a := constructions.Path(12)
+		b := constructions.Path(12)
+		ra, err1 := Run(a, Options{Objective: core.Sum, Policy: pol})
+		rb, err2 := Run(b, Options{Objective: core.Sum, Policy: pol})
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if ra.Moves != rb.Moves || !a.Equal(b) {
+			t.Errorf("%v nondeterministic: %d vs %d moves", pol, ra.Moves, rb.Moves)
+		}
+	}
+}
+
+func TestRandomImprovingSeedReproducible(t *testing.T) {
+	a := constructions.Path(12)
+	b := constructions.Path(12)
+	ra, _ := Run(a, Options{Objective: core.Sum, Policy: RandomImproving, Seed: 99})
+	rb, _ := Run(b, Options{Objective: core.Sum, Policy: RandomImproving, Seed: 99})
+	if ra.Moves != rb.Moves || !a.Equal(b) {
+		t.Error("same seed produced different runs")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	for _, p := range []Policy{BestResponse, FirstImprovement, RandomImproving, Policy(9)} {
+		if p.String() == "" {
+			t.Error("empty Policy.String")
+		}
+	}
+}
+
+func TestC6ConvergesToEquilibrium(t *testing.T) {
+	// C6 is not a sum equilibrium; dynamics must make at least one move and
+	// stop at a certified equilibrium.
+	g := constructions.Cycle(6)
+	res, err := Run(g, Options{Objective: core.Sum, Policy: FirstImprovement})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Moves == 0 {
+		t.Fatalf("C6 run: converged=%v moves=%d", res.Converged, res.Moves)
+	}
+	ok, _, _ := core.CheckSum(g, 1)
+	if !ok {
+		t.Error("C6 dynamics output not a sum equilibrium")
+	}
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/constructions"
+	"repro/internal/core"
+	"repro/internal/games"
+	"repro/internal/graph"
+	"repro/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "E10",
+		Artifact: "Section 1 transfer principle + price of anarchy",
+		Title:    "α-independence of swaps and PoA across the α spectrum",
+		Run:      runE10,
+	})
+}
+
+func runE10(cfg Config) ([]*stats.Table, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"star(16)", constructions.Star(16)},
+		{"repaired diam-3 eq (4 branches)", constructions.DiameterThreeSumEquilibrium(4)},
+		{"torus k=3", constructions.NewTorus(3).Graph()},
+		{"C5", constructions.Cycle(5)},
+		{"K8", constructions.Complete(8)},
+	}
+	if cfg.Quick {
+		cases = cases[:3]
+	}
+
+	// Part 1: swap pricing is α-independent on every instance.
+	indep := stats.NewTable(
+		"Transfer principle: max |Δcost(α=0.1) − Δcost(α=10⁶)| over sampled swaps",
+		"graph", "samples", "max discrepancy")
+	for _, c := range cases {
+		o := games.MinOwnership(c.g)
+		maxDisc := 0.0
+		samples := 0
+		for t := 0; t < 200 && samples < 60; t++ {
+			v := rng.Intn(c.g.N())
+			if c.g.Degree(v) == 0 {
+				continue
+			}
+			nbs := c.g.Neighbors(v)
+			w := nbs[rng.Intn(len(nbs))]
+			wp := rng.Intn(c.g.N())
+			if wp == v || c.g.HasEdge(v, wp) {
+				continue // genuine swaps only
+			}
+			dA, dB := games.SwapDelta(c.g, o, core.Move{V: v, Drop: w, Add: wp}, 0.1, 1e6)
+			if d := math.Abs(dA - dB); d > maxDisc {
+				maxDisc = d
+			}
+			samples++
+		}
+		indep.Add(c.name, samples, maxDisc)
+	}
+
+	// Part 2: the α-interval on which each swap equilibrium is a greedy
+	// equilibrium of the α-game.
+	interval := stats.NewTable(
+		"Greedy-stability α-interval for swap equilibria (lo = max buy gain, hi = min delete loss)",
+		"graph", "swap-stable (all α)", "α lower", "α upper")
+	for _, c := range cases {
+		lo, hi, ok, err := games.StableAlphaInterval(c.g, games.MinOwnership(c.g), core.Sum, cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		loS, hiS := "-", "-"
+		if ok {
+			loS = stats.FormatFloat(float64(lo))
+			hiS = "∞"
+			if hi < core.InfCost {
+				hiS = stats.FormatFloat(float64(hi))
+			}
+		}
+		stable, _, err := core.CheckSwapStable(c.g, core.Sum, cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		interval.Add(c.name, boolMark(stable), loS, hiS)
+	}
+
+	// Part 3: price of anarchy across α, related to diameter ([7]: PoA is
+	// Θ(diameter) up to constants).
+	poa := stats.NewTable(
+		"Price of anarchy proxy C(G,α)/min(star, clique) across α",
+		"graph", "diameter", "α=0.5", "α=2", "α=n", "α=n²")
+	for _, c := range cases {
+		n := float64(c.g.N())
+		diam, _ := c.g.Diameter()
+		poa.Add(c.name, diam,
+			games.PriceOfAnarchyProxy(c.g, 0.5),
+			games.PriceOfAnarchyProxy(c.g, 2),
+			games.PriceOfAnarchyProxy(c.g, n),
+			games.PriceOfAnarchyProxy(c.g, n*n))
+	}
+	return []*stats.Table{indep, interval, poa}, nil
+}

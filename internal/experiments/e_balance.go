@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"repro/internal/constructions"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "E7",
+		Artifact: "Lemmas 2–3",
+		Title:    "Local-diameter balance in max equilibria (spread ≤ 1)",
+		Run:      runE7,
+	})
+}
+
+func runE7(cfg Config) ([]*stats.Table, error) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"star(9)", constructions.Star(9)},
+		{"double star(2,2)", constructions.DoubleStar(2, 2)},
+		{"double star(3,4)", constructions.DoubleStar(3, 4)},
+		{"K6", constructions.Complete(6)},
+		{"torus k=3", constructions.NewTorus(3).Graph()},
+		{"torus k=4", constructions.NewTorus(4).Graph()},
+		{"C5", constructions.Cycle(5)},
+		// Non-equilibria for contrast: the lemma does not constrain them.
+		{"path(9)", constructions.Path(9)},
+		{"broom(4,3)", constructions.Broom(4, 3)},
+	}
+	tab := stats.NewTable(
+		"Lemma 2: in max equilibria the local diameters differ by ≤ 1",
+		"graph", "max equilibrium?", "ecc spread", "lemma 2 satisfied?")
+	for _, c := range cases {
+		eq, _, err := core.CheckMax(c.g, cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		spread, err := core.LocalDiameterSpread(c.g)
+		if err != nil {
+			return nil, err
+		}
+		holds := !eq || spread <= 1
+		tab.Add(c.name, boolMark(eq), spread, boolMark(holds))
+	}
+
+	// Lemma 3: a cut vertex of a max equilibrium has at most one component
+	// reaching distance > 1. Verify on the max-equilibrium instances.
+	cut := stats.NewTable(
+		"Lemma 3: components at distance > 1 across cut vertices of max equilibria",
+		"graph", "cut vertices", "max far components (want ≤ 1)")
+	for _, c := range cases {
+		eq, _, err := core.CheckMax(c.g, cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		if !eq {
+			continue
+		}
+		cuts := c.g.CutVertices()
+		worst := 0
+		for _, v := range cuts {
+			far := farComponents(c.g, v)
+			if far > worst {
+				worst = far
+			}
+		}
+		cut.Add(c.name, len(cuts), worst)
+	}
+	return []*stats.Table{tab, cut}, nil
+}
+
+// farComponents counts connected components of G−v containing a vertex at
+// distance > 1 from v (in G).
+func farComponents(g *graph.Graph, v int) int {
+	h := graph.New(g.N()) // copy without v's edges; v becomes isolated
+	for _, e := range g.Edges() {
+		if e.U != v && e.V != v {
+			h.AddEdge(e.U, e.V)
+		}
+	}
+	count := 0
+	for _, comp := range h.ConnectedComponents() {
+		if len(comp) == 1 && comp[0] == v {
+			continue
+		}
+		far := false
+		for _, u := range comp {
+			if !g.HasEdge(v, u) && u != v {
+				far = true
+				break
+			}
+		}
+		if far {
+			count++
+		}
+	}
+	return count
+}

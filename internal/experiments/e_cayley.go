@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cayley"
+	"repro/internal/graph"
+	"repro/internal/stats"
+	"repro/internal/uniformity"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "E9",
+		Artifact: "Theorem 15 + Conjecture 14",
+		Title:    "Distance uniformity of Abelian Cayley graphs and the lg n/lg(1/ε) bound",
+		Run:      runE9,
+	})
+}
+
+// cayleyCase builds one named Cayley graph.
+type cayleyCase struct {
+	name string
+	mods []int
+	gens [][]int
+}
+
+func cayleyCases(quick bool) []cayleyCase {
+	n := 64
+	if quick {
+		n = 32
+	}
+	complete := func(n int) cayleyCase {
+		var gens [][]int
+		for s := 1; s < n; s++ {
+			gens = append(gens, []int{s})
+		}
+		return cayleyCase{fmt.Sprintf("K%d = Cay(Z_%d, all)", n, n), []int{n}, gens}
+	}
+	cases := []cayleyCase{
+		complete(n),
+		{fmt.Sprintf("C%d = Cay(Z_%d, ±1)", n, n), []int{n}, [][]int{{1}, {n - 1}}},
+		{fmt.Sprintf("circulant(Z_%d, ±1, ±5)", n), []int{n}, [][]int{{1}, {n - 1}, {5}, {n - 5}}},
+		{"hypercube Q6 = Cay(Z_2^6, units)", []int{2, 2, 2, 2, 2, 2},
+			[][]int{{1, 0, 0, 0, 0, 0}, {0, 1, 0, 0, 0, 0}, {0, 0, 1, 0, 0, 0},
+				{0, 0, 0, 1, 0, 0}, {0, 0, 0, 0, 1, 0}, {0, 0, 0, 0, 0, 1}}},
+		{"torus component = Cay(Z_12², diag)", []int{12, 12},
+			[][]int{{1, 1}, {11, 11}, {1, 11}, {11, 1}}},
+	}
+	if quick {
+		cases = cases[:3]
+	}
+	return cases
+}
+
+func runE9(cfg Config) ([]*stats.Table, error) {
+	tab := stats.NewTable(
+		"Theorem 15: ε-distance-uniformity vs diameter for Abelian Cayley graphs",
+		"graph", "n", "diameter", "best r", "ε", "bound 2r+2 (thm 15)", "ε<1/4 ⇒ bound holds?")
+	growth := stats.NewTable(
+		"Sumset growth |iS| and the Plünnecke consequence |qS| ≤ |pS|^{q/p}",
+		"graph", "|1S|..|6S|", "violations")
+
+	for _, c := range cayleyCases(cfg.Quick) {
+		grp, err := cayley.NewGroup(c.mods...)
+		if err != nil {
+			return nil, err
+		}
+		cg, err := grp.CayleyGraph(c.gens)
+		if err != nil {
+			return nil, err
+		}
+		comp := componentOfZero(cg)
+		m := comp.AllPairsParallel(cfg.Workers)
+		prof, err := uniformity.Analyze(m)
+		if err != nil {
+			return nil, err
+		}
+		diam, _ := m.Diameter()
+		bound := cayley.Theorem15Bound(comp.N(), prof.Epsilon)
+		holds := "n/a (ε ≥ 1/4)"
+		if prof.Epsilon < 0.25 {
+			holds = boolMark(float64(diam) <= bound)
+		}
+		tab.Add(c.name, comp.N(), diam, prof.R, prof.Epsilon, bound, holds)
+
+		sizes, err := grp.SumsetSizes(c.gens, 6)
+		if err != nil {
+			return nil, err
+		}
+		growth.Add(c.name, fmt.Sprint(sizes[1:]), len(cayley.PlunneckeViolations(sizes)))
+	}
+	return []*stats.Table{tab, growth}, nil
+}
+
+// componentOfZero extracts the connected component of vertex 0 as a
+// re-labeled graph (Cayley graphs of non-generating sets split into cosets;
+// e.g. the diagonal torus lives inside Z_{2k}²).
+func componentOfZero(g *graph.Graph) *graph.Graph {
+	comps := g.ConnectedComponents()
+	var comp []int
+	for _, c := range comps {
+		if len(c) > 0 && c[0] == 0 {
+			comp = c
+			break
+		}
+	}
+	idx := make(map[int]int, len(comp))
+	for i, v := range comp {
+		idx[v] = i
+	}
+	out := graph.New(len(comp))
+	for _, v := range comp {
+		for _, u := range g.Neighbors(v) {
+			if iu, ok := idx[u]; ok && idx[v] < iu {
+				out.AddEdge(idx[v], iu)
+			}
+		}
+	}
+	return out
+}

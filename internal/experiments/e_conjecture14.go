@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/cayley"
+	"repro/internal/graph"
+	"repro/internal/stats"
+	"repro/internal/uniformity"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "E16",
+		Artifact: "Conjecture 14 (evidence)",
+		Title:    "Searching for high-diameter distance-almost-uniform graphs",
+		Run:      runE16,
+	})
+}
+
+// runE16 gathers evidence for Conjecture 14 (distance-almost-uniform graphs
+// have diameter O(lg n)): sample random graphs from families that tend to
+// concentrate distances — Erdős–Rényi around average degrees 6 and 10, and
+// random circulants — measure the best almost-uniformity ε, and record the
+// diameter of every instance achieving ε < 1/4. The conjecture predicts no
+// such instance has diameter ω(lg n); the table reports the worst
+// diameter/lg n ratio observed (expected: a small constant, and indeed the
+// paper notes even *constructing* superconstant-diameter examples seems
+// hard).
+func runE16(cfg Config) ([]*stats.Table, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sizes := []int{64, 128, 256}
+	trials := 4
+	if cfg.Quick {
+		sizes = []int{48, 96}
+		trials = 2
+	}
+
+	tab := stats.NewTable(
+		"Random families: almost-uniformity ε and diameter (Conjecture 14: ε<1/4 ⇒ diam = O(lg n))",
+		"family", "n", "instances", "min ε found", "worst diam @ ε<1/4", "lg n", "worst diam/lg n")
+
+	worstRatio := 0.0
+	qualifying := 0
+	addFamily := func(name string, n int, gen func() *graph.Graph) {
+		minEps := math.Inf(1)
+		worstDiam := 0
+		for t := 0; t < trials; t++ {
+			g := gen()
+			if !g.IsConnected() {
+				continue
+			}
+			m := g.AllPairsParallel(cfg.Workers)
+			prof, err := uniformity.Analyze(m)
+			if err != nil {
+				continue
+			}
+			if prof.AlmostEpsilon < minEps {
+				minEps = prof.AlmostEpsilon
+			}
+			if prof.AlmostEpsilon < 0.25 {
+				qualifying++
+				if prof.Diameter > worstDiam {
+					worstDiam = prof.Diameter
+				}
+			}
+		}
+		lg := math.Log2(float64(n))
+		ratio := float64(worstDiam) / lg
+		if ratio > worstRatio {
+			worstRatio = ratio
+		}
+		diamCell := "-"
+		if worstDiam > 0 {
+			diamCell = fmt.Sprint(worstDiam)
+		}
+		tab.Add(name, n, trials, minEps, diamCell, lg, ratio)
+	}
+
+	for _, n := range sizes {
+		for _, avgDeg := range []int{6, 10} {
+			n, avgDeg := n, avgDeg
+			addFamily(fmt.Sprintf("G(n, %d/n)", avgDeg), n, func() *graph.Graph {
+				g := graph.New(n)
+				p := float64(avgDeg) / float64(n)
+				for u := 0; u < n; u++ {
+					for v := u + 1; v < n; v++ {
+						if rng.Float64() < p {
+							g.AddEdge(u, v)
+						}
+					}
+				}
+				return g
+			})
+		}
+		n := n
+		addFamily("random circulant (8 jumps)", n, func() *graph.Graph {
+			grp, err := cayley.NewGroup(n)
+			if err != nil {
+				return graph.New(1)
+			}
+			var gens [][]int
+			for len(gens) < 8 {
+				j := 1 + rng.Intn(n-1)
+				gens = append(gens, []int{j}, []int{n - j})
+			}
+			cg, err := grp.CayleyGraph(grp.SymmetricClosure(gens))
+			if err != nil {
+				return graph.New(1)
+			}
+			return cg
+		})
+	}
+
+	summary := stats.NewTable(
+		"Conjecture 14 evidence summary",
+		"qualifying instances (ε < 1/4)", "worst diameter/lg n", "consistent with O(lg n)?")
+	summary.Add(qualifying, worstRatio, boolMark(worstRatio < 4))
+	return []*stats.Table{tab, summary}, nil
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/dynamics"
+	"repro/internal/games"
+	"repro/internal/graph"
+	"repro/internal/stats"
+	"repro/internal/treegen"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "E4",
+		Artifact: "Theorem 9 + Corollary 11",
+		Title:    "Diameter of sum equilibria reached by dynamics vs the 2^O(√lg n) bound",
+		Run:      runE4,
+	})
+}
+
+// randomConnectedGraph produces a random tree plus `extra` random chords.
+func randomConnectedGraph(rng *rand.Rand, n, extra int) *graph.Graph {
+	g := treegen.RandomTree(n, rng)
+	for i := 0; i < extra; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+func runE4(cfg Config) ([]*stats.Table, error) {
+	sizes := []int{16, 32, 64, 96}
+	trials := 3
+	if cfg.Quick {
+		sizes = []int{12, 24}
+		trials = 2
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	diamTab := stats.NewTable(
+		"Sum equilibria from dynamics: measured diameter vs bounds",
+		"n", "init", "trials", "equilibrium diameter (max)", "2 lg n", "2^√lg n")
+	cor11 := stats.NewTable(
+		"Corollary 11 check on reached equilibria: best single-edge gain ≤ 5·n·lg n",
+		"n", "init", "max buy gain", "5 n lg n", "holds?")
+
+	for _, n := range sizes {
+		for _, init := range []string{"tree", "tree+chords"} {
+			maxDiam := 0
+			var maxGain int64
+			for tr := 0; tr < trials; tr++ {
+				var g *graph.Graph
+				if init == "tree" {
+					g = treegen.RandomTree(n, rng)
+				} else {
+					g = randomConnectedGraph(rng, n, n/4)
+				}
+				res, err := dynamics.Run(g, dynamics.Options{
+					Objective: core.Sum, Policy: dynamics.FirstImprovement,
+					MaxMoves: 20000,
+				})
+				if err != nil {
+					return nil, err
+				}
+				if !res.Converged {
+					continue
+				}
+				if d, ok := g.Diameter(); ok && d > maxDiam {
+					maxDiam = d
+				}
+				if gain, _, _ := games.MaxBuyGain(g); gain > maxGain {
+					maxGain = gain
+				}
+			}
+			lg := math.Log2(float64(n))
+			diamTab.Add(n, init, trials, maxDiam, 2*lg, math.Pow(2, math.Sqrt(lg)))
+			bound := 5 * float64(n) * lg
+			cor11.Add(n, init, maxGain, bound, boolMark(float64(maxGain) <= bound))
+		}
+	}
+	return []*stats.Table{diamTab, cor11}, nil
+}

@@ -1,0 +1,218 @@
+package experiments
+
+import (
+	"fmt"
+
+	"math/rand"
+
+	"repro/internal/constructions"
+	"repro/internal/core"
+	"repro/internal/dynamics"
+	"repro/internal/games"
+	"repro/internal/graph"
+	"repro/internal/iso"
+	"repro/internal/nash"
+	"repro/internal/stats"
+	"repro/internal/treegen"
+	"repro/internal/uniformity"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "E11",
+		Artifact: "Lemma 10 + Theorem 9 inequality (1)",
+		Title:    "Constructive proof machinery: cheap removable edges and ball growth",
+		Run:      runE11,
+	})
+	register(Experiment{
+		ID:       "E12",
+		Artifact: "Section 1 motivation (Fabrikant et al. [9])",
+		Title:    "Greedy α-game dynamics across the α grid: structure varies, swap core persists",
+		Run:      runE12,
+	})
+	register(Experiment{
+		ID:       "E13",
+		Artifact: "Conjecture 14 remark",
+		Title:    "Pairwise vs per-vertex distance uniformity: the star-of-paths separation",
+		Run:      runE13,
+	})
+	register(Experiment{
+		ID:       "E14",
+		Artifact: "Theorems 1 & 4 (isomorphism classes)",
+		Title:    "Equilibrium trees up to isomorphism: one sum family, two max families",
+		Run:      runE14,
+	})
+}
+
+func runE11(cfg Config) ([]*stats.Table, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	eqN := 40
+	if cfg.Quick {
+		eqN = 20
+	}
+	eq := treegen.RandomTree(eqN, rng)
+	if _, err := dynamics.Run(eq, dynamics.Options{Objective: core.Sum, Policy: dynamics.FirstImprovement}); err != nil {
+		return nil, err
+	}
+
+	lemma := stats.NewTable(
+		"Lemma 10 at every vertex: small diameter or a cheap removable edge nearby",
+		"graph", "sum equilibrium?", "lemma 10 holds everywhere?", "note")
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"sum equilibrium (dynamics)", eq},
+		{"star(32)", constructions.Star(32)},
+		{"C5", constructions.Cycle(5)},
+		{"K10", constructions.Complete(10)},
+		{"path(40) [control]", constructions.Path(40)},
+		{"C64 [control]", constructions.Cycle(64)},
+	}
+	if cfg.Quick {
+		cases = cases[:4]
+	}
+	for _, c := range cases {
+		isEq, _, err := core.CheckSum(c.g, cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		holds, at, err := core.Lemma10CheckAll(c.g, cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		note := "consistent"
+		if isEq && !holds {
+			note = fmt.Sprintf("PAPER VIOLATION at vertex %d", at)
+		} else if !isEq && !holds {
+			note = "fails, but not an equilibrium (allowed)"
+		}
+		lemma.Add(c.name, boolMark(isEq), boolMark(holds), note)
+	}
+
+	balls := stats.NewTable(
+		"Theorem 9 inequality (1): B_4k > n/2 or B_4k ≥ (k/20 lg n)·B_k",
+		"graph", "k", "min B_k", "min B_4k", "factor k/(20 lg n)", "holds?")
+	growthCases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"torus k=8", constructions.NewTorus(8).Graph()},
+		{"grid 10x10", constructions.Grid(10, 10)},
+		{"C64", constructions.Cycle(64)},
+	}
+	if cfg.Quick {
+		growthCases = growthCases[:2]
+	}
+	for _, c := range growthCases {
+		m := c.g.AllPairsParallel(cfg.Workers)
+		for _, p := range core.BallGrowth(m) {
+			balls.Add(c.name, p.K, p.BK, p.B4K, p.Factor, boolMark(p.Holds))
+		}
+	}
+	return []*stats.Table{lemma, balls}, nil
+}
+
+func runE12(cfg Config) ([]*stats.Table, error) {
+	n := 16
+	alphas := []float64{0.5, 1, 2, 4, 8, 32, 256}
+	if cfg.Quick {
+		n = 10
+		alphas = []float64{0.5, 2, 32}
+	}
+	tab := stats.NewTable(
+		fmt.Sprintf("Greedy α-game best-response dynamics from one random tree (n=%d)", n),
+		"α", "converged", "moves", "final m", "final diameter", "social cost",
+		"PoA proxy", "owner-swap-stable")
+	for _, alpha := range alphas {
+		rng := rand.New(rand.NewSource(cfg.Seed)) // same start for every α
+		g := treegen.RandomTree(n, rng)
+		st, err := nash.NewState(g, games.MinOwnership(g), alpha)
+		if err != nil {
+			return nil, err
+		}
+		res, err := nash.Run(st, nash.Options{})
+		if err != nil {
+			return nil, err
+		}
+		diam, _ := st.G.Diameter()
+		ownerStable, _ := st.OwnerSwapStable()
+		tab.Add(alpha, boolMark(res.Converged), res.Moves, st.G.M(), diam,
+			st.SocialCost(), games.PriceOfAnarchyProxy(st.G, alpha),
+			boolMark(ownerStable))
+	}
+	return []*stats.Table{tab}, nil
+}
+
+func runE13(cfg Config) ([]*stats.Table, error) {
+	spokes, pathLen, blob := 8, 6, 12
+	if cfg.Quick {
+		spokes, pathLen, blob = 6, 4, 8
+	}
+	tab := stats.NewTable(
+		"Star-of-paths: pairwise concentration vs per-vertex uniformity",
+		"graph", "n", "diameter",
+		"pair fraction @r±1", "per-vertex almost-ε", "separation")
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{fmt.Sprintf("star-of-paths(%d,%d,%d)", spokes, pathLen, blob),
+			constructions.StarOfPaths(spokes, pathLen, blob)},
+		{"torus k=6", constructions.NewTorus(6).Graph()},
+		{"hypercube Q7", constructions.Hypercube(7)},
+	}
+	if cfg.Quick {
+		cases = cases[:2]
+	}
+	for _, c := range cases {
+		m := c.g.AllPairsParallel(cfg.Workers)
+		pairs, err := uniformity.AnalyzePairs(m)
+		if err != nil {
+			return nil, err
+		}
+		prof, err := uniformity.Analyze(m)
+		if err != nil {
+			return nil, err
+		}
+		diam, _ := m.Diameter()
+		// The separation: pairwise mass is high while per-vertex mass
+		// (1 − almost-ε) is low for the star-of-paths.
+		sep := pairs.AlmostFraction - (1 - prof.AlmostEpsilon)
+		tab.Add(c.name, c.g.N(), diam, pairs.AlmostFraction,
+			prof.AlmostEpsilon, sep)
+	}
+	return []*stats.Table{tab}, nil
+}
+
+func runE14(cfg Config) ([]*stats.Table, error) {
+	maxN := 7
+	if cfg.Quick {
+		maxN = 6
+	}
+	tab := stats.NewTable(
+		"Equilibrium trees up to isomorphism (Theorem 1: {star}; Theorem 4: {star, double stars})",
+		"n", "sum-eq classes", "max-eq classes", "expected max classes")
+	for n := 4; n <= maxN; n++ {
+		var sumEqs, maxEqs []*graph.Graph
+		treegen.AllTrees(n, func(t *graph.Graph) bool {
+			if ok, _, _ := core.CheckSum(t, 1); ok {
+				sumEqs = append(sumEqs, t.Clone())
+			}
+			if ok, _, _ := core.CheckMax(t, 1); ok {
+				maxEqs = append(maxEqs, t.Clone())
+			}
+			return true
+		})
+		// Expected max classes: the star plus one class per unordered pair
+		// (l, r) with l, r >= 2, l+r = n-2.
+		expected := 1
+		for l := 2; 2*l <= n-2; l++ {
+			if n-2-l >= 2 {
+				expected++
+			}
+		}
+		tab.Add(n, iso.CountClasses(sumEqs), iso.CountClasses(maxEqs), expected)
+	}
+	return []*stats.Table{tab}, nil
+}

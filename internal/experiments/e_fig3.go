@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/constructions"
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "E3",
+		Artifact: "Theorem 5 / Figure 3",
+		Title:    "Diameter-3 sum equilibria exist (with a repaired witness)",
+		Run:      runE3,
+	})
+}
+
+// runE3 verifies the paper's Figure 3 construction and the repaired
+// four-branch witness. The headline reproduction finding: the literal
+// Figure 3 graph satisfies every structural claim (diameter 3, girth 4,
+// the stated local diameters) but admits an improving swap for agent d_1,
+// so it is not a sum equilibrium; the generalized construction with four
+// or more branches is one, restoring Theorem 5's statement.
+func runE3(cfg Config) ([]*stats.Table, error) {
+	t := stats.NewTable(
+		"Theorem 5 witnesses",
+		"graph", "n", "m", "diameter", "girth", "sum equilibrium?", "witness / note")
+
+	addRow := func(name string, g interface {
+		N() int
+		M() int
+	}, diam, girth int, ok bool, note string) {
+		t.Add(name, g.N(), g.M(), diam, girth, boolMark(ok), note)
+	}
+
+	fig3 := constructions.Fig3()
+	d3, _ := fig3.Diameter()
+	g3, _ := fig3.Girth()
+	ok, viol, err := core.CheckSum(fig3, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	note := "as paper"
+	if !ok && viol != nil {
+		labels := constructions.Fig3Labels()
+		note = fmt.Sprintf("improving swap: %s drops %s for %s (%d→%d)",
+			labels[viol.Move.V], labels[viol.Move.Drop], labels[viol.Move.Add],
+			viol.OldCost, viol.NewCost)
+	}
+	addRow("Fig3 (paper, 3 branches)", fig3, d3, g3, ok, note)
+
+	groups := []int{4, 5, 6}
+	if cfg.Quick {
+		groups = []int{4}
+	}
+	for _, gr := range groups {
+		g := constructions.DiameterThreeSumEquilibrium(gr)
+		diam, _ := g.Diameter()
+		girth, _ := g.Girth()
+		ok, viol, err := core.CheckSum(g, cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		note := "repaired witness (all-crossed matchings)"
+		if !ok {
+			note = fmt.Sprintf("UNEXPECTED violation: %v", viol)
+		}
+		addRow(fmt.Sprintf("repaired (%d branches)", gr), g, diam, girth, ok, note)
+	}
+
+	// Local diameters of Fig3 match the paper exactly (Lemma 6 applies to
+	// the c vertices).
+	ecc := stats.NewTable(
+		"Figure 3 local diameters (paper: a,b,d → 3; c → 2)",
+		"vertex class", "count", "local diameter")
+	classCount := map[string]int{}
+	classEcc := map[string]int{}
+	labels := constructions.Fig3Labels()
+	for v := 0; v < fig3.N(); v++ {
+		class := labels[v][:1]
+		e, _ := fig3.Eccentricity(v)
+		classCount[class]++
+		classEcc[class] = e
+	}
+	for _, class := range []string{"a", "b", "c", "d"} {
+		ecc.Add(class, classCount[class], classEcc[class])
+	}
+	return []*stats.Table{t, ecc}, nil
+}

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"repro/internal/constructions"
+	"repro/internal/core"
+	"repro/internal/dynamics"
+	"repro/internal/graph"
+	"repro/internal/stats"
+	"repro/internal/treegen"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "E1",
+		Artifact: "Theorem 1 / Figure 1",
+		Title:    "Sum-equilibrium trees are exactly the stars (diameter 2)",
+		Run:      runE1,
+	})
+	register(Experiment{
+		ID:       "E2",
+		Artifact: "Theorem 4 / Figure 2",
+		Title:    "Max-equilibrium trees have diameter at most 3 (stars and double stars)",
+		Run:      runE2,
+	})
+}
+
+// isStar reports whether t is a star (every tree on <= 3 vertices counts).
+func isStar(t *graph.Graph) bool {
+	if t.N() <= 3 {
+		return true
+	}
+	return t.MaxDegree() == t.N()-1
+}
+
+func runE1(cfg Config) ([]*stats.Table, error) {
+	maxN := 7
+	if cfg.Quick {
+		maxN = 6
+	}
+	enum := stats.NewTable(
+		"Exhaustive check over all labeled trees (Prüfer enumeration)",
+		"n", "trees", "sum-equilibria", "all stars?", "max eq diameter")
+	for n := 3; n <= maxN; n++ {
+		var eq, maxDiam int
+		allStars := true
+		treegen.AllTrees(n, func(t *graph.Graph) bool {
+			ok, _, err := core.CheckSum(t, 1)
+			if err != nil {
+				return false
+			}
+			if ok {
+				eq++
+				if !isStar(t) {
+					allStars = false
+				}
+				if d, _ := t.Diameter(); d > maxDiam {
+					maxDiam = d
+				}
+			}
+			return true
+		})
+		enum.Add(n, treegen.Count(n), eq, boolMark(allStars), maxDiam)
+	}
+
+	dyn := stats.NewTable(
+		"Sum swap dynamics from uniform random trees (best response)",
+		"n", "trials", "converged", "reached star", "moves (mean)")
+	sizes := []int{8, 16, 32, 64}
+	trials := 5
+	if cfg.Quick {
+		sizes = []int{8, 16}
+		trials = 3
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for _, n := range sizes {
+		converged, stars, totalMoves := 0, 0, 0
+		for tr := 0; tr < trials; tr++ {
+			g := treegen.RandomTree(n, rng)
+			res, err := dynamics.Run(g, dynamics.Options{
+				Objective: core.Sum, Policy: dynamics.BestResponse,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if res.Converged {
+				converged++
+				if d, _ := g.Diameter(); d <= 2 {
+					stars++
+				}
+			}
+			totalMoves += res.Moves
+		}
+		dyn.Add(n, trials, converged, stars, float64(totalMoves)/float64(trials))
+	}
+	return []*stats.Table{enum, dyn}, nil
+}
+
+func runE2(cfg Config) ([]*stats.Table, error) {
+	maxN := 7
+	if cfg.Quick {
+		maxN = 6
+	}
+	enum := stats.NewTable(
+		"Exhaustive check over all labeled trees",
+		"n", "trees", "max-equilibria", "max diameter", "diam-3 count (double stars)")
+	for n := 3; n <= maxN; n++ {
+		var eq, maxDiam, diam3 int
+		treegen.AllTrees(n, func(t *graph.Graph) bool {
+			ok, _, err := core.CheckMax(t, 1)
+			if err != nil {
+				return false
+			}
+			if ok {
+				eq++
+				d, _ := t.Diameter()
+				if d > maxDiam {
+					maxDiam = d
+				}
+				if d == 3 {
+					diam3++
+				}
+			}
+			return true
+		})
+		enum.Add(n, treegen.Count(n), eq, maxDiam, diam3)
+	}
+
+	family := stats.NewTable(
+		"Double-star family (Figure 2): at least two leaves per root required",
+		"left leaves", "right leaves", "diameter", "max equilibrium?")
+	for _, lr := range [][2]int{{1, 1}, {1, 2}, {2, 2}, {2, 3}, {3, 3}, {4, 4}} {
+		g := constructions.DoubleStar(lr[0], lr[1])
+		d, _ := g.Diameter()
+		ok, _, err := core.CheckMax(g, cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		family.Add(lr[0], lr[1], d, boolMark(ok))
+	}
+	return []*stats.Table{enum, family}, nil
+}

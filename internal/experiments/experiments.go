@@ -1,0 +1,97 @@
+// Package experiments regenerates every figure and theorem-level claim of
+// the paper as an executable experiment producing plain-text tables. Each
+// experiment is registered with the paper artifact it reproduces; the
+// harness is driven by cmd/bncg, by the root-level benchmarks (one per
+// experiment), and by EXPERIMENTS.md.
+//
+// Experiments accept a Config whose Quick flag selects reduced instance
+// sizes (used by benchmarks and CI) versus the full sizes recorded in
+// EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Config controls experiment scale and determinism.
+type Config struct {
+	// Workers bounds parallelism (<= 0 means all cores).
+	Workers int
+	// Quick selects reduced sizes for benchmarks/CI.
+	Quick bool
+	// Seed drives every randomized component.
+	Seed int64
+}
+
+// Experiment reproduces one paper artifact.
+type Experiment struct {
+	ID       string // stable identifier, e.g. "E5"
+	Artifact string // the paper artifact, e.g. "Theorem 12 / Figure 4"
+	Title    string
+	Run      func(cfg Config) ([]*stats.Table, error)
+}
+
+var registry []Experiment
+
+func register(e Experiment) {
+	registry = append(registry, e)
+}
+
+// All returns the registered experiments sorted by ID.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID looks up one experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// RunAll executes every experiment and renders its tables to w.
+func RunAll(w io.Writer, cfg Config) error {
+	for _, e := range All() {
+		if err := RunOne(w, e, cfg); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+	}
+	return nil
+}
+
+// RunOne executes a single experiment and renders its tables to w.
+func RunOne(w io.Writer, e Experiment, cfg Config) error {
+	if _, err := fmt.Fprintf(w, "\n### %s — %s (%s)\n\n", e.ID, e.Title, e.Artifact); err != nil {
+		return err
+	}
+	tables, err := e.Run(cfg)
+	if err != nil {
+		return err
+	}
+	for _, t := range tables {
+		if err := t.Render(w); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// boolMark renders booleans compactly in tables.
+func boolMark(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}

@@ -1,0 +1,245 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func quickCfg() Config {
+	return Config{Workers: 0, Quick: true, Seed: 1}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 16 {
+		t.Fatalf("registry has %d experiments, want 16", len(all))
+	}
+	want := []string{"E1", "E10", "E11", "E12", "E13", "E14", "E15", "E16",
+		"E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
+	for i, e := range all {
+		if e.ID != want[i] {
+			t.Errorf("registry[%d] = %s, want %s", i, e.ID, want[i])
+		}
+		if e.Artifact == "" || e.Title == "" || e.Run == nil {
+			t.Errorf("%s: incomplete registration", e.ID)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("E5"); !ok {
+		t.Error("E5 not found")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Error("phantom experiment found")
+	}
+}
+
+// TestEveryExperimentRunsQuick executes each experiment in quick mode and
+// sanity-checks the output tables. This is the harness's own integration
+// test; the scientific assertions live in the per-package tests and in the
+// assertions below.
+func TestEveryExperimentRunsQuick(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			tables, err := e.Run(quickCfg())
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tables) == 0 {
+				t.Fatalf("%s produced no tables", e.ID)
+			}
+			for _, tab := range tables {
+				if len(tab.Rows) == 0 {
+					t.Errorf("%s: table %q has no rows", e.ID, tab.Title)
+				}
+				out := tab.String()
+				if !strings.Contains(out, "--") {
+					t.Errorf("%s: table %q did not render", e.ID, tab.Title)
+				}
+			}
+		})
+	}
+}
+
+func TestE1AllEquilibriaAreStars(t *testing.T) {
+	e, _ := ByID("E1")
+	tables, err := e.Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tables[0].Rows {
+		if row[3] != "yes" {
+			t.Errorf("n=%s: sum-equilibrium trees are not all stars", row[0])
+		}
+	}
+	// Dynamics table: all trials converge to a star.
+	for _, row := range tables[1].Rows {
+		if row[2] != row[1] || row[3] != row[1] {
+			t.Errorf("dynamics row %v: not all trials converged to stars", row)
+		}
+	}
+}
+
+func TestE2MaxDiameterAtMost3(t *testing.T) {
+	e, _ := ByID("E2")
+	tables, err := e.Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tables[0].Rows {
+		if row[3] > "3" {
+			t.Errorf("n=%s: max-equilibrium tree diameter %s > 3", row[0], row[3])
+		}
+	}
+	// Family table: (1,1) and (1,2) rejected, others accepted.
+	for _, row := range tables[1].Rows {
+		wantEq := !(row[0] == "1")
+		if (row[3] == "yes") != wantEq {
+			t.Errorf("double star (%s,%s): equilibrium=%s unexpected", row[0], row[1], row[3])
+		}
+	}
+}
+
+func TestE3PaperGraphFailsRepairedHolds(t *testing.T) {
+	e, _ := ByID("E3")
+	tables, err := e.Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	if rows[0][5] != "no" {
+		t.Error("paper Fig3 unexpectedly verified as sum equilibrium")
+	}
+	for _, row := range rows[1:] {
+		if row[5] != "yes" {
+			t.Errorf("repaired witness %s not an equilibrium", row[0])
+		}
+	}
+}
+
+func TestE5TorusPredicatesHold(t *testing.T) {
+	e, _ := ByID("E5")
+	tables, err := e.Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tables[0].Rows {
+		if row[4] != "yes" || row[5] != "yes" {
+			t.Errorf("torus k=%s: stability predicates failed: %v", row[0], row)
+		}
+		if row[7] == "exhaustive" && row[6] != "yes" {
+			t.Errorf("torus k=%s: not a max equilibrium", row[0])
+		}
+	}
+}
+
+func TestE7SpreadBound(t *testing.T) {
+	e, _ := ByID("E7")
+	tables, err := e.Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tables[0].Rows {
+		if row[3] != "yes" {
+			t.Errorf("Lemma 2 violated on %s: %v", row[0], row)
+		}
+	}
+	for _, row := range tables[1].Rows {
+		if row[2] != "0" && row[2] != "1" {
+			t.Errorf("Lemma 3 violated on %s: %v far components", row[0], row[2])
+		}
+	}
+}
+
+func TestE10AlphaIndependence(t *testing.T) {
+	e, _ := ByID("E10")
+	tables, err := e.Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tables[0].Rows {
+		if row[2] != "0" {
+			t.Errorf("swap delta depends on α for %s: discrepancy %s", row[0], row[2])
+		}
+	}
+}
+
+func TestE11NoPaperViolations(t *testing.T) {
+	e, _ := ByID("E11")
+	tables, err := e.Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tables[0].Rows {
+		if row[1] == "yes" && row[2] != "yes" {
+			t.Errorf("Lemma 10 fails on an equilibrium: %v", row)
+		}
+	}
+	for _, row := range tables[1].Rows {
+		if row[5] != "yes" {
+			t.Errorf("ball-growth inequality fails: %v", row)
+		}
+	}
+}
+
+func TestE12GreedyEquilibriaOwnerSwapStable(t *testing.T) {
+	e, _ := ByID("E12")
+	tables, err := e.Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tables[0].Rows {
+		if row[1] == "yes" && row[7] != "yes" {
+			t.Errorf("α=%s: converged but not owner-swap-stable", row[0])
+		}
+	}
+}
+
+func TestE13SeparationPositive(t *testing.T) {
+	e, _ := ByID("E13")
+	tables, err := e.Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First row is the star-of-paths: pairwise mass must exceed the
+	// per-vertex mass by a wide margin.
+	row := tables[0].Rows[0]
+	if row[5][0] == '-' {
+		t.Errorf("star-of-paths separation not positive: %v", row)
+	}
+}
+
+func TestE14ExactlyOneSumClass(t *testing.T) {
+	e, _ := ByID("E14")
+	tables, err := e.Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tables[0].Rows {
+		if row[1] != "1" {
+			t.Errorf("n=%s: %s sum-equilibrium classes, want exactly 1 (the star)", row[0], row[1])
+		}
+		if row[2] != row[3] {
+			t.Errorf("n=%s: %s max classes, expected %s", row[0], row[2], row[3])
+		}
+	}
+}
+
+func TestRunAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness run")
+	}
+	var sb strings.Builder
+	if err := RunAll(&sb, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, id := range []string{"E1", "E5", "E10"} {
+		if !strings.Contains(out, "### "+id) {
+			t.Errorf("RunAll output missing %s", id)
+		}
+	}
+}

@@ -1,0 +1,265 @@
+// Package games implements the classic α-parametrized network creation
+// game of Fabrikant, Luthra, Maneva, Papadimitriou and Shenker [9] that the
+// basic game abstracts: each vertex owns (pays for) some of its incident
+// edges, and the cost of vertex v is
+//
+//	cost_α(v) = α · (edges bought by v) + Σ_u d(v,u).
+//
+// The package provides the α-cost accounting, the single-edge greedy move
+// analysis (buy / delete / swap), the α-interval for which a given
+// ownership configuration is greedily stable, the social optimum frontier
+// (star versus clique), and price-of-anarchy ratios. Its central
+// reproduction role is the paper's transfer principle: a swap changes no
+// ownership count, so its profitability is independent of α — hence every
+// upper bound proved for swap equilibria of the basic game applies to the
+// α-games for every α simultaneously.
+package games
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Ownership assigns every edge of a graph to one of its endpoints (the
+// player that pays α for it).
+type Ownership map[graph.Edge]int
+
+// ErrBadOwnership is returned when an ownership map does not exactly cover
+// the edge set.
+var ErrBadOwnership = errors.New("games: ownership must assign every edge to one endpoint")
+
+// MinOwnership assigns every edge to its smaller endpoint.
+func MinOwnership(g *graph.Graph) Ownership {
+	o := make(Ownership, g.M())
+	for _, e := range g.Edges() {
+		o[e] = e.U
+	}
+	return o
+}
+
+// BalancedOwnership greedily assigns each edge to the endpoint currently
+// owning fewer edges (ties to the smaller id), spreading creation cost.
+func BalancedOwnership(g *graph.Graph) Ownership {
+	o := make(Ownership, g.M())
+	owned := make([]int, g.N())
+	for _, e := range g.Edges() {
+		if owned[e.V] < owned[e.U] {
+			o[e] = e.V
+			owned[e.V]++
+		} else {
+			o[e] = e.U
+			owned[e.U]++
+		}
+	}
+	return o
+}
+
+// Validate checks that o assigns exactly the edges of g to endpoints.
+func (o Ownership) Validate(g *graph.Graph) error {
+	if len(o) != g.M() {
+		return fmt.Errorf("%w: %d assignments for %d edges", ErrBadOwnership, len(o), g.M())
+	}
+	for e, owner := range o {
+		if !g.HasEdge(e.U, e.V) {
+			return fmt.Errorf("%w: assigned edge %v missing", ErrBadOwnership, e)
+		}
+		if owner != e.U && owner != e.V {
+			return fmt.Errorf("%w: edge %v owned by non-endpoint %d", ErrBadOwnership, e, owner)
+		}
+	}
+	return nil
+}
+
+// Bought returns the number of edges v owns.
+func (o Ownership) Bought(v int) int {
+	c := 0
+	for e, owner := range o {
+		_ = e
+		if owner == v {
+			c++
+		}
+	}
+	return c
+}
+
+// PlayerCost returns cost_α(v) = α·bought(v) + Σ_u d(v,u). Disconnected
+// positions cost +Inf (represented as core.InfCost in the usage term).
+func PlayerCost(g *graph.Graph, o Ownership, v int, alpha float64) float64 {
+	usage := core.SumCost(g, v)
+	return alpha*float64(o.Bought(v)) + float64(usage)
+}
+
+// SocialCost returns α·m + Σ_v Σ_u d(v,u), the standard social cost of the
+// α-game (each edge paid once).
+func SocialCost(g *graph.Graph, alpha float64) float64 {
+	total := float64(alpha) * float64(g.M())
+	for v := 0; v < g.N(); v++ {
+		total += float64(core.SumCost(g, v))
+	}
+	return total
+}
+
+// StarCost returns the social cost of the star on n vertices:
+// α(n−1) + (n−1)·1 + (n−1)·(1 + 2(n−2)).
+func StarCost(n int, alpha float64) float64 {
+	if n <= 1 {
+		return 0
+	}
+	usage := float64(n-1) + float64(n-1)*(1+2*float64(n-2))
+	return alpha*float64(n-1) + usage
+}
+
+// CliqueCost returns the social cost of K_n: α·n(n−1)/2 + n(n−1).
+func CliqueCost(n int, alpha float64) float64 {
+	return alpha*float64(n)*float64(n-1)/2 + float64(n)*float64(n-1)
+}
+
+// OptUpperBound returns min(StarCost, CliqueCost) — an upper bound on the
+// social optimum that is tight in the classic regimes (clique for α ≤ 2,
+// star for α ≥ 2, cf. [9] §2).
+func OptUpperBound(n int, alpha float64) float64 {
+	s, c := StarCost(n, alpha), CliqueCost(n, alpha)
+	if s < c {
+		return s
+	}
+	return c
+}
+
+// PriceOfAnarchyProxy returns SocialCost(g,α) / OptUpperBound(n,α), a lower
+// bound on nothing and an upper bound on the true PoA contribution of g
+// (since OptUpperBound ≥ OPT it actually *under*-estimates the ratio; for
+// the classic regimes where star/clique are optimal it is exact).
+func PriceOfAnarchyProxy(g *graph.Graph, alpha float64) float64 {
+	return SocialCost(g, alpha) / OptUpperBound(g.N(), alpha)
+}
+
+// MaxBuyGain returns the largest usage-cost decrease any player can obtain
+// by buying one absent edge, together with the maximizing (player, new
+// neighbor) pair. A configuration is stable against single-edge purchases
+// iff α ≥ MaxBuyGain (buying costs α and recoups at most the gain).
+func MaxBuyGain(g *graph.Graph) (gain int64, buyer, peer int) {
+	n := g.N()
+	ap := g.AllPairs()
+	gain, buyer, peer = 0, -1, -1
+	for v := 0; v < n; v++ {
+		dv := ap.Row(v)
+		base, _ := ap.RowSum(v)
+		for w := 0; w < n; w++ {
+			if w == v || g.HasEdge(v, w) {
+				continue
+			}
+			after := patchedRowSum(dv, ap.Row(w))
+			if g := base - after; g > gain {
+				gain, buyer, peer = g, v, w
+			}
+		}
+	}
+	return gain, buyer, peer
+}
+
+// MinDeleteLoss returns the smallest usage-cost increase any player incurs
+// by deleting one edge it owns (disconnections count as +Inf and are
+// skipped unless every deletion disconnects, in which case loss is
+// core.InfCost). A configuration is stable against deletions iff
+// α ≤ MinDeleteLoss (deleting saves α but costs the loss).
+func MinDeleteLoss(g *graph.Graph, o Ownership) (loss int64, edge graph.Edge) {
+	loss = core.InfCost
+	dist := make([]int32, g.N())
+	queue := make([]int, 0, g.N())
+	for e, owner := range o {
+		base := core.SumCost(g, owner)
+		g.RemoveEdge(e.U, e.V)
+		reached := g.BFSInto(owner, dist, queue)
+		var after int64 = core.InfCost
+		if reached == g.N() {
+			after = 0
+			for _, d := range dist {
+				after += int64(d)
+			}
+		}
+		g.AddEdge(e.U, e.V)
+		// A deletion that disconnects can never be profitable at any α:
+		// report the loss as InfCost rather than InfCost − base.
+		l := core.InfCost
+		if after < core.InfCost {
+			l = after - base
+		}
+		if l < loss {
+			loss, edge = l, e
+		}
+	}
+	return loss, edge
+}
+
+// StableAlphaInterval returns the interval [lo, hi] of α for which the
+// configuration (g, o) is a greedy equilibrium of the α-game under
+// single-edge moves: swap-stable (α-independent!), no profitable buy
+// (α ≥ lo = MaxBuyGain) and no profitable delete (α ≤ hi = MinDeleteLoss).
+// ok is false when g is not swap-stable — then no α works.
+//
+// This is the quantitative form of the paper's transfer principle: the
+// swap condition fixes the equilibrium structure once, and the α-dependent
+// conditions only clip an interval.
+func StableAlphaInterval(g *graph.Graph, o Ownership, obj core.Objective, workers int) (lo, hi int64, ok bool, err error) {
+	stable, _, err := core.CheckSwapStable(g, obj, workers)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	if !stable {
+		return 0, 0, false, nil
+	}
+	gain, _, _ := MaxBuyGain(g)
+	loss, _ := MinDeleteLoss(g, o)
+	return gain, loss, gain <= loss, nil
+}
+
+// SwapDelta returns the change in player cost caused by a move, evaluated
+// at two different α values. For a genuine swap (Add not already adjacent)
+// the two deltas are identical — the paper's α-independence of swap moves.
+// For a deletion-style move (Add already a neighbor) the deltas differ by
+// exactly α_A − α_B, since the player sheds one owned edge. Exposed for
+// tests and the E10 experiment.
+func SwapDelta(g *graph.Graph, o Ownership, m core.Move, alphaA, alphaB float64) (deltaA, deltaB float64) {
+	// The mover owns the edge it swaps, so a genuine swap leaves its bought
+	// count unchanged while a deletion-style move sheds one owned edge.
+	// Computing the delta from the integer usage difference and the integer
+	// bought-count difference keeps the α-independence of genuine swaps
+	// exact in floating point.
+	_ = o // ownership normalization: the mover owns the dropped edge
+	deltaBought := 0
+	if g.HasEdge(m.V, m.Add) {
+		deltaBought = -1
+	}
+	before := core.SumCost(g, m.V)
+	undo := core.ApplyMove(g, m)
+	after := core.SumCost(g, m.V)
+	undo()
+	deltaUsage := float64(after - before)
+	return alphaA*float64(deltaBought) + deltaUsage,
+		alphaB*float64(deltaBought) + deltaUsage
+}
+
+// patchedRowSum sums min(dv[x], 1+dw[x]) treating -1 as unreachable,
+// returning core.InfCost when some vertex stays unreachable.
+func patchedRowSum(dv, dw []int32) int64 {
+	var sum int64
+	for x := range dv {
+		a, b := dv[x], dw[x]
+		switch {
+		case a == graph.Unreachable && b == graph.Unreachable:
+			return core.InfCost
+		case a == graph.Unreachable:
+			sum += int64(b) + 1
+		case b == graph.Unreachable:
+			sum += int64(a)
+		case b+1 < a:
+			sum += int64(b) + 1
+		default:
+			sum += int64(a)
+		}
+	}
+	return sum
+}

@@ -1,0 +1,278 @@
+package games
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/constructions"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func TestOwnershipConstructorsValid(t *testing.T) {
+	g := constructions.Petersen()
+	for name, o := range map[string]Ownership{
+		"min":      MinOwnership(g),
+		"balanced": BalancedOwnership(g),
+	} {
+		if err := o.Validate(g); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestOwnershipValidateErrors(t *testing.T) {
+	g := constructions.Cycle(4)
+	o := MinOwnership(g)
+	delete(o, graph.NewEdge(0, 1))
+	if err := o.Validate(g); err == nil {
+		t.Error("missing edge assignment accepted")
+	}
+	o = MinOwnership(g)
+	o[graph.NewEdge(0, 2)] = 0 // not an edge of C4
+	delete(o, graph.NewEdge(0, 1))
+	if err := o.Validate(g); err == nil {
+		t.Error("phantom edge accepted")
+	}
+	o = MinOwnership(g)
+	o[graph.NewEdge(0, 1)] = 3 // non-endpoint
+	if err := o.Validate(g); err == nil {
+		t.Error("non-endpoint owner accepted")
+	}
+}
+
+func TestBalancedOwnershipSpreads(t *testing.T) {
+	g := constructions.Star(9)
+	o := BalancedOwnership(g)
+	// Center is endpoint of all 8 edges; balanced assignment should give
+	// the center at most ceil(m / 2)... in fact each leaf can own its edge
+	// after the center owns one.
+	if got := o.Bought(0); got > 4 {
+		t.Errorf("balanced center owns %d of 8", got)
+	}
+	min := MinOwnership(g)
+	if got := min.Bought(0); got != 8 {
+		t.Errorf("min ownership center owns %d, want 8", got)
+	}
+}
+
+func TestPlayerCostStar(t *testing.T) {
+	g := constructions.Star(5)
+	o := MinOwnership(g) // center owns everything
+	alpha := 3.0
+	if got := PlayerCost(g, o, 0, alpha); got != 3*4+4 {
+		t.Errorf("center cost = %v, want 16", got)
+	}
+	if got := PlayerCost(g, o, 1, alpha); got != 0+7 {
+		t.Errorf("leaf cost = %v, want 7", got)
+	}
+}
+
+func TestSocialCostMatchesDefinition(t *testing.T) {
+	g := constructions.Cycle(5)
+	alpha := 2.5
+	want := alpha*5 + float64(5*6) // each vertex sum-dist = 1+1+2+2 = 6
+	if got := SocialCost(g, alpha); got != want {
+		t.Errorf("SocialCost = %v, want %v", got, want)
+	}
+}
+
+func TestStarAndCliqueCosts(t *testing.T) {
+	// n=4, alpha=1: star = 3 + [3 + 3*(1+4)] = 3+18 = 21? compute:
+	// usage = (n-1) + (n-1)(1+2(n-2)) = 3 + 3*5 = 18; total 21.
+	if got := StarCost(4, 1); got != 21 {
+		t.Errorf("StarCost(4,1) = %v, want 21", got)
+	}
+	if got := CliqueCost(4, 1); got != 6+12 {
+		t.Errorf("CliqueCost(4,1) = %v, want 18", got)
+	}
+	if StarCost(1, 5) != 0 {
+		t.Error("StarCost(1) should be 0")
+	}
+	// Social cost of the explicit star graph must equal the formula.
+	for _, n := range []int{2, 3, 7, 12} {
+		g := constructions.Star(n)
+		for _, alpha := range []float64{0.5, 1, 2, 10} {
+			if got, want := SocialCost(g, alpha), StarCost(n, alpha); math.Abs(got-want) > 1e-9 {
+				t.Errorf("n=%d α=%v: SocialCost(star)=%v, formula %v", n, alpha, got, want)
+			}
+		}
+	}
+	for _, n := range []int{2, 3, 6} {
+		g := constructions.Complete(n)
+		for _, alpha := range []float64{0.5, 2} {
+			if got, want := SocialCost(g, alpha), CliqueCost(n, alpha); math.Abs(got-want) > 1e-9 {
+				t.Errorf("n=%d α=%v: SocialCost(K_n)=%v, formula %v", n, alpha, got, want)
+			}
+		}
+	}
+}
+
+func TestOptFrontierCrossover(t *testing.T) {
+	// Clique wins for α < 2, star for α > 2 (classic frontier).
+	n := 10
+	if OptUpperBound(n, 1) != CliqueCost(n, 1) {
+		t.Error("α=1: clique should be optimal")
+	}
+	if OptUpperBound(n, 3) != StarCost(n, 3) {
+		t.Error("α=3: star should be optimal")
+	}
+}
+
+func TestMaxBuyGainStar(t *testing.T) {
+	// In a star, buying leaf-leaf saves exactly 1 (distance 2 → 1).
+	g := constructions.Star(6)
+	gain, buyer, peer := MaxBuyGain(g)
+	if gain != 1 {
+		t.Errorf("star buy gain = %d, want 1", gain)
+	}
+	if buyer == 0 || peer == 0 || buyer == peer {
+		t.Errorf("buy pair (%d,%d) should be two distinct leaves", buyer, peer)
+	}
+}
+
+func TestMaxBuyGainPath(t *testing.T) {
+	// On P5, buying 0–4 gains (4−1)+(3−2) = 4, and buying 0–3 also gains
+	// (3−1)+(4−2) = 4; the maximum gain is 4 from an endpoint.
+	g := constructions.Path(5)
+	gain, buyer, peer := MaxBuyGain(g)
+	if gain != 4 {
+		t.Errorf("P5 buy gain = %d (%d,%d), want 4", gain, buyer, peer)
+	}
+	e := graph.NewEdge(buyer, peer)
+	if e != graph.NewEdge(0, 3) && e != graph.NewEdge(0, 4) &&
+		e != graph.NewEdge(1, 4) {
+		t.Errorf("P5 best buy = %v, want an endpoint long-range edge", e)
+	}
+	// Verify the reported gain against direct evaluation.
+	base := core.SumCost(g, buyer)
+	g.AddEdge(buyer, peer)
+	after := core.SumCost(g, buyer)
+	if base-after != gain {
+		t.Errorf("reported gain %d, measured %d", gain, base-after)
+	}
+}
+
+func TestMaxBuyGainComplete(t *testing.T) {
+	gain, buyer, _ := MaxBuyGain(constructions.Complete(5))
+	if gain != 0 || buyer != -1 {
+		t.Errorf("K5 buy gain = %d (buyer %d), want 0, -1", gain, buyer)
+	}
+}
+
+func TestMinDeleteLossStarAndCycle(t *testing.T) {
+	// Star, center owns all: deleting any edge disconnects → InfCost loss.
+	g := constructions.Star(5)
+	loss, _ := MinDeleteLoss(g, MinOwnership(g))
+	if loss != core.InfCost {
+		t.Errorf("star delete loss = %d, want InfCost", loss)
+	}
+	// C5: deleting an edge turns distances 1,1,2,2 into 1,2,3,4 for the
+	// owner: loss = 10-6 = 4.
+	c := constructions.Cycle(5)
+	loss, e := MinDeleteLoss(c, MinOwnership(c))
+	if loss != 4 {
+		t.Errorf("C5 delete loss = %d (edge %v), want 4", loss, e)
+	}
+	if !c.HasEdge(e.U, e.V) {
+		t.Error("MinDeleteLoss did not restore the graph")
+	}
+}
+
+func TestStableAlphaIntervalStar(t *testing.T) {
+	// Star with center ownership: swap-stable, buy gain 1, delete loss ∞:
+	// stable for every α >= 1.
+	g := constructions.Star(7)
+	lo, hi, ok, err := StableAlphaInterval(g, MinOwnership(g), core.Sum, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || lo != 1 || hi != core.InfCost {
+		t.Errorf("star interval = [%d,%d] ok=%v, want [1,InfCost] true", lo, hi, ok)
+	}
+}
+
+func TestStableAlphaIntervalNonEquilibrium(t *testing.T) {
+	// C6 is not swap-stable: no α makes it greedily stable.
+	g := constructions.Cycle(6)
+	_, _, ok, err := StableAlphaInterval(g, MinOwnership(g), core.Sum, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("C6 reported greedily stable for some α")
+	}
+}
+
+func TestStableAlphaIntervalTorus(t *testing.T) {
+	// The Theorem 12 torus is a max-version witness; in the sum version it
+	// is swap-stable for k=2 (n=8) — check the interval machinery runs and
+	// is consistent: if ok, buying must not be profitable at α=lo.
+	g := constructions.NewTorus(2).Graph()
+	stable, _, err := core.CheckSwapStable(g, core.Sum, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi, ok, err := StableAlphaInterval(g, MinOwnership(g), core.Sum, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stable != (ok || lo > hi) && !stable {
+		// If not swap stable, interval must report not-ok.
+		if ok {
+			t.Error("interval ok for non-swap-stable graph")
+		}
+	}
+	_ = lo
+	_ = hi
+}
+
+func TestSwapDeltaAlphaIndependent(t *testing.T) {
+	// The paper's transfer principle: genuine swaps price identically for
+	// every α.
+	rng := rand.New(rand.NewSource(3))
+	g := constructions.Cycle(9)
+	o := MinOwnership(g)
+	for trial := 0; trial < 40; trial++ {
+		v := rng.Intn(g.N())
+		nbs := g.Neighbors(v)
+		w := nbs[rng.Intn(len(nbs))]
+		wp := rng.Intn(g.N())
+		if wp == v || g.HasEdge(v, wp) {
+			continue // keep it a genuine swap
+		}
+		dA, dB := SwapDelta(g, o, core.Move{V: v, Drop: w, Add: wp}, 0.1, 1e6)
+		if math.Abs(dA-dB) > 1e-6 {
+			t.Fatalf("swap delta depends on α: %v vs %v", dA, dB)
+		}
+	}
+}
+
+func TestSwapDeltaDeletionDependsOnAlpha(t *testing.T) {
+	// Deletion-style moves shed an owned edge: deltas differ by α_A − α_B.
+	g := constructions.Complete(5)
+	o := MinOwnership(g)
+	alphaA, alphaB := 2.0, 7.0
+	dA, dB := SwapDelta(g, o, core.Move{V: 0, Drop: 1, Add: 2}, alphaA, alphaB)
+	if math.Abs((dA-dB)-(alphaB-alphaA)) > 1e-9 {
+		t.Errorf("deletion deltas %v, %v; difference should be α_B−α_A = %v",
+			dA, dB, alphaB-alphaA)
+	}
+}
+
+func TestPriceOfAnarchyProxyStarIsOne(t *testing.T) {
+	// For α >= 2 the star is the optimum, so its PoA contribution is 1.
+	g := constructions.Star(9)
+	if got := PriceOfAnarchyProxy(g, 5); math.Abs(got-1) > 1e-12 {
+		t.Errorf("star PoA proxy = %v, want 1", got)
+	}
+}
+
+func TestBoughtCounts(t *testing.T) {
+	g := constructions.Path(4)
+	o := MinOwnership(g)
+	if o.Bought(0) != 1 || o.Bought(1) != 1 || o.Bought(3) != 0 {
+		t.Errorf("bought counts wrong: %d %d %d", o.Bought(0), o.Bought(1), o.Bought(3))
+	}
+}

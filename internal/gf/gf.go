@@ -1,0 +1,152 @@
+// Package gf implements finite projective planes PG(2,q) over prime fields
+// — the substrate behind the projective-plane equilibria of Albers et al.
+// cited by the paper as the disproof of the tree conjecture. Points and
+// lines are the 1- and 2-dimensional subspaces of F_q³, normalized so the
+// first nonzero coordinate is 1; a point lies on a line when their
+// representative vectors are orthogonal over F_q.
+//
+// The plane's bipartite point–line incidence graph is a (q+1)-regular
+// C4-free graph of diameter 3 and girth 6 on 2(q²+q+1) vertices, a useful
+// structured family for exercising the equilibrium checkers and the
+// distance-uniformity tools.
+package gf
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// IsPrime reports whether q is prime (trial division; q is small here).
+func IsPrime(q int) bool {
+	if q < 2 {
+		return false
+	}
+	for d := 2; d*d <= q; d++ {
+		if q%d == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Triple is a projective representative vector over F_q with the first
+// nonzero coordinate normalized to 1.
+type Triple [3]int
+
+// Plane is the projective plane PG(2,q) for prime q: q²+q+1 points and as
+// many lines, each line containing q+1 points.
+type Plane struct {
+	Q      int
+	Points []Triple
+	Lines  []Triple
+	// onLine[l] lists the indices of points incident to line l.
+	onLine [][]int
+}
+
+// NewPlane constructs PG(2,q). q must be prime (prime powers would need
+// full field arithmetic; the experiments only use prime q).
+func NewPlane(q int) (*Plane, error) {
+	if !IsPrime(q) {
+		return nil, fmt.Errorf("gf: q=%d is not prime", q)
+	}
+	pts := projectivePoints(q)
+	p := &Plane{Q: q, Points: pts, Lines: pts}
+	p.onLine = make([][]int, len(pts))
+	for l, lv := range p.Lines {
+		for i, pv := range p.Points {
+			if dot(lv, pv, q) == 0 {
+				p.onLine[l] = append(p.onLine[l], i)
+			}
+		}
+	}
+	return p, nil
+}
+
+// projectivePoints enumerates normalized representatives: (1,y,z), (0,1,z),
+// (0,0,1) — exactly q² + q + 1 triples.
+func projectivePoints(q int) []Triple {
+	var pts []Triple
+	for y := 0; y < q; y++ {
+		for z := 0; z < q; z++ {
+			pts = append(pts, Triple{1, y, z})
+		}
+	}
+	for z := 0; z < q; z++ {
+		pts = append(pts, Triple{0, 1, z})
+	}
+	pts = append(pts, Triple{0, 0, 1})
+	return pts
+}
+
+func dot(a, b Triple, q int) int {
+	return (a[0]*b[0] + a[1]*b[1] + a[2]*b[2]) % q
+}
+
+// NumPoints returns q²+q+1.
+func (p *Plane) NumPoints() int { return len(p.Points) }
+
+// PointsOnLine returns the indices of the q+1 points on line l.
+func (p *Plane) PointsOnLine(l int) []int { return p.onLine[l] }
+
+// Incident reports whether point pt lies on line l.
+func (p *Plane) Incident(pt, l int) bool {
+	return dot(p.Points[pt], p.Lines[l], p.Q) == 0
+}
+
+// IncidenceGraph returns the bipartite point–line incidence graph: points
+// are vertices 0..N-1, lines N..2N-1 with N = q²+q+1.
+func (p *Plane) IncidenceGraph() *graph.Graph {
+	n := p.NumPoints()
+	g := graph.New(2 * n)
+	for l, pts := range p.onLine {
+		for _, pt := range pts {
+			g.AddEdge(pt, n+l)
+		}
+	}
+	return g
+}
+
+// VerifyAxioms checks the projective-plane axioms: every line has exactly
+// q+1 points, every point is on exactly q+1 lines, and any two distinct
+// points lie on exactly one common line. It returns a descriptive error on
+// the first violation (used by tests and as a construction self-check).
+func (p *Plane) VerifyAxioms() error {
+	n := p.NumPoints()
+	if n != p.Q*p.Q+p.Q+1 {
+		return fmt.Errorf("gf: %d points, want q²+q+1 = %d", n, p.Q*p.Q+p.Q+1)
+	}
+	onPoint := make([]int, n)
+	for l, pts := range p.onLine {
+		if len(pts) != p.Q+1 {
+			return fmt.Errorf("gf: line %d has %d points, want %d", l, len(pts), p.Q+1)
+		}
+		for _, pt := range pts {
+			onPoint[pt]++
+		}
+	}
+	for pt, c := range onPoint {
+		if c != p.Q+1 {
+			return fmt.Errorf("gf: point %d on %d lines, want %d", pt, c, p.Q+1)
+		}
+	}
+	// Two distinct points determine exactly one line.
+	common := make(map[[2]int]int)
+	for _, pts := range p.onLine {
+		for i := 0; i < len(pts); i++ {
+			for j := i + 1; j < len(pts); j++ {
+				common[[2]int{pts[i], pts[j]}]++
+			}
+		}
+	}
+	wantPairs := n * (n - 1) / 2
+	if len(common) != wantPairs {
+		return fmt.Errorf("gf: %d collinear pairs, want all %d", len(common), wantPairs)
+	}
+	for pair, c := range common {
+		if c != 1 {
+			return fmt.Errorf("gf: points %v share %d lines, want 1", pair, c)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package gf
+
+import (
+	"testing"
+)
+
+func TestIsPrime(t *testing.T) {
+	primes := []int{2, 3, 5, 7, 11, 13}
+	composites := []int{-1, 0, 1, 4, 6, 8, 9, 15, 49}
+	for _, p := range primes {
+		if !IsPrime(p) {
+			t.Errorf("IsPrime(%d) = false", p)
+		}
+	}
+	for _, c := range composites {
+		if IsPrime(c) {
+			t.Errorf("IsPrime(%d) = true", c)
+		}
+	}
+}
+
+func TestNewPlaneRejectsNonPrime(t *testing.T) {
+	if _, err := NewPlane(4); err == nil {
+		t.Error("NewPlane(4) accepted a prime power (unsupported)")
+	}
+	if _, err := NewPlane(1); err == nil {
+		t.Error("NewPlane(1) accepted")
+	}
+}
+
+func TestPlaneAxioms(t *testing.T) {
+	for _, q := range []int{2, 3, 5, 7} {
+		p, err := NewPlane(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.NumPoints() != q*q+q+1 {
+			t.Errorf("q=%d: %d points, want %d", q, p.NumPoints(), q*q+q+1)
+		}
+		if err := p.VerifyAxioms(); err != nil {
+			t.Errorf("q=%d: %v", q, err)
+		}
+	}
+}
+
+func TestFanoPlane(t *testing.T) {
+	// PG(2,2) is the Fano plane: 7 points, 7 lines, 3 points per line.
+	p, err := NewPlane(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumPoints() != 7 {
+		t.Fatalf("Fano has %d points", p.NumPoints())
+	}
+	for l := 0; l < 7; l++ {
+		if len(p.PointsOnLine(l)) != 3 {
+			t.Errorf("line %d has %d points, want 3", l, len(p.PointsOnLine(l)))
+		}
+	}
+}
+
+func TestIncident(t *testing.T) {
+	p, _ := NewPlane(3)
+	for l := 0; l < p.NumPoints(); l++ {
+		for _, pt := range p.PointsOnLine(l) {
+			if !p.Incident(pt, l) {
+				t.Fatalf("Incident(%d,%d) = false for listed point", pt, l)
+			}
+		}
+	}
+}
+
+func TestIncidenceGraphProperties(t *testing.T) {
+	// The incidence graph of PG(2,q) is (q+1)-regular, bipartite with girth
+	// 6 and diameter 3.
+	for _, q := range []int{2, 3} {
+		p, _ := NewPlane(q)
+		g := p.IncidenceGraph()
+		if g.N() != 2*p.NumPoints() {
+			t.Fatalf("q=%d: n=%d", q, g.N())
+		}
+		for v := 0; v < g.N(); v++ {
+			if g.Degree(v) != q+1 {
+				t.Fatalf("q=%d: degree(%d)=%d, want %d", q, v, g.Degree(v), q+1)
+			}
+		}
+		if girth, ok := g.Girth(); !ok || girth != 6 {
+			t.Errorf("q=%d: girth = %d,%v, want 6", q, girth, ok)
+		}
+		if diam, ok := g.Diameter(); !ok || diam != 3 {
+			t.Errorf("q=%d: diameter = %d,%v, want 3", q, diam, ok)
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// floydWarshall is an independent O(n^3) reference implementation used to
+// validate the BFS-based APSP.
+func floydWarshall(g *Graph) [][]int {
+	n := g.N()
+	const inf = 1 << 30
+	d := make([][]int, n)
+	for i := range d {
+		d[i] = make([]int, n)
+		for j := range d[i] {
+			if i == j {
+				d[i][j] = 0
+			} else if g.HasEdge(i, j) {
+				d[i][j] = 1
+			} else {
+				d[i][j] = inf
+			}
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if d[i][k]+d[k][j] < d[i][j] {
+					d[i][j] = d[i][k] + d[k][j]
+				}
+			}
+		}
+	}
+	for i := range d {
+		for j := range d[i] {
+			if d[i][j] >= inf {
+				d[i][j] = Unreachable
+			}
+		}
+	}
+	return d
+}
+
+func TestBFSPath(t *testing.T) {
+	g := pathGraph(5)
+	dist := g.BFS(0)
+	for v := 0; v < 5; v++ {
+		if int(dist[v]) != v {
+			t.Errorf("dist[%d] = %d, want %d", v, dist[v], v)
+		}
+	}
+}
+
+func TestBFSDisconnected(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	dist := g.BFS(0)
+	if dist[2] != Unreachable || dist[3] != Unreachable {
+		t.Errorf("unreachable distances = %v, want -1", dist[2:])
+	}
+	if dist[1] != 1 {
+		t.Errorf("dist[1] = %d, want 1", dist[1])
+	}
+}
+
+func TestBFSIntoReusesBuffers(t *testing.T) {
+	g := cycleGraph(6)
+	dist := make([]int32, 6)
+	queue := make([]int, 0, 6)
+	if reached := g.BFSInto(2, dist, queue); reached != 6 {
+		t.Fatalf("reached = %d, want 6", reached)
+	}
+	if dist[5] != 3 {
+		t.Errorf("dist[5] = %d, want 3", dist[5])
+	}
+	// Second call must fully overwrite previous state.
+	g2 := New(6)
+	g2.AddEdge(0, 1)
+	if reached := g2.BFSInto(0, dist, queue); reached != 2 {
+		t.Fatalf("second reached = %d, want 2", reached)
+	}
+	if dist[5] != Unreachable {
+		t.Errorf("stale distance survived: dist[5] = %d", dist[5])
+	}
+}
+
+func TestBFSIntoLengthMismatchPanics(t *testing.T) {
+	g := pathGraph(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("BFSInto with wrong dist length did not panic")
+		}
+	}()
+	g.BFSInto(0, make([]int32, 2), nil)
+}
+
+func TestAllPairsMatchesFloydWarshall(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(14)
+		g := randomConnected(rng, n, 0.25)
+		if trial%5 == 0 {
+			// Also exercise disconnected graphs.
+			g = New(n)
+			for u := 0; u < n; u++ {
+				for v := u + 1; v < n; v++ {
+					if rng.Float64() < 0.15 {
+						g.AddEdge(u, v)
+					}
+				}
+			}
+		}
+		m := g.AllPairs()
+		ref := floydWarshall(g)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if m.Dist(u, v) != ref[u][v] {
+					t.Fatalf("trial %d: d(%d,%d) = %d, want %d (n=%d m=%d)",
+						trial, u, v, m.Dist(u, v), ref[u][v], n, g.M())
+				}
+			}
+		}
+	}
+}
+
+func TestAllPairsParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := randomConnected(rng, 60, 0.05)
+	seq := g.AllPairs()
+	for _, workers := range []int{0, 1, 2, 4, 16} {
+		pm := g.AllPairsParallel(workers)
+		for u := 0; u < g.N(); u++ {
+			for v := 0; v < g.N(); v++ {
+				if pm.At(u, v) != seq.At(u, v) {
+					t.Fatalf("workers=%d: d(%d,%d) = %d, want %d",
+						workers, u, v, pm.At(u, v), seq.At(u, v))
+				}
+			}
+		}
+	}
+}
+
+func TestSumOfDistances(t *testing.T) {
+	g := starGraph(5)
+	sum, reached := g.SumOfDistances(0)
+	if sum != 4 || reached != 5 {
+		t.Errorf("center: sum=%d reached=%d, want 4, 5", sum, reached)
+	}
+	sum, reached = g.SumOfDistances(1)
+	if sum != 1+2*3 || reached != 5 {
+		t.Errorf("leaf: sum=%d reached=%d, want 7, 5", sum, reached)
+	}
+}
+
+func TestEccentricity(t *testing.T) {
+	g := pathGraph(6)
+	if ecc, ok := g.Eccentricity(0); !ok || ecc != 5 {
+		t.Errorf("Eccentricity(0) = %d,%v, want 5,true", ecc, ok)
+	}
+	if ecc, ok := g.Eccentricity(2); !ok || ecc != 3 {
+		t.Errorf("Eccentricity(2) = %d,%v, want 3,true", ecc, ok)
+	}
+	g2 := New(3)
+	g2.AddEdge(0, 1)
+	if _, ok := g2.Eccentricity(0); ok {
+		t.Error("Eccentricity on disconnected graph reported ok")
+	}
+}
+
+func TestIsConnected(t *testing.T) {
+	if !New(0).IsConnected() || !New(1).IsConnected() {
+		t.Error("trivial graphs should be connected")
+	}
+	if New(2).IsConnected() {
+		t.Error("two isolated vertices reported connected")
+	}
+	if !cycleGraph(7).IsConnected() {
+		t.Error("cycle reported disconnected")
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := New(7)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 4)
+	// 5, 6 isolated
+	comps := g.ConnectedComponents()
+	if len(comps) != 4 {
+		t.Fatalf("got %d components, want 4: %v", len(comps), comps)
+	}
+	if len(comps[0]) != 3 || comps[0][0] != 0 {
+		t.Errorf("first component = %v", comps[0])
+	}
+	if len(comps[1]) != 2 || comps[1][0] != 3 {
+		t.Errorf("second component = %v", comps[1])
+	}
+}
+
+func TestMatrixHelpers(t *testing.T) {
+	g := pathGraph(4)
+	m := g.AllPairs()
+	if err := m.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if !m.Connected() {
+		t.Error("path matrix not connected")
+	}
+	if d, ok := m.Diameter(); !ok || d != 3 {
+		t.Errorf("Diameter = %d,%v, want 3,true", d, ok)
+	}
+	if ecc, ok := m.Eccentricity(1); !ok || ecc != 2 {
+		t.Errorf("Eccentricity(1) = %d,%v, want 2,true", ecc, ok)
+	}
+	sum, reached := m.RowSum(0)
+	if sum != 6 || reached != 4 {
+		t.Errorf("RowSum(0) = %d,%d, want 6,4", sum, reached)
+	}
+	h := m.Histogram(0)
+	want := []int{1, 1, 1, 1}
+	for i := range want {
+		if h[i] != want[i] {
+			t.Fatalf("Histogram(0) = %v, want %v", h, want)
+		}
+	}
+}
+
+func TestMatrixDisconnected(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	m := g.AllPairs()
+	if m.Connected() {
+		t.Error("disconnected matrix reported connected")
+	}
+	if _, ok := m.Diameter(); ok {
+		t.Error("disconnected Diameter reported ok")
+	}
+	if _, ok := m.Eccentricity(0); ok {
+		t.Error("disconnected Eccentricity reported ok")
+	}
+	if _, reached := m.RowSum(0); reached != 2 {
+		t.Errorf("RowSum reached = %d, want 2", reached)
+	}
+}

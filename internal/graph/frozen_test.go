@@ -1,0 +1,145 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFrozenMirrorsGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 25; trial++ {
+		g := randomConnected(rng, 2+rng.Intn(30), rng.Float64()*0.3)
+		f := g.Freeze()
+		if f.N() != g.N() || f.M() != g.M() {
+			t.Fatalf("frozen shape n=%d m=%d vs %d %d", f.N(), f.M(), g.N(), g.M())
+		}
+		for v := 0; v < g.N(); v++ {
+			if f.Degree(v) != g.Degree(v) {
+				t.Fatalf("degree(%d) = %d vs %d", v, f.Degree(v), g.Degree(v))
+			}
+			want := g.Neighbors(v)
+			got := f.Neighbors(v)
+			if len(got) != len(want) {
+				t.Fatalf("neighbors(%d) length mismatch", v)
+			}
+			for i := range want {
+				if int(got[i]) != want[i] {
+					t.Fatalf("neighbors(%d)[%d] = %d, want %d (sorted)", v, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestFrozenBFSMatchesGraphBFS(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(25)
+		g := New(n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < 0.2 {
+					g.AddEdge(u, v)
+				}
+			}
+		}
+		f := g.Freeze()
+		dist := make([]int32, n)
+		queue := make([]int32, 0, n)
+		for src := 0; src < n; src++ {
+			want := g.BFS(src)
+			reached := f.BFSInto(src, dist, queue)
+			wantReached := 0
+			for v := 0; v < n; v++ {
+				if want[v] != Unreachable {
+					wantReached++
+				}
+				if dist[v] != want[v] {
+					t.Fatalf("trial %d src %d: dist[%d] = %d, want %d",
+						trial, src, v, dist[v], want[v])
+				}
+			}
+			if reached != wantReached {
+				t.Fatalf("reached %d, want %d", reached, wantReached)
+			}
+		}
+	}
+}
+
+func TestFrozenAllPairsMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := randomConnected(rng, 50, 0.08)
+	want := g.AllPairs()
+	for _, workers := range []int{0, 1, 3} {
+		got := g.Freeze().AllPairs(workers)
+		for u := 0; u < g.N(); u++ {
+			for v := 0; v < g.N(); v++ {
+				if got.At(u, v) != want.At(u, v) {
+					t.Fatalf("workers=%d: d(%d,%d) mismatch", workers, u, v)
+				}
+			}
+		}
+	}
+}
+
+func TestFrozenEmpty(t *testing.T) {
+	f := New(0).Freeze()
+	if f.N() != 0 || f.M() != 0 {
+		t.Error("empty freeze wrong")
+	}
+	if m := f.AllPairs(2); m.N() != 0 {
+		t.Error("empty AllPairs wrong")
+	}
+}
+
+func TestFrozenBFSLengthMismatchPanics(t *testing.T) {
+	f := pathGraph(4).Freeze()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on bad dist length")
+		}
+	}()
+	f.BFSInto(0, make([]int32, 2), nil)
+}
+
+func TestIsBipartite(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+		want bool
+	}{
+		{"path", pathGraph(7), true},
+		{"evenCycle", cycleGraph(8), true},
+		{"oddCycle", cycleGraph(7), false},
+		{"star", starGraph(9), true},
+		{"K4", completeGraph(4), false},
+		{"empty", New(5), true},
+	}
+	for _, c := range cases {
+		ok, colors := c.g.IsBipartite()
+		if ok != c.want {
+			t.Errorf("%s: IsBipartite = %v, want %v", c.name, ok, c.want)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		for _, e := range c.g.Edges() {
+			if colors[e.U] == colors[e.V] {
+				t.Errorf("%s: invalid coloring at %v", c.name, e)
+			}
+		}
+	}
+}
+
+func TestIsBipartiteDisconnectedComponents(t *testing.T) {
+	// Bipartite component + odd cycle component: not bipartite overall.
+	g := New(8)
+	g.AddEdge(0, 1) // K2
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 4)
+	g.AddEdge(4, 2) // triangle
+	if ok, _ := g.IsBipartite(); ok {
+		t.Error("graph containing a triangle reported bipartite")
+	}
+}

@@ -1,0 +1,313 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomConnected returns a random connected graph: a uniform random tree
+// plus extra random edges with probability p each.
+func randomConnected(rng *rand.Rand, n int, p float64) *Graph {
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(v, rng.Intn(v))
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if !g.HasEdge(u, v) && rng.Float64() < p {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+func pathGraph(n int) *Graph {
+	g := New(n)
+	for v := 0; v+1 < n; v++ {
+		g.AddEdge(v, v+1)
+	}
+	return g
+}
+
+func cycleGraph(n int) *Graph {
+	g := pathGraph(n)
+	if n >= 3 {
+		g.AddEdge(n-1, 0)
+	}
+	return g
+}
+
+func completeGraph(n int) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+func starGraph(n int) *Graph {
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(0, v)
+	}
+	return g
+}
+
+func TestNewEmpty(t *testing.T) {
+	g := New(5)
+	if g.N() != 5 || g.M() != 0 {
+		t.Fatalf("New(5) = %v, want n=5 m=0", g)
+	}
+	for v := 0; v < 5; v++ {
+		if g.Degree(v) != 0 {
+			t.Errorf("Degree(%d) = %d, want 0", v, g.Degree(v))
+		}
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestAddEdge(t *testing.T) {
+	g := New(4)
+	if !g.AddEdge(0, 1) {
+		t.Fatal("AddEdge(0,1) = false on empty graph")
+	}
+	if g.AddEdge(1, 0) {
+		t.Error("AddEdge(1,0) = true for existing edge")
+	}
+	if g.AddEdge(2, 2) {
+		t.Error("AddEdge(2,2) self-loop accepted")
+	}
+	if g.M() != 1 {
+		t.Errorf("M() = %d, want 1", g.M())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Error("HasEdge not symmetric")
+	}
+	if g.HasEdge(0, 2) {
+		t.Error("HasEdge(0,2) = true for absent edge")
+	}
+}
+
+func TestAddEdgeOutOfRangePanics(t *testing.T) {
+	g := New(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddEdge(0,3) did not panic")
+		}
+	}()
+	g.AddEdge(0, 3)
+}
+
+func TestRemoveEdge(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	if !g.RemoveEdge(1, 0) {
+		t.Fatal("RemoveEdge(1,0) = false for existing edge")
+	}
+	if g.M() != 1 || g.HasEdge(0, 1) {
+		t.Errorf("after removal: m=%d hasEdge=%v", g.M(), g.HasEdge(0, 1))
+	}
+	if g.RemoveEdge(0, 1) {
+		t.Error("RemoveEdge of absent edge = true")
+	}
+	if g.RemoveEdge(0, 2) {
+		t.Error("RemoveEdge of never-present edge = true")
+	}
+}
+
+func TestHasEdgeOutOfRange(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1)
+	if g.HasEdge(-1, 0) || g.HasEdge(0, 5) {
+		t.Error("HasEdge out-of-range should be false, not panic")
+	}
+}
+
+func TestFromEdges(t *testing.T) {
+	g, err := FromEdges(3, []Edge{{0, 1}, {1, 2}})
+	if err != nil {
+		t.Fatalf("FromEdges: %v", err)
+	}
+	if g.M() != 2 {
+		t.Errorf("M() = %d, want 2", g.M())
+	}
+	if _, err := FromEdges(3, []Edge{{0, 0}}); err == nil {
+		t.Error("FromEdges accepted self-loop")
+	}
+	if _, err := FromEdges(3, []Edge{{0, 1}, {1, 0}}); err == nil {
+		t.Error("FromEdges accepted duplicate edge")
+	}
+	if _, err := FromEdges(3, []Edge{{0, 3}}); err == nil {
+		t.Error("FromEdges accepted out-of-range edge")
+	}
+}
+
+func TestNewEdgeNormalizes(t *testing.T) {
+	e := NewEdge(5, 2)
+	if e.U != 2 || e.V != 5 {
+		t.Errorf("NewEdge(5,2) = %v, want {2 5}", e)
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	g := New(6)
+	g.AddEdge(3, 5)
+	g.AddEdge(3, 0)
+	g.AddEdge(3, 4)
+	got := g.Neighbors(3)
+	want := []int{0, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("Neighbors(3) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Neighbors(3) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNonNeighbors(t *testing.T) {
+	g := starGraph(5)
+	nn := g.NonNeighbors(0)
+	if len(nn) != 0 {
+		t.Errorf("center NonNeighbors = %v, want empty", nn)
+	}
+	nn = g.NonNeighbors(1)
+	want := []int{2, 3, 4}
+	if len(nn) != len(want) {
+		t.Fatalf("leaf NonNeighbors = %v, want %v", nn, want)
+	}
+	for i := range want {
+		if nn[i] != want[i] {
+			t.Fatalf("leaf NonNeighbors = %v, want %v", nn, want)
+		}
+	}
+}
+
+func TestEdgesSorted(t *testing.T) {
+	g := New(4)
+	g.AddEdge(2, 3)
+	g.AddEdge(0, 2)
+	g.AddEdge(0, 1)
+	es := g.Edges()
+	want := []Edge{{0, 1}, {0, 2}, {2, 3}}
+	if len(es) != len(want) {
+		t.Fatalf("Edges() = %v, want %v", es, want)
+	}
+	for i := range want {
+		if es[i] != want[i] {
+			t.Fatalf("Edges() = %v, want %v", es, want)
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	g := cycleGraph(5)
+	c := g.Clone()
+	if !g.Equal(c) {
+		t.Fatal("clone not Equal to original")
+	}
+	c.RemoveEdge(0, 1)
+	if g.Equal(c) {
+		t.Error("mutating clone affected Equal")
+	}
+	if !g.HasEdge(0, 1) {
+		t.Error("mutating clone mutated original")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := pathGraph(4)
+	b := pathGraph(4)
+	if !a.Equal(b) {
+		t.Error("identical paths not Equal")
+	}
+	b.AddEdge(0, 3)
+	if a.Equal(b) {
+		t.Error("different edge sets Equal")
+	}
+	if a.Equal(New(5)) {
+		t.Error("different sizes Equal")
+	}
+	// Same edge count, different edges.
+	c := New(4)
+	c.AddEdge(0, 1)
+	c.AddEdge(1, 2)
+	c.AddEdge(1, 3)
+	if a.Equal(c) {
+		t.Error("same m different edges Equal")
+	}
+}
+
+func TestDegreeStats(t *testing.T) {
+	g := starGraph(6)
+	if g.MaxDegree() != 5 {
+		t.Errorf("MaxDegree = %d, want 5", g.MaxDegree())
+	}
+	if g.MinDegree() != 1 {
+		t.Errorf("MinDegree = %d, want 1", g.MinDegree())
+	}
+	h := g.DegreeHistogram()
+	if h[1] != 5 || h[5] != 1 {
+		t.Errorf("DegreeHistogram = %v", h)
+	}
+	total := 0
+	for d, c := range h {
+		total += d * c
+	}
+	if total != 2*g.M() {
+		t.Errorf("sum of degrees = %d, want 2m = %d", total, 2*g.M())
+	}
+}
+
+func TestDegreeStatsEmpty(t *testing.T) {
+	g := New(0)
+	if g.MinDegree() != 0 || g.MaxDegree() != 0 {
+		t.Error("degree stats on empty graph should be 0")
+	}
+}
+
+func TestAppendNeighbors(t *testing.T) {
+	g := starGraph(4)
+	buf := g.AppendNeighbors(nil, 0)
+	if len(buf) != 3 {
+		t.Errorf("AppendNeighbors len = %d, want 3", len(buf))
+	}
+	buf = g.AppendNeighbors(buf[:0], 1)
+	if len(buf) != 1 || buf[0] != 0 {
+		t.Errorf("AppendNeighbors leaf = %v, want [0]", buf)
+	}
+}
+
+func TestEachNeighbor(t *testing.T) {
+	g := completeGraph(5)
+	count := 0
+	g.EachNeighbor(2, func(u int) {
+		if u == 2 {
+			t.Error("EachNeighbor visited self")
+		}
+		count++
+	})
+	if count != 4 {
+		t.Errorf("EachNeighbor visited %d, want 4", count)
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	g := pathGraph(3)
+	if got := g.String(); got != "graph{n=3 m=2}" {
+		t.Errorf("String() = %q", got)
+	}
+}

@@ -1,0 +1,130 @@
+package graph
+
+import "fmt"
+
+// Metric is a finite metric (or distance oracle) on vertices 0..n-1.
+// Both the APSP Matrix and closed-form oracles (e.g. the diagonal torus of
+// Theorem 12) implement it, so equilibrium spot-checks can run on graphs far
+// larger than an explicit APSP would allow.
+type Metric interface {
+	// N returns the number of points.
+	N() int
+	// Dist returns the distance between u and v, or Unreachable.
+	Dist(u, v int) int
+}
+
+// Matrix is a dense all-pairs distance matrix with int32 entries.
+// Row i holds the distances from source i; Unreachable (-1) marks
+// disconnected pairs.
+type Matrix struct {
+	n int
+	d []int32
+}
+
+// NewMatrix allocates an n×n distance matrix initialized to Unreachable.
+func NewMatrix(n int) *Matrix {
+	d := make([]int32, n*n)
+	for i := range d {
+		d[i] = Unreachable
+	}
+	return &Matrix{n: n, d: d}
+}
+
+// N returns the number of vertices.
+func (m *Matrix) N() int { return m.n }
+
+// Dist returns the distance from u to v as an int (Metric interface).
+func (m *Matrix) Dist(u, v int) int { return int(m.d[u*m.n+v]) }
+
+// At returns the raw int32 distance from u to v.
+func (m *Matrix) At(u, v int) int32 { return m.d[u*m.n+v] }
+
+// Set stores the distance from u to v.
+func (m *Matrix) Set(u, v int, d int32) { m.d[u*m.n+v] = d }
+
+// Row returns the mutable distance row for source u.
+func (m *Matrix) Row(u int) []int32 { return m.d[u*m.n : (u+1)*m.n] }
+
+// Connected reports whether every entry is reachable.
+func (m *Matrix) Connected() bool {
+	for _, d := range m.d {
+		if d == Unreachable {
+			return false
+		}
+	}
+	return true
+}
+
+// Diameter returns the maximum finite distance and ok=false if any pair is
+// unreachable (in which case the max over finite entries is still returned).
+func (m *Matrix) Diameter() (diam int, ok bool) {
+	ok = true
+	for _, d := range m.d {
+		if d == Unreachable {
+			ok = false
+			continue
+		}
+		if int(d) > diam {
+			diam = int(d)
+		}
+	}
+	return diam, ok
+}
+
+// Eccentricity returns the maximum distance from u, with ok=false if some
+// vertex is unreachable from u.
+func (m *Matrix) Eccentricity(u int) (ecc int, ok bool) {
+	ok = true
+	for _, d := range m.Row(u) {
+		if d == Unreachable {
+			ok = false
+			continue
+		}
+		if int(d) > ecc {
+			ecc = int(d)
+		}
+	}
+	return ecc, ok
+}
+
+// RowSum returns the sum of finite distances from u and the count of
+// reachable vertices (including u).
+func (m *Matrix) RowSum(u int) (sum int64, reached int) {
+	for _, d := range m.Row(u) {
+		if d != Unreachable {
+			reached++
+			sum += int64(d)
+		}
+	}
+	return sum, reached
+}
+
+// Histogram returns h where h[k] counts vertices at distance exactly k from
+// u (h[0] == 1). Unreachable vertices are not counted.
+func (m *Matrix) Histogram(u int) []int {
+	ecc, _ := m.Eccentricity(u)
+	h := make([]int, ecc+1)
+	for _, d := range m.Row(u) {
+		if d != Unreachable {
+			h[d]++
+		}
+	}
+	return h
+}
+
+// Verify checks internal consistency (zero diagonal, symmetry); it is used
+// by tests and returns a descriptive error on the first violation.
+func (m *Matrix) Verify() error {
+	for u := 0; u < m.n; u++ {
+		if m.At(u, u) != 0 {
+			return fmt.Errorf("matrix: d(%d,%d)=%d, want 0", u, u, m.At(u, u))
+		}
+		for v := u + 1; v < m.n; v++ {
+			if m.At(u, v) != m.At(v, u) {
+				return fmt.Errorf("matrix: asymmetric d(%d,%d)=%d d(%d,%d)=%d",
+					u, v, m.At(u, v), v, u, m.At(v, u))
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,306 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDiameterKnown(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+		want int
+	}{
+		{"path5", pathGraph(5), 4},
+		{"cycle6", cycleGraph(6), 3},
+		{"cycle7", cycleGraph(7), 3},
+		{"star9", starGraph(9), 2},
+		{"K5", completeGraph(5), 1},
+		{"K1", completeGraph(1), 0},
+	}
+	for _, c := range cases {
+		if d, ok := c.g.Diameter(); !ok || d != c.want {
+			t.Errorf("%s: Diameter = %d,%v, want %d,true", c.name, d, ok, c.want)
+		}
+	}
+}
+
+func TestDiameterDisconnected(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	if _, ok := g.Diameter(); ok {
+		t.Error("disconnected graph Diameter ok=true")
+	}
+	if _, ok := New(0).Diameter(); ok {
+		t.Error("empty graph Diameter ok=true")
+	}
+}
+
+func TestRadiusKnown(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+		want int
+	}{
+		{"path5", pathGraph(5), 2},
+		{"path6", pathGraph(6), 3},
+		{"cycle8", cycleGraph(8), 4},
+		{"star7", starGraph(7), 1},
+		{"K4", completeGraph(4), 1},
+	}
+	for _, c := range cases {
+		if r, ok := c.g.Radius(); !ok || r != c.want {
+			t.Errorf("%s: Radius = %d,%v, want %d,true", c.name, r, ok, c.want)
+		}
+	}
+	if _, ok := New(2).Radius(); ok {
+		t.Error("disconnected Radius ok=true")
+	}
+}
+
+func TestIsTree(t *testing.T) {
+	if !pathGraph(5).IsTree() || !starGraph(8).IsTree() {
+		t.Error("path/star not recognized as trees")
+	}
+	if cycleGraph(4).IsTree() {
+		t.Error("cycle recognized as tree")
+	}
+	g := New(4) // forest: right edge count minus one, disconnected
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	if g.IsTree() {
+		t.Error("forest with n-2 edges recognized as tree")
+	}
+	if !New(1).IsTree() {
+		t.Error("K1 should be a tree")
+	}
+}
+
+func TestGirthKnown(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+		want int
+	}{
+		{"triangle", completeGraph(3), 3},
+		{"K5", completeGraph(5), 3},
+		{"C4", cycleGraph(4), 4},
+		{"C9", cycleGraph(9), 9},
+	}
+	for _, c := range cases {
+		if girth, ok := c.g.Girth(); !ok || girth != c.want {
+			t.Errorf("%s: Girth = %d,%v, want %d,true", c.name, girth, ok, c.want)
+		}
+	}
+	if _, ok := pathGraph(6).Girth(); ok {
+		t.Error("path (acyclic) Girth ok=true")
+	}
+	if _, ok := starGraph(5).Girth(); ok {
+		t.Error("star (acyclic) Girth ok=true")
+	}
+}
+
+func TestGirthCompleteBipartite(t *testing.T) {
+	// K_{3,3}: girth 4.
+	g := New(6)
+	for u := 0; u < 3; u++ {
+		for v := 3; v < 6; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	if girth, ok := g.Girth(); !ok || girth != 4 {
+		t.Errorf("K33 Girth = %d,%v, want 4,true", girth, ok)
+	}
+}
+
+func TestGirthPetersen(t *testing.T) {
+	// Petersen graph: outer C5 (0-4), inner pentagram (5-9), spokes.
+	g := New(10)
+	for i := 0; i < 5; i++ {
+		g.AddEdge(i, (i+1)%5)
+		g.AddEdge(5+i, 5+(i+2)%5)
+		g.AddEdge(i, 5+i)
+	}
+	if girth, ok := g.Girth(); !ok || girth != 5 {
+		t.Errorf("Petersen Girth = %d,%v, want 5,true", girth, ok)
+	}
+	if d, ok := g.Diameter(); !ok || d != 2 {
+		t.Errorf("Petersen Diameter = %d,%v, want 2,true", d, ok)
+	}
+}
+
+// girthBrute finds the shortest cycle by trying all edges: remove edge uv,
+// shortest remaining u-v path + 1 is the shortest cycle through uv.
+func girthBrute(g *Graph) (int, bool) {
+	best := -1
+	for _, e := range g.Edges() {
+		g.RemoveEdge(e.U, e.V)
+		d := g.BFS(e.U)[e.V]
+		g.AddEdge(e.U, e.V)
+		if d != Unreachable {
+			if c := int(d) + 1; best < 0 || c < best {
+				best = c
+			}
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}
+
+func TestGirthRandomAgainstBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + rng.Intn(12)
+		g := randomConnected(rng, n, rng.Float64()*0.4)
+		got, gotOK := g.Girth()
+		want, wantOK := girthBrute(g)
+		if gotOK != wantOK || (gotOK && got != want) {
+			t.Fatalf("trial %d (n=%d m=%d): Girth = %d,%v, want %d,%v",
+				trial, n, g.M(), got, gotOK, want, wantOK)
+		}
+	}
+}
+
+func TestCutVerticesPath(t *testing.T) {
+	g := pathGraph(5)
+	got := g.CutVertices()
+	want := []int{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("CutVertices(path5) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("CutVertices(path5) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCutVerticesStarCycleComplete(t *testing.T) {
+	if got := starGraph(6).CutVertices(); len(got) != 1 || got[0] != 0 {
+		t.Errorf("CutVertices(star) = %v, want [0]", got)
+	}
+	if got := cycleGraph(6).CutVertices(); len(got) != 0 {
+		t.Errorf("CutVertices(cycle) = %v, want []", got)
+	}
+	if got := completeGraph(5).CutVertices(); len(got) != 0 {
+		t.Errorf("CutVertices(K5) = %v, want []", got)
+	}
+}
+
+func TestCutVerticesTwoTriangles(t *testing.T) {
+	// Two triangles sharing vertex 2: cut vertex is 2.
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 4)
+	g.AddEdge(4, 2)
+	if got := g.CutVertices(); len(got) != 1 || got[0] != 2 {
+		t.Errorf("CutVertices = %v, want [2]", got)
+	}
+}
+
+// cutVerticesBrute removes each vertex and counts components.
+func cutVerticesBrute(g *Graph) []int {
+	base := len(g.ConnectedComponents())
+	var out []int
+	for v := 0; v < g.N(); v++ {
+		h := New(g.N() - 1)
+		// Relabel skipping v.
+		idx := func(u int) int {
+			if u > v {
+				return u - 1
+			}
+			return u
+		}
+		for _, e := range g.Edges() {
+			if e.U != v && e.V != v {
+				h.AddEdge(idx(e.U), idx(e.V))
+			}
+		}
+		isolated := 0
+		if g.Degree(v) == 0 {
+			isolated = 1
+		}
+		if len(h.ConnectedComponents()) > base-isolated {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func TestCutVerticesRandomAgainstBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + rng.Intn(12)
+		g := randomConnected(rng, n, rng.Float64()*0.3)
+		got := g.CutVertices()
+		want := cutVerticesBrute(g)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: CutVertices = %v, want %v (n=%d m=%d)",
+				trial, got, want, n, g.M())
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: CutVertices = %v, want %v", trial, got, want)
+			}
+		}
+	}
+}
+
+func TestPowerGraph(t *testing.T) {
+	g := pathGraph(7)
+	p := g.Power(2)
+	// In P7^2, vertex 0 is adjacent to 1 and 2.
+	if !p.HasEdge(0, 1) || !p.HasEdge(0, 2) || p.HasEdge(0, 3) {
+		t.Error("Power(2) adjacency wrong on path")
+	}
+	// Distances in G^x are ceil(d/x).
+	gm := g.AllPairs()
+	pm := p.AllPairs()
+	for u := 0; u < 7; u++ {
+		for v := 0; v < 7; v++ {
+			d := gm.Dist(u, v)
+			want := (d + 1) / 2 // ceil(d/2)
+			if pm.Dist(u, v) != want {
+				t.Errorf("d_{G^2}(%d,%d) = %d, want %d", u, v, pm.Dist(u, v), want)
+			}
+		}
+	}
+}
+
+func TestPowerLargeXGivesClique(t *testing.T) {
+	g := pathGraph(5)
+	p := g.Power(10)
+	if p.M() != 5*4/2 {
+		t.Errorf("Power(10) of P5 has m=%d, want complete graph 10", p.M())
+	}
+}
+
+func TestPowerInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Power(0) did not panic")
+		}
+	}()
+	pathGraph(3).Power(0)
+}
+
+func TestNeighborhoodsIndependent(t *testing.T) {
+	if completeGraph(3).NeighborhoodsIndependent() {
+		t.Error("triangle has independent neighborhoods")
+	}
+	if !cycleGraph(4).NeighborhoodsIndependent() {
+		t.Error("C4 neighborhoods should be independent")
+	}
+	if !starGraph(6).NeighborhoodsIndependent() {
+		t.Error("star neighborhoods should be independent")
+	}
+	if !cycleGraph(5).NeighborhoodsIndependent() {
+		t.Error("C5 neighborhoods should be independent")
+	}
+}

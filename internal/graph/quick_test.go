@@ -1,0 +1,259 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// genGraph is a quick.Generator wrapper producing random graphs (sometimes
+// disconnected) of modest size.
+type genGraph struct {
+	g *Graph
+}
+
+func (genGraph) Generate(rng *rand.Rand, size int) reflect.Value {
+	n := 2 + rng.Intn(14)
+	var g *Graph
+	if rng.Intn(3) == 0 {
+		// Possibly disconnected Erdős–Rényi graph.
+		g = New(n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < 0.2 {
+					g.AddEdge(u, v)
+				}
+			}
+		}
+	} else {
+		g = randomConnected(rng, n, rng.Float64()*0.3)
+	}
+	return reflect.ValueOf(genGraph{g})
+}
+
+var quickCfg = &quick.Config{MaxCount: 60}
+
+func TestQuickMatrixSymmetricZeroDiagonal(t *testing.T) {
+	f := func(w genGraph) bool {
+		return w.g.AllPairs().Verify() == nil
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickEdgeDistanceOne(t *testing.T) {
+	f := func(w genGraph) bool {
+		m := w.g.AllPairs()
+		for _, e := range w.g.Edges() {
+			if m.Dist(e.U, e.V) != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTriangleInequalityOverEdges(t *testing.T) {
+	// For every edge xy and vertex u: |d(u,x) - d(u,y)| <= 1 when both
+	// finite (the BFS level property).
+	f := func(w genGraph) bool {
+		m := w.g.AllPairs()
+		for _, e := range w.g.Edges() {
+			for u := 0; u < w.g.N(); u++ {
+				dx, dy := m.Dist(u, e.U), m.Dist(u, e.V)
+				if dx == Unreachable || dy == Unreachable {
+					if dx != dy {
+						return false // one endpoint reachable, other not: impossible
+					}
+					continue
+				}
+				diff := dx - dy
+				if diff < -1 || diff > 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRemoveAddRoundTrip(t *testing.T) {
+	f := func(w genGraph, seed int64) bool {
+		g := w.g
+		edges := g.Edges()
+		if len(edges) == 0 {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		e := edges[rng.Intn(len(edges))]
+		before := g.Clone()
+		if !g.RemoveEdge(e.U, e.V) {
+			return false
+		}
+		if g.M() != before.M()-1 {
+			return false
+		}
+		if !g.AddEdge(e.U, e.V) {
+			return false
+		}
+		return g.Equal(before)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRemovalNeverShortensDistances(t *testing.T) {
+	// Deleting an edge can only increase distances (monotonicity the
+	// paper's swap arguments rely on).
+	f := func(w genGraph, seed int64) bool {
+		g := w.g
+		edges := g.Edges()
+		if len(edges) == 0 {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		e := edges[rng.Intn(len(edges))]
+		before := g.AllPairs()
+		g.RemoveEdge(e.U, e.V)
+		after := g.AllPairs()
+		g.AddEdge(e.U, e.V)
+		for u := 0; u < g.N(); u++ {
+			for v := 0; v < g.N(); v++ {
+				b, a := before.Dist(u, v), after.Dist(u, v)
+				if a == Unreachable {
+					continue // became unreachable: "increased" to infinity
+				}
+				if b == Unreachable || a < b {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickInsertionPatchIdentity(t *testing.T) {
+	// The identity the swap checkers rely on: after adding edge vw,
+	// d_new(v,x) = min(d(v,x), 1 + d(w,x)).
+	f := func(w genGraph, seed int64) bool {
+		g := w.g
+		rng := rand.New(rand.NewSource(seed))
+		v := rng.Intn(g.N())
+		non := g.NonNeighbors(v)
+		if len(non) == 0 {
+			return true
+		}
+		wp := non[rng.Intn(len(non))]
+		dv := g.BFS(v)
+		dw := g.BFS(wp)
+		g.AddEdge(v, wp)
+		after := g.BFS(v)
+		g.RemoveEdge(v, wp)
+		for x := 0; x < g.N(); x++ {
+			want := minPatched(int(dv[x]), int(dw[x]))
+			if int(after[x]) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// minPatched combines d(v,x) with 1+d(w',x) treating -1 as infinity.
+func minPatched(dvx, dwx int) int {
+	via := -1
+	if dwx != Unreachable {
+		via = dwx + 1
+	}
+	switch {
+	case dvx == Unreachable:
+		return via
+	case via == Unreachable:
+		return dvx
+	case via < dvx:
+		return via
+	default:
+		return dvx
+	}
+}
+
+func TestQuickPowerDistanceCeil(t *testing.T) {
+	f := func(w genGraph, xRaw uint8) bool {
+		x := 1 + int(xRaw%4)
+		g := w.g
+		gm := g.AllPairs()
+		pm := g.Power(x).AllPairs()
+		for u := 0; u < g.N(); u++ {
+			for v := 0; v < g.N(); v++ {
+				d := gm.Dist(u, v)
+				if d == Unreachable {
+					if pm.Dist(u, v) != Unreachable {
+						return false
+					}
+					continue
+				}
+				want := (d + x - 1) / x
+				if pm.Dist(u, v) != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickComponentsPartition(t *testing.T) {
+	f := func(w genGraph) bool {
+		comps := w.g.ConnectedComponents()
+		seen := make([]bool, w.g.N())
+		total := 0
+		for _, c := range comps {
+			for _, v := range c {
+				if seen[v] {
+					return false
+				}
+				seen[v] = true
+				total++
+			}
+		}
+		return total == w.g.N()
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCloneEqualAndEdgesRoundTrip(t *testing.T) {
+	f := func(w genGraph) bool {
+		c := w.g.Clone()
+		if !w.g.Equal(c) {
+			return false
+		}
+		rebuilt, err := FromEdges(w.g.N(), w.g.Edges())
+		if err != nil {
+			return false
+		}
+		return rebuilt.Equal(w.g)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}

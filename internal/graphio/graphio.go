@@ -1,0 +1,185 @@
+// Package graphio serializes graphs: a plain edge-list text format, the
+// standard graph6 compact encoding, and Graphviz DOT export. All readers
+// validate input and round-trip with the writers.
+package graphio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// WriteEdgeList writes g in the text format:
+//
+//	n m
+//	u v        (one line per edge, sorted)
+//
+// Lines starting with '#' are comments on input and are never produced on
+// output.
+func WriteEdgeList(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d %d\n", g.N(), g.M()); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", e.U, e.V); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the WriteEdgeList format. Blank lines and lines
+// beginning with '#' are ignored.
+func ReadEdgeList(r io.Reader) (*graph.Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	var g *graph.Graph
+	wantEdges := 0
+	edges := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var a, b int
+		if _, err := fmt.Sscanf(line, "%d %d", &a, &b); err != nil {
+			return nil, fmt.Errorf("graphio: bad line %q: %v", line, err)
+		}
+		if g == nil {
+			if a < 0 || b < 0 {
+				return nil, fmt.Errorf("graphio: bad header %q", line)
+			}
+			g = graph.New(a)
+			wantEdges = b
+			continue
+		}
+		if a < 0 || a >= g.N() || b < 0 || b >= g.N() || a == b {
+			return nil, fmt.Errorf("graphio: invalid edge %d-%d for n=%d", a, b, g.N())
+		}
+		if !g.AddEdge(a, b) {
+			return nil, fmt.Errorf("graphio: duplicate edge %d-%d", a, b)
+		}
+		edges++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("graphio: empty input")
+	}
+	if edges != wantEdges {
+		return nil, fmt.Errorf("graphio: header declares %d edges, found %d", wantEdges, edges)
+	}
+	return g, nil
+}
+
+// ToGraph6 encodes g in the standard graph6 format (ASCII, one line).
+// Supported for 0 <= n <= 258047.
+func ToGraph6(g *graph.Graph) (string, error) {
+	n := g.N()
+	var sb strings.Builder
+	switch {
+	case n <= 62:
+		sb.WriteByte(byte(n + 63))
+	case n <= 258047:
+		sb.WriteByte(126)
+		sb.WriteByte(byte((n>>12)&63) + 63)
+		sb.WriteByte(byte((n>>6)&63) + 63)
+		sb.WriteByte(byte(n&63) + 63)
+	default:
+		return "", fmt.Errorf("graphio: graph6 n=%d too large", n)
+	}
+	// Upper-triangle bits in column order: for j=1..n-1, i=0..j-1.
+	var bits []bool
+	for j := 1; j < n; j++ {
+		for i := 0; i < j; i++ {
+			bits = append(bits, g.HasEdge(i, j))
+		}
+	}
+	for len(bits)%6 != 0 {
+		bits = append(bits, false)
+	}
+	for k := 0; k < len(bits); k += 6 {
+		b := 0
+		for t := 0; t < 6; t++ {
+			b <<= 1
+			if bits[k+t] {
+				b |= 1
+			}
+		}
+		sb.WriteByte(byte(b + 63))
+	}
+	return sb.String(), nil
+}
+
+// FromGraph6 decodes a graph6 string produced by ToGraph6 (or any standard
+// graph6 tool) into a graph.
+func FromGraph6(s string) (*graph.Graph, error) {
+	if s == "" {
+		return nil, fmt.Errorf("graphio: empty graph6 string")
+	}
+	data := []byte(strings.TrimSpace(s))
+	pos := 0
+	var n int
+	if data[pos] == 126 {
+		if len(data) < 4 {
+			return nil, fmt.Errorf("graphio: truncated graph6 header")
+		}
+		n = int(data[1]-63)<<12 | int(data[2]-63)<<6 | int(data[3]-63)
+		pos = 4
+	} else {
+		n = int(data[0] - 63)
+		pos = 1
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("graphio: invalid graph6 size")
+	}
+	nbits := n * (n - 1) / 2
+	need := (nbits + 5) / 6
+	if len(data)-pos != need {
+		return nil, fmt.Errorf("graphio: graph6 body has %d bytes, want %d", len(data)-pos, need)
+	}
+	g := graph.New(n)
+	bit := 0
+	for j := 1; j < n; j++ {
+		for i := 0; i < j; i++ {
+			byteIdx := pos + bit/6
+			c := data[byteIdx]
+			if c < 63 || c > 126 {
+				return nil, fmt.Errorf("graphio: invalid graph6 byte %q", c)
+			}
+			if (c-63)>>(5-uint(bit%6))&1 == 1 {
+				g.AddEdge(i, j)
+			}
+			bit++
+		}
+	}
+	return g, nil
+}
+
+// ToDOT renders g as an undirected Graphviz graph. labels may be nil; when
+// provided it supplies display names per vertex.
+func ToDOT(g *graph.Graph, name string, labels map[int]string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "graph %q {\n", name)
+	if labels != nil {
+		keys := make([]int, 0, len(labels))
+		for k := range labels {
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&sb, "  %d [label=%q];\n", k, labels[k])
+		}
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&sb, "  %d -- %d;\n", e.U, e.V)
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

@@ -1,0 +1,306 @@
+// Package iso provides graph-isomorphism utilities sized for the
+// reproduction's needs: exact canonical certificates for small graphs
+// (minimization over all vertex permutations), a color-refinement invariant
+// for larger ones, and an exact backtracking isomorphism test with
+// refinement pruning. The experiment harness uses it to count equilibrium
+// graphs up to isomorphism — e.g. that the star is the unique
+// sum-equilibrium tree (Theorem 1) and that exactly two families survive in
+// the max version (Theorem 4).
+package iso
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// MaxExactN bounds the exact canonical certificate (n! permutations).
+const MaxExactN = 8
+
+// Certificate returns a string that is identical for isomorphic graphs.
+// For n <= MaxExactN it is a complete invariant (canonical form); beyond
+// that it is the color-refinement invariant, which distinguishes most but
+// not all non-isomorphic graphs (equal certificates then require
+// Isomorphic for confirmation).
+func Certificate(g *graph.Graph) string {
+	if g.N() <= MaxExactN {
+		return fmt.Sprintf("exact:%d:%x", g.N(), exactCode(g))
+	}
+	return refineCert(g)
+}
+
+// exactCode returns the lexicographically smallest upper-triangle adjacency
+// bit code over all vertex permutations.
+func exactCode(g *graph.Graph) uint64 {
+	n := g.N()
+	adj := make([][]bool, n)
+	for i := range adj {
+		adj[i] = make([]bool, n)
+	}
+	for _, e := range g.Edges() {
+		adj[e.U][e.V] = true
+		adj[e.V][e.U] = true
+	}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	best := ^uint64(0)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			var code uint64
+			for j := 1; j < n; j++ {
+				for i := 0; i < j; i++ {
+					code <<= 1
+					if adj[perm[i]][perm[j]] {
+						code |= 1
+					}
+				}
+			}
+			if code < best {
+				best = code
+			}
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	if n*(n-1)/2 > 64 {
+		panic("iso: exactCode overflow") // unreachable: MaxExactN = 8 → 28 bits
+	}
+	rec(0)
+	return best
+}
+
+// RefinementColors runs 1-dimensional Weisfeiler–Leman color refinement to
+// a fixpoint and returns the stable color of every vertex. Colors are
+// normalized to 0..k-1 in order of first appearance of their signature.
+func RefinementColors(g *graph.Graph) []int {
+	n := g.N()
+	colors := make([]int, n)
+	for v := 0; v < n; v++ {
+		colors[v] = g.Degree(v)
+	}
+	colors = normalize(colors)
+	for iter := 0; iter < n; iter++ {
+		sigs := make([]string, n)
+		for v := 0; v < n; v++ {
+			nb := make([]int, 0, g.Degree(v))
+			for _, u := range g.Neighbors(v) {
+				nb = append(nb, colors[u])
+			}
+			sort.Ints(nb)
+			sigs[v] = fmt.Sprintf("%d|%v", colors[v], nb)
+		}
+		next := canonicalize(sigs)
+		if equalInts(next, colors) {
+			break
+		}
+		colors = next
+	}
+	return colors
+}
+
+func normalize(colors []int) []int {
+	seen := map[int]int{}
+	out := make([]int, len(colors))
+	nextID := 0
+	// Deterministic: assign ids by sorted distinct values.
+	distinct := append([]int(nil), colors...)
+	sort.Ints(distinct)
+	for _, c := range distinct {
+		if _, ok := seen[c]; !ok {
+			seen[c] = nextID
+			nextID++
+		}
+	}
+	for i, c := range colors {
+		out[i] = seen[c]
+	}
+	return out
+}
+
+func canonicalize(sigs []string) []int {
+	distinct := append([]string(nil), sigs...)
+	sort.Strings(distinct)
+	id := map[string]int{}
+	next := 0
+	for _, s := range distinct {
+		if _, ok := id[s]; !ok {
+			id[s] = next
+			next++
+		}
+	}
+	out := make([]int, len(sigs))
+	for i, s := range sigs {
+		out[i] = id[s]
+	}
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// refineCert builds an isomorphism-invariant string from the refinement
+// colors: class sizes plus the color profile of every edge.
+func refineCert(g *graph.Graph) string {
+	colors := RefinementColors(g)
+	classCount := map[int]int{}
+	for _, c := range colors {
+		classCount[c]++
+	}
+	var classes []string
+	for c, cnt := range classCount {
+		classes = append(classes, fmt.Sprintf("%d*%d", c, cnt))
+	}
+	sort.Strings(classes)
+	edgeProfile := map[string]int{}
+	for _, e := range g.Edges() {
+		a, b := colors[e.U], colors[e.V]
+		if a > b {
+			a, b = b, a
+		}
+		edgeProfile[fmt.Sprintf("%d-%d", a, b)]++
+	}
+	var edges []string
+	for k, v := range edgeProfile {
+		edges = append(edges, fmt.Sprintf("%s*%d", k, v))
+	}
+	sort.Strings(edges)
+	return fmt.Sprintf("wl:%d:%d:[%s]:[%s]", g.N(), g.M(),
+		strings.Join(classes, ","), strings.Join(edges, ","))
+}
+
+// Isomorphic decides graph isomorphism exactly via backtracking with
+// color-refinement pruning. Intended for the moderate sizes of this
+// repository's experiments (tens of vertices).
+func Isomorphic(a, b *graph.Graph) bool {
+	if a.N() != b.N() || a.M() != b.M() {
+		return false
+	}
+	n := a.N()
+	if n == 0 {
+		return true
+	}
+	ca := RefinementColors(a)
+	cb := RefinementColors(b)
+	if !sameColorHistogram(ca, cb) {
+		return false
+	}
+	// Map a's vertices in order of most-constrained color class first.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	classSize := map[int]int{}
+	for _, c := range ca {
+		classSize[c]++
+	}
+	sort.Slice(order, func(i, j int) bool {
+		ci, cj := ca[order[i]], ca[order[j]]
+		if classSize[ci] != classSize[cj] {
+			return classSize[ci] < classSize[cj]
+		}
+		if ci != cj {
+			return ci < cj
+		}
+		return order[i] < order[j]
+	})
+	mapping := make([]int, n)
+	used := make([]bool, n)
+	for i := range mapping {
+		mapping[i] = -1
+	}
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k == n {
+			return true
+		}
+		v := order[k]
+		for w := 0; w < n; w++ {
+			if used[w] || cb[w] != ca[v] {
+				continue
+			}
+			okMap := true
+			for j := 0; j < k; j++ {
+				u := order[j]
+				if a.HasEdge(v, u) != b.HasEdge(w, mapping[u]) {
+					okMap = false
+					break
+				}
+			}
+			if !okMap {
+				continue
+			}
+			mapping[v] = w
+			used[w] = true
+			if rec(k + 1) {
+				return true
+			}
+			mapping[v] = -1
+			used[w] = false
+		}
+		return false
+	}
+	return rec(0)
+}
+
+func sameColorHistogram(a, b []int) bool {
+	ha := map[int]int{}
+	hb := map[int]int{}
+	for _, c := range a {
+		ha[c]++
+	}
+	for _, c := range b {
+		hb[c]++
+	}
+	if len(ha) != len(hb) {
+		return false
+	}
+	for c, n := range ha {
+		if hb[c] != n {
+			return false
+		}
+	}
+	return true
+}
+
+// CountClasses groups graphs into isomorphism classes and returns the
+// number of classes, using certificates as a first filter and Isomorphic to
+// resolve collisions exactly.
+func CountClasses(graphs []*graph.Graph) int {
+	buckets := map[string][]*graph.Graph{}
+	for _, g := range graphs {
+		cert := Certificate(g)
+		placed := false
+		for _, rep := range buckets[cert] {
+			if Isomorphic(rep, g) {
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			buckets[cert] = append(buckets[cert], g)
+		}
+	}
+	count := 0
+	for _, reps := range buckets {
+		count += len(reps)
+	}
+	return count
+}

@@ -1,0 +1,177 @@
+package iso
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/constructions"
+	"repro/internal/graph"
+	"repro/internal/treegen"
+)
+
+// relabel applies a random vertex permutation.
+func relabel(g *graph.Graph, rng *rand.Rand) *graph.Graph {
+	n := g.N()
+	perm := rng.Perm(n)
+	out := graph.New(n)
+	for _, e := range g.Edges() {
+		out.AddEdge(perm[e.U], perm[e.V])
+	}
+	return out
+}
+
+func TestCertificateInvariantUnderRelabeling(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cases := []*graph.Graph{
+		constructions.Path(6),
+		constructions.Cycle(7),
+		constructions.Star(8),
+		constructions.Petersen(),   // n=10: refinement branch
+		constructions.Hypercube(4), // n=16
+		treegen.RandomTree(7, rng),
+		treegen.RandomTree(15, rng),
+	}
+	for i, g := range cases {
+		c0 := Certificate(g)
+		for trial := 0; trial < 5; trial++ {
+			h := relabel(g, rng)
+			if Certificate(h) != c0 {
+				t.Errorf("case %d: certificate changed under relabeling", i)
+			}
+		}
+	}
+}
+
+func TestCertificateSeparatesSmallGraphs(t *testing.T) {
+	// All non-isomorphic trees on 6 vertices (there are 6) get distinct
+	// exact certificates.
+	certs := map[string]bool{}
+	treegen.AllTrees(6, func(g *graph.Graph) bool {
+		certs[Certificate(g)] = true
+		return true
+	})
+	if len(certs) != 6 {
+		t.Errorf("trees on 6 vertices: %d certificates, want 6 classes", len(certs))
+	}
+}
+
+func TestIsomorphicBasic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := constructions.Petersen()
+	if !Isomorphic(g, relabel(g, rng)) {
+		t.Error("Petersen not isomorphic to its relabeling")
+	}
+	if Isomorphic(constructions.Path(5), constructions.Star(5)) {
+		t.Error("P5 isomorphic to star")
+	}
+	if Isomorphic(constructions.Cycle(6), constructions.Path(6)) {
+		t.Error("C6 isomorphic to P6 (different m)")
+	}
+	if !Isomorphic(graph.New(0), graph.New(0)) {
+		t.Error("empty graphs not isomorphic")
+	}
+	if Isomorphic(graph.New(3), graph.New(4)) {
+		t.Error("different sizes isomorphic")
+	}
+}
+
+func TestIsomorphicHardPair(t *testing.T) {
+	// C6 vs two disjoint triangles: same degree sequence (all degree 2),
+	// same n and m — distinguished only by structure.
+	c6 := constructions.Cycle(6)
+	twoTriangles := graph.New(6)
+	twoTriangles.AddEdge(0, 1)
+	twoTriangles.AddEdge(1, 2)
+	twoTriangles.AddEdge(2, 0)
+	twoTriangles.AddEdge(3, 4)
+	twoTriangles.AddEdge(4, 5)
+	twoTriangles.AddEdge(5, 3)
+	if Isomorphic(c6, twoTriangles) {
+		t.Error("C6 isomorphic to 2×K3")
+	}
+	// Exact certificates must also differ (n=6 <= MaxExactN).
+	if Certificate(c6) == Certificate(twoTriangles) {
+		t.Error("exact certificates collide for C6 vs 2×K3")
+	}
+}
+
+func TestIsomorphicRegularPair(t *testing.T) {
+	// 3-regular pair on 8 vertices: cube Q3 vs K_{3,3} plus... use Q3 vs
+	// the circulant C8(1,4) (the Möbius–Kantor-like graph, also 3-regular).
+	q3 := constructions.Hypercube(3)
+	c814 := constructions.Circulant(8, []int{1, 4})
+	if q3.M() != c814.M() {
+		t.Fatalf("m mismatch %d vs %d", q3.M(), c814.M())
+	}
+	// Q3 is bipartite with girth 4; C8(1,4) has girth 4 too but contains
+	// odd cycles? C8(1,4): edges ±1 and antipodal. Cycle 0-1-2-3-4-0 using
+	// jumps 1,1,1,1,4: length 5 — odd: not bipartite, so not isomorphic.
+	if Isomorphic(q3, c814) {
+		t.Error("Q3 isomorphic to C8(1,4)")
+	}
+}
+
+func TestRefinementColorsClasses(t *testing.T) {
+	// Star: two classes (center, leaves).
+	colors := RefinementColors(constructions.Star(7))
+	if colors[0] == colors[1] {
+		t.Error("star center shares leaf color")
+	}
+	for v := 2; v < 7; v++ {
+		if colors[v] != colors[1] {
+			t.Error("star leaves not uniform")
+		}
+	}
+	// Vertex-transitive graphs collapse to one class.
+	colors = RefinementColors(constructions.Cycle(9))
+	for _, c := range colors {
+		if c != colors[0] {
+			t.Error("cycle refinement not uniform")
+		}
+	}
+}
+
+func TestCountClasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	star := constructions.Star(7)
+	path := constructions.Path(7)
+	graphs := []*graph.Graph{
+		star, relabel(star, rng), relabel(star, rng),
+		path, relabel(path, rng),
+		constructions.Cycle(7),
+	}
+	if got := CountClasses(graphs); got != 3 {
+		t.Errorf("CountClasses = %d, want 3", got)
+	}
+	if CountClasses(nil) != 0 {
+		t.Error("empty CountClasses != 0")
+	}
+}
+
+func TestCountClassesLargerGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	pet := constructions.Petersen()
+	graphs := []*graph.Graph{
+		pet, relabel(pet, rng),
+		constructions.Circulant(10, []int{1, 2}),
+	}
+	if got := CountClasses(graphs); got != 2 {
+		t.Errorf("CountClasses = %d, want 2", got)
+	}
+}
+
+func TestAllTreeClassesMatchOEIS(t *testing.T) {
+	// Number of non-isomorphic trees on n vertices: 1, 1, 1, 2, 3, 6, 11
+	// (OEIS A000055). Verify via exhaustive enumeration + CountClasses.
+	want := map[int]int{3: 1, 4: 2, 5: 3, 6: 6, 7: 11}
+	for n, classes := range want {
+		var all []*graph.Graph
+		treegen.AllTrees(n, func(g *graph.Graph) bool {
+			all = append(all, g.Clone())
+			return true
+		})
+		if got := CountClasses(all); got != classes {
+			t.Errorf("n=%d: %d tree classes, want %d", n, got, classes)
+		}
+	}
+}

@@ -1,0 +1,389 @@
+// Package nash implements greedy best-response dynamics for the classic
+// α-parametrized network creation game [9] that the basic game abstracts:
+// each player owns the edges it bought, pays α per owned edge plus its sum
+// of distances, and may buy one edge, delete one owned edge, or swap one
+// owned edge per move. A configuration is a greedy equilibrium when no
+// single-edge move strictly lowers any player's cost.
+//
+// Full Nash equilibria of the α-game (arbitrary strategy changes) are
+// NP-hard even to recognize; the greedy (single-edge) restriction is the
+// standard computationally-bounded variant and is exactly the move set
+// whose swap subset the basic game keeps. Running this dynamics across an
+// α grid reproduces the paper's motivation: the equilibrium structure
+// varies wildly with α, while every greedy equilibrium remains stable under
+// owner-side swaps — the α-independent core that swap equilibria isolate.
+package nash
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/games"
+	"repro/internal/graph"
+)
+
+// MoveKind labels the three single-edge moves of the greedy α-game.
+type MoveKind int
+
+const (
+	// Buy adds a new edge paid by the player.
+	Buy MoveKind = iota
+	// Delete removes an edge the player owns.
+	Delete
+	// Swap replaces an owned edge with a new one (same creation cost).
+	Swap
+)
+
+// String names the move kind.
+func (k MoveKind) String() string {
+	switch k {
+	case Buy:
+		return "buy"
+	case Delete:
+		return "delete"
+	case Swap:
+		return "swap"
+	default:
+		return fmt.Sprintf("MoveKind(%d)", int(k))
+	}
+}
+
+// Move is a single-edge move by Player: Buy v–Add, Delete v–Drop, or Swap
+// v–Drop for v–Add.
+type Move struct {
+	Kind   MoveKind
+	Player int
+	Drop   int // Delete/Swap: the neighbor losing its edge
+	Add    int // Buy/Swap: the new neighbor
+}
+
+// String renders the move.
+func (m Move) String() string {
+	switch m.Kind {
+	case Buy:
+		return fmt.Sprintf("%d buys %d", m.Player, m.Add)
+	case Delete:
+		return fmt.Sprintf("%d deletes %d", m.Player, m.Drop)
+	default:
+		return fmt.Sprintf("%d swaps %d→%d", m.Player, m.Drop, m.Add)
+	}
+}
+
+// State is a configuration of the α-game: the network, who owns each edge,
+// the edge price, and the usage objective (Sum for the Fabrikant et al.
+// game, Max for the eccentricity variant).
+type State struct {
+	G     *graph.Graph
+	Own   games.Ownership
+	Alpha float64
+	Obj   core.Objective // zero value is core.Sum
+}
+
+// NewState validates and wraps a sum-version configuration.
+func NewState(g *graph.Graph, own games.Ownership, alpha float64) (*State, error) {
+	return NewStateObj(g, own, alpha, core.Sum)
+}
+
+// NewStateObj validates and wraps a configuration with an explicit usage
+// objective.
+func NewStateObj(g *graph.Graph, own games.Ownership, alpha float64, obj core.Objective) (*State, error) {
+	if err := own.Validate(g); err != nil {
+		return nil, err
+	}
+	if alpha < 0 {
+		return nil, errors.New("nash: negative alpha")
+	}
+	return &State{G: g, Own: own, Alpha: alpha, Obj: obj}, nil
+}
+
+// PlayerCost returns cost_α(v) = α·bought(v) + usage(v), where usage is the
+// distance sum (Sum) or the eccentricity (Max); usage is InfCost when
+// disconnected.
+func (s *State) PlayerCost(v int) float64 {
+	return s.Alpha*float64(s.Own.Bought(v)) + float64(core.Cost(s.G, v, s.Obj))
+}
+
+// usageOfRow prices a BFS row under the state's objective.
+func (s *State) usageOfRow(row []int32) int64 {
+	if s.Obj == core.Max {
+		return eccRow(row)
+	}
+	return sumRow(row)
+}
+
+// patchedUsage prices the patched rows under the state's objective.
+func (s *State) patchedUsage(dv, dw []int32) int64 {
+	if s.Obj == core.Max {
+		return patchedEccRows(dv, dw)
+	}
+	return patchedSumRows(dv, dw)
+}
+
+// SocialCost returns α·m + Σ_v Σ_u d(v,u).
+func (s *State) SocialCost() float64 {
+	return games.SocialCost(s.G, s.Alpha)
+}
+
+// ownedNeighbors lists the neighbors w of v with the edge vw owned by v,
+// sorted for determinism.
+func (s *State) ownedNeighbors(v int) []int {
+	var out []int
+	for _, w := range s.G.Neighbors(v) {
+		if s.Own[graph.NewEdge(v, w)] == v {
+			out = append(out, w)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// BestResponse returns player v's cost-minimizing single-edge move and its
+// (negative) cost delta, with found=false when no move strictly improves.
+// The scan order is deterministic: buys, deletes, then swaps, each in
+// ascending vertex order; ties keep the earliest.
+func (s *State) BestResponse(v int) (best Move, bestDelta float64, found bool) {
+	n := s.G.N()
+	dv := s.G.BFS(v)
+	baseUsage := s.usageOfRow(dv)
+	bestDelta = 0
+
+	consider := func(m Move, delta float64) {
+		if delta < bestDelta {
+			bestDelta, best, found = delta, m, true
+		}
+	}
+
+	// Buys: Δ = α + (usage_after − usage_before).
+	for w := 0; w < n; w++ {
+		if w == v || s.G.HasEdge(v, w) {
+			continue
+		}
+		dw := s.G.BFS(w)
+		after := s.patchedUsage(dv, dw)
+		consider(Move{Kind: Buy, Player: v, Add: w},
+			s.Alpha+float64(after-baseUsage))
+	}
+
+	// Deletes and swaps of owned edges.
+	dist := make([]int32, n)
+	queue := make([]int, 0, n)
+	for _, w := range s.ownedNeighbors(v) {
+		s.G.RemoveEdge(v, w)
+		s.G.BFSInto(v, dist, queue)
+		delUsage := s.usageOfRow(dist)
+		consider(Move{Kind: Delete, Player: v, Drop: w},
+			-s.Alpha+float64(delUsage-baseUsage))
+		// Swaps: price all replacement endpoints from one APSP of G−vw.
+		ap := s.G.AllPairs()
+		dvPrime := ap.Row(v)
+		for wp := 0; wp < n; wp++ {
+			if wp == v || wp == w || s.G.HasEdge(v, wp) {
+				continue
+			}
+			after := s.patchedUsage(dvPrime, ap.Row(wp))
+			consider(Move{Kind: Swap, Player: v, Drop: w, Add: wp},
+				float64(after-baseUsage))
+		}
+		s.G.AddEdge(v, w)
+	}
+	return best, bestDelta, found
+}
+
+// Apply performs the move, updating graph and ownership.
+func (s *State) Apply(m Move) error {
+	switch m.Kind {
+	case Buy:
+		if !s.G.AddEdge(m.Player, m.Add) {
+			return fmt.Errorf("nash: buy %v: edge exists", m)
+		}
+		s.Own[graph.NewEdge(m.Player, m.Add)] = m.Player
+	case Delete:
+		e := graph.NewEdge(m.Player, m.Drop)
+		if s.Own[e] != m.Player {
+			return fmt.Errorf("nash: delete %v: not owner", m)
+		}
+		if !s.G.RemoveEdge(m.Player, m.Drop) {
+			return fmt.Errorf("nash: delete %v: edge missing", m)
+		}
+		delete(s.Own, e)
+	case Swap:
+		e := graph.NewEdge(m.Player, m.Drop)
+		if s.Own[e] != m.Player {
+			return fmt.Errorf("nash: swap %v: not owner", m)
+		}
+		if !s.G.RemoveEdge(m.Player, m.Drop) {
+			return fmt.Errorf("nash: swap %v: edge missing", m)
+		}
+		if !s.G.AddEdge(m.Player, m.Add) {
+			s.G.AddEdge(m.Player, m.Drop) // roll back
+			return fmt.Errorf("nash: swap %v: target edge exists", m)
+		}
+		delete(s.Own, e)
+		s.Own[graph.NewEdge(m.Player, m.Add)] = m.Player
+	default:
+		return fmt.Errorf("nash: unknown move kind %v", m.Kind)
+	}
+	return nil
+}
+
+// Result reports a greedy dynamics run.
+type Result struct {
+	Converged bool
+	Moves     int
+	Sweeps    int
+}
+
+// Options bounds a dynamics run.
+type Options struct {
+	MaxMoves int // default 10000
+}
+
+// Run performs round-robin greedy best response until no player improves
+// (a greedy equilibrium) or the budget is exhausted. The state is mutated
+// in place.
+func Run(s *State, opt Options) (*Result, error) {
+	if s.G.N() < 2 {
+		return nil, errors.New("nash: graph needs at least 2 vertices")
+	}
+	maxMoves := opt.MaxMoves
+	if maxMoves <= 0 {
+		maxMoves = 10000
+	}
+	res := &Result{}
+	for res.Moves < maxMoves {
+		res.Sweeps++
+		moved := false
+		for v := 0; v < s.G.N() && res.Moves < maxMoves; v++ {
+			m, _, found := s.BestResponse(v)
+			if !found {
+				continue
+			}
+			if err := s.Apply(m); err != nil {
+				return nil, err
+			}
+			res.Moves++
+			moved = true
+		}
+		if !moved {
+			res.Converged = true
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// Check reports whether the state is a greedy equilibrium, with a witness
+// improving move on failure.
+func Check(s *State) (bool, *Move) {
+	for v := 0; v < s.G.N(); v++ {
+		if m, _, found := s.BestResponse(v); found {
+			mm := m
+			return false, &mm
+		}
+	}
+	return true, nil
+}
+
+// OwnerSwapStable reports whether no owner-side swap improves any player —
+// the α-independent condition that transfers to the basic game. Every
+// greedy equilibrium satisfies it; the converse direction (both-endpoint
+// swap stability of the basic game) is strictly stronger.
+func (s *State) OwnerSwapStable() (bool, *Move) {
+	n := s.G.N()
+	for v := 0; v < n; v++ {
+		dv := s.G.BFS(v)
+		base := s.usageOfRow(dv)
+		for _, w := range s.ownedNeighbors(v) {
+			s.G.RemoveEdge(v, w)
+			ap := s.G.AllPairs()
+			dvPrime := ap.Row(v)
+			for wp := 0; wp < n; wp++ {
+				if wp == v || wp == w || s.G.HasEdge(v, wp) {
+					continue
+				}
+				if s.patchedUsage(dvPrime, ap.Row(wp)) < base {
+					s.G.AddEdge(v, w)
+					m := Move{Kind: Swap, Player: v, Drop: w, Add: wp}
+					return false, &m
+				}
+			}
+			s.G.AddEdge(v, w)
+		}
+	}
+	return true, nil
+}
+
+// sumRow sums a BFS row, InfCost on unreachable entries.
+func sumRow(row []int32) int64 {
+	var sum int64
+	for _, d := range row {
+		if d == graph.Unreachable {
+			return core.InfCost
+		}
+		sum += int64(d)
+	}
+	return sum
+}
+
+// patchedSumRows prices Σ_x min(dv[x], 1+dw[x]) with -1 as unreachable.
+func patchedSumRows(dv, dw []int32) int64 {
+	var sum int64
+	for x := range dv {
+		a, b := dv[x], dw[x]
+		switch {
+		case a == graph.Unreachable && b == graph.Unreachable:
+			return core.InfCost
+		case a == graph.Unreachable:
+			sum += int64(b) + 1
+		case b == graph.Unreachable:
+			sum += int64(a)
+		case b+1 < a:
+			sum += int64(b) + 1
+		default:
+			sum += int64(a)
+		}
+	}
+	return sum
+}
+
+// eccRow returns the maximum of a BFS row, InfCost on unreachable entries.
+func eccRow(row []int32) int64 {
+	var ecc int64
+	for _, d := range row {
+		if d == graph.Unreachable {
+			return core.InfCost
+		}
+		if int64(d) > ecc {
+			ecc = int64(d)
+		}
+	}
+	return ecc
+}
+
+// patchedEccRows prices max_x min(dv[x], 1+dw[x]) with -1 as unreachable.
+func patchedEccRows(dv, dw []int32) int64 {
+	var ecc int64
+	for x := range dv {
+		a, b := dv[x], dw[x]
+		var d int64
+		switch {
+		case a == graph.Unreachable && b == graph.Unreachable:
+			return core.InfCost
+		case a == graph.Unreachable:
+			d = int64(b) + 1
+		case b == graph.Unreachable:
+			d = int64(a)
+		default:
+			d = int64(a)
+			if alt := int64(b) + 1; alt < d {
+				d = alt
+			}
+		}
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}

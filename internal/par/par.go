@@ -1,0 +1,125 @@
+// Package par provides small, dependency-free parallel iteration helpers
+// used by the graph algorithms, equilibrium checkers, and experiment sweeps.
+//
+// The helpers use dynamic chunked scheduling: workers repeatedly claim the
+// next chunk of indices with an atomic counter, so uneven per-item cost
+// (common when pricing edge swaps on irregular graphs) still balances well.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers is the worker count used when a caller passes workers <= 0.
+// It defaults to GOMAXPROCS at package initialization.
+var DefaultWorkers = runtime.GOMAXPROCS(0)
+
+// clampWorkers normalizes a requested worker count against the item count.
+func clampWorkers(workers, n int) int {
+	if workers <= 0 {
+		workers = DefaultWorkers
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// chunkFor picks a chunk size that amortizes the atomic claim while keeping
+// enough chunks for load balancing (targeting ~8 chunks per worker).
+func chunkFor(n, workers int) int {
+	c := n / (workers * 8)
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// For runs fn(i) for every i in [0, n), distributing indices over workers.
+// It blocks until all invocations complete. fn must be safe for concurrent
+// invocation on distinct indices.
+func For(workers, n int, fn func(i int)) {
+	ForChunked(workers, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// ForChunked runs fn(lo, hi) over disjoint half-open chunks covering [0, n).
+// Each worker claims chunks dynamically. fn must be safe for concurrent
+// invocation on disjoint ranges.
+func ForChunked(workers, n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers = clampWorkers(workers, n)
+	if workers == 1 {
+		fn(0, n)
+		return
+	}
+	chunk := chunkFor(n, workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(int64(chunk))) - chunk
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				fn(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Workers runs fn(worker) once for each worker id in [0, workers).
+// Useful when each worker owns reusable scratch buffers and pulls work
+// itself via Counter.
+func Workers(workers int, fn func(worker int)) {
+	if workers <= 0 {
+		workers = DefaultWorkers
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(id int) {
+			defer wg.Done()
+			fn(id)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Counter is a dynamic work counter for worker-owned-scratch loops:
+//
+//	var c par.Counter
+//	par.Workers(k, func(int) {
+//	    for i := c.Next(); i < n; i = c.Next() { ... }
+//	})
+type Counter struct {
+	v atomic.Int64
+}
+
+// Next claims and returns the next index, starting from 0.
+func (c *Counter) Next() int {
+	return int(c.v.Add(1)) - 1
+}
+
+// Reset resets the counter to zero. Not safe concurrently with Next.
+func (c *Counter) Reset() {
+	c.v.Store(0)
+}

@@ -1,0 +1,112 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 8, 100} {
+		for _, n := range []int{0, 1, 5, 97, 1000} {
+			hits := make([]int32, n)
+			For(workers, n, func(i int) {
+				atomic.AddInt32(&hits[i], 1)
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d hit %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForChunkedDisjointCover(t *testing.T) {
+	const n = 1234
+	hits := make([]int32, n)
+	ForChunked(7, n, func(lo, hi int) {
+		if lo < 0 || hi > n || lo >= hi {
+			t.Errorf("bad chunk [%d,%d)", lo, hi)
+		}
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&hits[i], 1)
+		}
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d hit %d times", i, h)
+		}
+	}
+}
+
+func TestForChunkedZero(t *testing.T) {
+	called := false
+	ForChunked(4, 0, func(lo, hi int) { called = true })
+	if called {
+		t.Error("ForChunked called fn for n=0")
+	}
+}
+
+func TestWorkersRunsEach(t *testing.T) {
+	var count atomic.Int64
+	seen := make([]int32, 5)
+	Workers(5, func(id int) {
+		count.Add(1)
+		atomic.AddInt32(&seen[id], 1)
+	})
+	if count.Load() != 5 {
+		t.Errorf("Workers ran %d times, want 5", count.Load())
+	}
+	for id, s := range seen {
+		if s != 1 {
+			t.Errorf("worker id %d ran %d times", id, s)
+		}
+	}
+}
+
+func TestWorkersDefault(t *testing.T) {
+	var count atomic.Int64
+	Workers(0, func(int) { count.Add(1) })
+	if int(count.Load()) != DefaultWorkers {
+		t.Errorf("Workers(0) ran %d, want DefaultWorkers=%d", count.Load(), DefaultWorkers)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	const n = 10000
+	claimed := make([]int32, n)
+	Workers(8, func(int) {
+		for i := c.Next(); i < n; i = c.Next() {
+			atomic.AddInt32(&claimed[i], 1)
+		}
+	})
+	for i, h := range claimed {
+		if h != 1 {
+			t.Fatalf("index %d claimed %d times", i, h)
+		}
+	}
+	c.Reset()
+	if c.Next() != 0 {
+		t.Error("Reset did not restart counter")
+	}
+}
+
+func TestClampWorkers(t *testing.T) {
+	if got := clampWorkers(-1, 10); got != min(DefaultWorkers, 10) {
+		t.Errorf("clampWorkers(-1,10) = %d", got)
+	}
+	if got := clampWorkers(5, 3); got != 3 {
+		t.Errorf("clampWorkers(5,3) = %d, want 3", got)
+	}
+	if got := clampWorkers(2, 100); got != 2 {
+		t.Errorf("clampWorkers(2,100) = %d, want 2", got)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

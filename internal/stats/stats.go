@@ -1,0 +1,192 @@
+// Package stats provides the small statistics toolkit used by the
+// experiment harness: summaries, least-squares fits (including log-log fits
+// for scaling-exponent estimation, e.g. confirming the Θ(√n) diameter of
+// the Theorem 12 torus), and plain-text table rendering.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"unicode/utf8"
+)
+
+// Summary holds the usual descriptive statistics of a sample.
+type Summary struct {
+	N                int
+	Mean, Std        float64
+	Min, Max, Median float64
+}
+
+// Summarize computes descriptive statistics. An empty sample yields the
+// zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if len(xs) > 1 {
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}
+
+// LinearFit returns the least-squares slope and intercept of y ≈ a·x + b.
+// It requires len(xs) == len(ys) >= 2 and non-degenerate xs; otherwise it
+// returns NaNs.
+func LinearFit(xs, ys []float64) (slope, intercept float64) {
+	n := len(xs)
+	if n != len(ys) || n < 2 {
+		return math.NaN(), math.NaN()
+	}
+	var sx, sy, sxx, sxy float64
+	for i := 0; i < n; i++ {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := float64(n)*sxx - sx*sx
+	if den == 0 {
+		return math.NaN(), math.NaN()
+	}
+	slope = (float64(n)*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / float64(n)
+	return slope, intercept
+}
+
+// LogLogFit fits y ≈ c·x^slope by least squares in log-log space, returning
+// the scaling exponent and the constant c. All inputs must be positive.
+func LogLogFit(xs, ys []float64) (slope, c float64) {
+	lx := make([]float64, len(xs))
+	ly := make([]float64, len(ys))
+	for i := range xs {
+		if xs[i] <= 0 || i >= len(ys) || ys[i] <= 0 {
+			return math.NaN(), math.NaN()
+		}
+		lx[i] = math.Log(xs[i])
+		ly[i] = math.Log(ys[i])
+	}
+	slope, b := LinearFit(lx, ly)
+	return slope, math.Exp(b)
+}
+
+// Table accumulates rows of cells and renders them with aligned columns —
+// the output format of every experiment in the harness.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// Add appends a row; cells are formatted with %v.
+func (t *Table) Add(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = FormatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// FormatFloat renders a float compactly (4 significant decimals, trimmed).
+func FormatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+// Render writes the aligned table to w. Column widths are measured in
+// runes so headers containing α, ², – etc. stay aligned.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = utf8.RuneCountInString(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && utf8.RuneCountInString(cell) > widths[i] {
+				widths[i] = utf8.RuneCountInString(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "== %s ==\n", t.Title); err != nil {
+			return err
+		}
+	}
+	line := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			parts[i] = pad(cell, widths[i])
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+		return err
+	}
+	if err := line(t.Headers); err != nil {
+		return err
+	}
+	rule := make([]string, len(t.Headers))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	if err := line(rule); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := line(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	_ = t.Render(&sb)
+	return sb.String()
+}
+
+func pad(s string, w int) string {
+	if n := utf8.RuneCountInString(s); n < w {
+		return s + strings.Repeat(" ", w-n)
+	}
+	return s
+}

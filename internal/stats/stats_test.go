@@ -1,0 +1,113 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func almostEqual(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 || s.Median != 2.5 {
+		t.Errorf("Summarize = %+v", s)
+	}
+	if !almostEqual(s.Std, 1.2909944, 1e-6) {
+		t.Errorf("Std = %v", s.Std)
+	}
+	odd := Summarize([]float64{5, 1, 3})
+	if odd.Median != 3 {
+		t.Errorf("odd median = %v, want 3", odd.Median)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 || empty.Mean != 0 {
+		t.Errorf("empty summary = %+v", empty)
+	}
+	single := Summarize([]float64{7})
+	if single.Std != 0 || single.Median != 7 {
+		t.Errorf("single summary = %+v", single)
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 2x + 1
+	slope, intercept := LinearFit(xs, ys)
+	if !almostEqual(slope, 2, 1e-12) || !almostEqual(intercept, 1, 1e-12) {
+		t.Errorf("fit = %v, %v, want 2, 1", slope, intercept)
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	if s, _ := LinearFit([]float64{1}, []float64{2}); !math.IsNaN(s) {
+		t.Error("short input did not return NaN")
+	}
+	if s, _ := LinearFit([]float64{2, 2}, []float64{1, 5}); !math.IsNaN(s) {
+		t.Error("constant xs did not return NaN")
+	}
+	if s, _ := LinearFit([]float64{1, 2}, []float64{1}); !math.IsNaN(s) {
+		t.Error("length mismatch did not return NaN")
+	}
+}
+
+func TestLogLogFitPowerLaw(t *testing.T) {
+	// y = 3·x^0.5 exactly.
+	xs := []float64{1, 4, 9, 16, 100}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 * math.Sqrt(x)
+	}
+	slope, c := LogLogFit(xs, ys)
+	if !almostEqual(slope, 0.5, 1e-9) || !almostEqual(c, 3, 1e-9) {
+		t.Errorf("LogLogFit = %v, %v, want 0.5, 3", slope, c)
+	}
+}
+
+func TestLogLogFitRejectsNonPositive(t *testing.T) {
+	if s, _ := LogLogFit([]float64{1, 0}, []float64{1, 1}); !math.IsNaN(s) {
+		t.Error("zero x did not return NaN")
+	}
+	if s, _ := LogLogFit([]float64{1, 2}, []float64{1, -1}); !math.IsNaN(s) {
+		t.Error("negative y did not return NaN")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("demo", "name", "value")
+	tab.Add("alpha", 1)
+	tab.Add("beta-long", 2.5)
+	out := tab.String()
+	for _, want := range []string{"== demo ==", "name", "value", "alpha", "beta-long", "2.5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("table has %d lines, want 5:\n%s", len(lines), out)
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tab := NewTable("", "x")
+	tab.Add(1)
+	if strings.Contains(tab.String(), "==") {
+		t.Error("untitled table printed a title")
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		2:      "2",
+		2.5:    "2.5",
+		0.3333: "0.3333",
+	}
+	for in, want := range cases {
+		if got := FormatFloat(in); got != want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

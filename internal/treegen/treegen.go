@@ -1,0 +1,200 @@
+// Package treegen provides labeled-tree machinery for the tree theorems of
+// Section 2: Prüfer-sequence encoding and decoding, exhaustive enumeration
+// of all n^(n-2) labeled trees on n vertices, and uniform random tree
+// sampling. The exhaustive enumerator powers the experiments that verify
+// Theorem 1 (the only sum-equilibrium tree is the star) and Theorem 4
+// (max-equilibrium trees have diameter at most 3) over the entire tree
+// space for small n.
+package treegen
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// MaxEnumN caps AllTrees: n^(n-2) grows too fast beyond this.
+const MaxEnumN = 10
+
+// ErrNotTree is returned by PruferEncode for non-tree input.
+var ErrNotTree = errors.New("treegen: input graph is not a tree")
+
+// PruferDecode builds the labeled tree on n = len(seq)+2 vertices encoded
+// by the Prüfer sequence. Sequence entries must lie in [0, n).
+func PruferDecode(seq []int) (*graph.Graph, error) {
+	n := len(seq) + 2
+	for _, s := range seq {
+		if s < 0 || s >= n {
+			return nil, fmt.Errorf("treegen: sequence entry %d out of range [0,%d)", s, n)
+		}
+	}
+	g := graph.New(n)
+	degree := make([]int, n)
+	for i := range degree {
+		degree[i] = 1
+	}
+	for _, s := range seq {
+		degree[s]++
+	}
+	used := make([]bool, n)
+	for _, s := range seq {
+		leaf := -1
+		for v := 0; v < n; v++ {
+			if degree[v] == 1 && !used[v] {
+				leaf = v
+				break
+			}
+		}
+		g.AddEdge(leaf, s)
+		used[leaf] = true
+		degree[s]--
+	}
+	// Join the two remaining degree-1 vertices.
+	u := -1
+	for v := 0; v < n; v++ {
+		if !used[v] && degree[v] == 1 {
+			if u < 0 {
+				u = v
+			} else {
+				g.AddEdge(u, v)
+				break
+			}
+		}
+	}
+	return g, nil
+}
+
+// PruferEncode returns the Prüfer sequence of a labeled tree (length n−2).
+// It returns ErrNotTree if t is not a tree. Trees on fewer than 2 vertices
+// are rejected; the tree on 2 vertices encodes to the empty sequence.
+func PruferEncode(t *graph.Graph) ([]int, error) {
+	n := t.N()
+	if n < 2 || !t.IsTree() {
+		return nil, ErrNotTree
+	}
+	work := t.Clone()
+	seq := make([]int, 0, n-2)
+	for work.M() > 1 {
+		// Smallest remaining leaf.
+		leaf := -1
+		for v := 0; v < n; v++ {
+			if work.Degree(v) == 1 {
+				leaf = v
+				break
+			}
+		}
+		nb := work.Neighbors(leaf)[0]
+		seq = append(seq, nb)
+		work.RemoveEdge(leaf, nb)
+	}
+	return seq, nil
+}
+
+// RandomTree returns a uniformly random labeled tree on n vertices
+// (uniform over all n^(n-2) trees, via a uniform Prüfer sequence).
+// n must be >= 1.
+func RandomTree(n int, rng *rand.Rand) *graph.Graph {
+	switch {
+	case n < 1:
+		panic(fmt.Sprintf("treegen: RandomTree n=%d", n))
+	case n == 1:
+		return graph.New(1)
+	case n == 2:
+		g := graph.New(2)
+		g.AddEdge(0, 1)
+		return g
+	}
+	seq := make([]int, n-2)
+	for i := range seq {
+		seq[i] = rng.Intn(n)
+	}
+	g, err := PruferDecode(seq)
+	if err != nil {
+		panic(err) // unreachable: entries are in range by construction
+	}
+	return g
+}
+
+// Count returns the number of labeled trees on n vertices, n^(n-2)
+// (Cayley's formula), for 1 <= n <= MaxEnumN.
+func Count(n int) uint64 {
+	if n < 1 || n > MaxEnumN {
+		panic(fmt.Sprintf("treegen: Count n=%d out of range", n))
+	}
+	if n <= 2 {
+		return 1
+	}
+	c := uint64(1)
+	for i := 0; i < n-2; i++ {
+		c *= uint64(n)
+	}
+	return c
+}
+
+// AllTrees enumerates every labeled tree on n vertices (all n^(n-2) Prüfer
+// sequences in lexicographic order), invoking fn for each. fn returning
+// false stops the enumeration early. AllTrees returns the number of trees
+// visited. It panics for n > MaxEnumN.
+func AllTrees(n int, fn func(t *graph.Graph) bool) uint64 {
+	if n < 1 || n > MaxEnumN {
+		panic(fmt.Sprintf("treegen: AllTrees n=%d out of range [1,%d]", n, MaxEnumN))
+	}
+	if n <= 2 {
+		g, _ := PruferDecode(make([]int, 0))
+		if n == 1 {
+			g = graph.New(1)
+		}
+		fn(g)
+		return 1
+	}
+	seq := make([]int, n-2)
+	var visited uint64
+	for {
+		g, _ := PruferDecode(seq)
+		visited++
+		if !fn(g) {
+			return visited
+		}
+		// Next sequence in base-n counting order.
+		i := len(seq) - 1
+		for ; i >= 0; i-- {
+			seq[i]++
+			if seq[i] < n {
+				break
+			}
+			seq[i] = 0
+		}
+		if i < 0 {
+			return visited
+		}
+	}
+}
+
+// DoubleSweepDiameter returns the exact diameter of a tree via two BFS
+// passes (and a lower bound on the diameter of a general connected graph).
+// ok is false for disconnected input.
+func DoubleSweepDiameter(g *graph.Graph) (int, bool) {
+	if g.N() == 0 {
+		return 0, false
+	}
+	d0 := g.BFS(0)
+	far, best := 0, int32(0)
+	for v, d := range d0 {
+		if d == graph.Unreachable {
+			return 0, false
+		}
+		if d > best {
+			best, far = d, v
+		}
+	}
+	d1 := g.BFS(far)
+	diam := int32(0)
+	for _, d := range d1 {
+		if d > diam {
+			diam = d
+		}
+	}
+	return int(diam), true
+}

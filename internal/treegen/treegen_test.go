@@ -1,0 +1,223 @@
+package treegen
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestPruferDecodeKnown(t *testing.T) {
+	// Sequence [3,3,3,3] on n=6 decodes to the star centered at 3.
+	g, err := PruferDecode([]int{3, 3, 3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsTree() || g.Degree(3) != 5 {
+		t.Errorf("star decode wrong: deg(3)=%d tree=%v", g.Degree(3), g.IsTree())
+	}
+	// Empty sequence: single edge on 2 vertices.
+	g, err = PruferDecode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 2 || g.M() != 1 {
+		t.Errorf("empty sequence decode: %v", g)
+	}
+}
+
+func TestPruferDecodeRange(t *testing.T) {
+	if _, err := PruferDecode([]int{5}); err == nil {
+		t.Error("out-of-range entry accepted (5 on n=3)")
+	}
+	if _, err := PruferDecode([]int{-1}); err == nil {
+		t.Error("negative entry accepted")
+	}
+}
+
+func TestPruferDecodeAlwaysTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		n := 3 + rng.Intn(12)
+		seq := make([]int, n-2)
+		for i := range seq {
+			seq[i] = rng.Intn(n)
+		}
+		g, err := PruferDecode(seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.IsTree() {
+			t.Fatalf("decode of %v is not a tree", seq)
+		}
+	}
+}
+
+func TestPruferRoundTrip(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) > 10 {
+			raw = raw[:10]
+		}
+		n := len(raw) + 2
+		seq := make([]int, len(raw))
+		for i, r := range raw {
+			seq[i] = int(r) % n
+		}
+		g, err := PruferDecode(seq)
+		if err != nil {
+			return false
+		}
+		back, err := PruferEncode(g)
+		if err != nil {
+			return false
+		}
+		if len(back) != len(seq) {
+			return false
+		}
+		for i := range seq {
+			if back[i] != seq[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPruferEncodeRejectsNonTrees(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	g.AddEdge(2, 3)
+	if _, err := PruferEncode(g); err != ErrNotTree {
+		t.Errorf("cyclic graph: err=%v, want ErrNotTree", err)
+	}
+	if _, err := PruferEncode(graph.New(1)); err != ErrNotTree {
+		t.Errorf("K1: err=%v, want ErrNotTree (too small)", err)
+	}
+	disc := graph.New(4)
+	disc.AddEdge(0, 1)
+	if _, err := PruferEncode(disc); err != ErrNotTree {
+		t.Errorf("forest: err=%v, want ErrNotTree", err)
+	}
+}
+
+func TestRandomTreeUniform(t *testing.T) {
+	// On n=3 there are 3 labeled trees (paths with each vertex as the
+	// middle). Check rough uniformity.
+	rng := rand.New(rand.NewSource(11))
+	counts := map[int]int{}
+	const trials = 3000
+	for i := 0; i < trials; i++ {
+		g := RandomTree(3, rng)
+		for v := 0; v < 3; v++ {
+			if g.Degree(v) == 2 {
+				counts[v]++
+			}
+		}
+	}
+	for v := 0; v < 3; v++ {
+		if counts[v] < trials/4 {
+			t.Errorf("middle vertex %v count %d far from uniform (%d trials)", v, counts[v], trials)
+		}
+	}
+}
+
+func TestRandomTreeSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if g := RandomTree(1, rng); g.N() != 1 || g.M() != 0 {
+		t.Error("RandomTree(1) wrong")
+	}
+	if g := RandomTree(2, rng); g.M() != 1 {
+		t.Error("RandomTree(2) wrong")
+	}
+	for trial := 0; trial < 50; trial++ {
+		if !RandomTree(2+rng.Intn(40), rng).IsTree() {
+			t.Fatal("RandomTree produced a non-tree")
+		}
+	}
+}
+
+func TestCountCayley(t *testing.T) {
+	want := map[int]uint64{1: 1, 2: 1, 3: 3, 4: 16, 5: 125, 6: 1296, 7: 16807, 8: 262144}
+	for n, c := range want {
+		if got := Count(n); got != c {
+			t.Errorf("Count(%d) = %d, want %d", n, got, c)
+		}
+	}
+}
+
+func TestAllTreesVisitsCayleyCount(t *testing.T) {
+	for n := 1; n <= 6; n++ {
+		var visited uint64
+		got := AllTrees(n, func(g *graph.Graph) bool {
+			visited++
+			if !g.IsTree() || g.N() != n {
+				t.Fatalf("n=%d: enumerated non-tree %v", n, g)
+			}
+			return true
+		})
+		if got != Count(n) || visited != Count(n) {
+			t.Errorf("AllTrees(%d) visited %d, want %d", n, got, Count(n))
+		}
+	}
+}
+
+func TestAllTreesEarlyStop(t *testing.T) {
+	count := 0
+	visited := AllTrees(6, func(*graph.Graph) bool {
+		count++
+		return count < 10
+	})
+	if visited != 10 || count != 10 {
+		t.Errorf("early stop visited %d (fn ran %d), want 10", visited, count)
+	}
+}
+
+func TestAllTreesDistinct(t *testing.T) {
+	// All enumerated trees on n=5 must be pairwise distinct as labeled
+	// graphs: collect edge-set signatures.
+	seen := map[string]bool{}
+	AllTrees(5, func(g *graph.Graph) bool {
+		sig := ""
+		for _, e := range g.Edges() {
+			sig += string(rune('a'+e.U)) + string(rune('a'+e.V))
+		}
+		if seen[sig] {
+			t.Fatalf("duplicate tree %s", sig)
+		}
+		seen[sig] = true
+		return true
+	})
+	if len(seen) != 125 {
+		t.Errorf("enumerated %d distinct trees, want 125", len(seen))
+	}
+}
+
+func TestAllTreesPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AllTrees(11) did not panic")
+		}
+	}()
+	AllTrees(MaxEnumN+1, func(*graph.Graph) bool { return true })
+}
+
+func TestDoubleSweepDiameter(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 50; trial++ {
+		g := RandomTree(2+rng.Intn(30), rng)
+		want, _ := g.Diameter()
+		got, ok := DoubleSweepDiameter(g)
+		if !ok || got != want {
+			t.Fatalf("tree diameter: double sweep %d,%v, full %d", got, ok, want)
+		}
+	}
+	if _, ok := DoubleSweepDiameter(graph.New(3)); ok {
+		t.Error("disconnected double sweep reported ok")
+	}
+}

@@ -1,0 +1,76 @@
+package uniformity
+
+import (
+	"testing"
+
+	"repro/internal/constructions"
+	"repro/internal/graph"
+)
+
+func TestAnalyzePairsCompleteGraph(t *testing.T) {
+	p, err := AnalyzePairs(constructions.Complete(8).AllPairs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.R != 1 || p.Fraction != 1 {
+		t.Errorf("K8 pair profile = %+v, want all pairs at distance 1", p)
+	}
+}
+
+func TestAnalyzePairsDisconnected(t *testing.T) {
+	if _, err := AnalyzePairs(graph.New(3).AllPairs()); err != ErrDisconnected {
+		t.Errorf("err = %v, want ErrDisconnected", err)
+	}
+}
+
+func TestAnalyzePairsStarOfPathsSeparation(t *testing.T) {
+	// The Conjecture 14 remark construction: most pairs are blob-to-blob
+	// at one common distance, but per-vertex uniformity fails.
+	g := constructions.StarOfPaths(8, 3, 20)
+	m := g.AllPairs()
+	pairs, err := AnalyzePairs(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := Analyze(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pairs.AlmostFraction < 0.5 {
+		t.Errorf("pairwise concentration %v too small; construction ineffective", pairs.AlmostFraction)
+	}
+	perVertexMass := 1 - prof.AlmostEpsilon
+	if pairs.AlmostFraction <= perVertexMass {
+		t.Errorf("no separation: pairwise %v <= per-vertex %v",
+			pairs.AlmostFraction, perVertexMass)
+	}
+	// And the diameter is large (2·(pathLen+1)): that is the point of the
+	// remark — pairwise uniformity does NOT force small diameter.
+	if diam, _ := g.Diameter(); diam < 8 {
+		t.Errorf("diameter %d too small for the separation argument", diam)
+	}
+}
+
+func TestAnalyzePairsVsPerVertexOnVertexTransitive(t *testing.T) {
+	// On vertex-transitive graphs the two notions coincide: the pairwise
+	// fraction at r equals the per-vertex fraction at r.
+	m := constructions.NewTorus(5).Graph().AllPairs()
+	pairs, err := AnalyzePairs(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := Analyze(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's per-vertex fraction uses denominator n (self included),
+	// the pairwise one n·(n−1): on a vertex-transitive graph they differ by
+	// exactly the factor n/(n−1).
+	n := float64(m.N())
+	perVertexMass := (1 - prof.AlmostEpsilon) * n / (n - 1)
+	diff := pairs.AlmostFraction - perVertexMass
+	if diff < -1e-9 || diff > 1e-9 {
+		t.Errorf("vertex-transitive mismatch: pairwise %v vs per-vertex %v",
+			pairs.AlmostFraction, perVertexMass)
+	}
+}

@@ -1,0 +1,304 @@
+// Package uniformity implements the Section 5 machinery connecting sum
+// equilibria to distance-uniform graphs: per-vertex distance profiles,
+// recognition of ε-distance-uniform and ε-distance-almost-uniform graphs,
+// skew-triple counting, and the Theorem 13 power-graph reduction that turns
+// a high-diameter sum equilibrium into a distance-(almost-)uniform graph
+// whose diameter is smaller by only a polylogarithmic factor.
+package uniformity
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// ErrDisconnected is returned when a connected graph is required.
+var ErrDisconnected = errors.New("uniformity: graph must be connected")
+
+// Profile describes how distance-uniform a graph is.
+//
+// A graph is ε-distance-uniform when some radius r has, from every vertex,
+// at least (1−ε)n vertices at distance exactly r; ε-distance-almost-uniform
+// relaxes "exactly r" to "r or r+1". Epsilon/AlmostEpsilon are the minimal
+// achievable ε over all radii, and R/AlmostR the optimizing radii (smallest
+// radius on ties).
+type Profile struct {
+	N             int
+	Diameter      int
+	R             int
+	Epsilon       float64
+	AlmostR       int
+	AlmostEpsilon float64
+}
+
+// Analyze computes the distance-uniformity profile from an APSP matrix.
+func Analyze(m *graph.Matrix) (Profile, error) {
+	n := m.N()
+	if n == 0 || !m.Connected() {
+		return Profile{}, ErrDisconnected
+	}
+	diam, _ := m.Diameter()
+	p := Profile{N: n, Diameter: diam}
+
+	// minAt[r] = min over vertices of #{w : d(v,w) = r};
+	// minPair[r] = same for distance r or r+1.
+	minAt := make([]int, diam+2)
+	minPair := make([]int, diam+2)
+	for r := range minAt {
+		minAt[r] = n + 1
+		minPair[r] = n + 1
+	}
+	counts := make([]int, diam+2)
+	for v := 0; v < n; v++ {
+		for i := range counts {
+			counts[i] = 0
+		}
+		for _, d := range m.Row(v) {
+			counts[d]++
+		}
+		for r := 0; r <= diam; r++ {
+			if counts[r] < minAt[r] {
+				minAt[r] = counts[r]
+			}
+			pair := counts[r]
+			if r+1 <= diam+1 {
+				pair += counts[r+1]
+			}
+			if pair < minPair[r] {
+				minPair[r] = pair
+			}
+		}
+	}
+	p.R, p.Epsilon = bestRadius(minAt, diam, n)
+	p.AlmostR, p.AlmostEpsilon = bestRadius(minPair, diam, n)
+	return p, nil
+}
+
+func bestRadius(minCount []int, diam, n int) (int, float64) {
+	bestR, bestEps := 0, math.Inf(1)
+	for r := 0; r <= diam; r++ {
+		eps := 1 - float64(minCount[r])/float64(n)
+		if eps < bestEps {
+			bestR, bestEps = r, eps
+		}
+	}
+	return bestR, bestEps
+}
+
+// IsDistanceUniform reports whether the graph behind m is ε-distance-
+// uniform, returning the witnessing radius.
+func IsDistanceUniform(m *graph.Matrix, eps float64) (bool, int, error) {
+	p, err := Analyze(m)
+	if err != nil {
+		return false, 0, err
+	}
+	return p.Epsilon <= eps, p.R, nil
+}
+
+// IsDistanceAlmostUniform reports whether the graph behind m is ε-distance-
+// almost-uniform, returning the witnessing radius.
+func IsDistanceAlmostUniform(m *graph.Matrix, eps float64) (bool, int, error) {
+	p, err := Analyze(m)
+	if err != nil {
+		return false, 0, err
+	}
+	return p.AlmostEpsilon <= eps, p.AlmostR, nil
+}
+
+// PairProfile measures the *pairwise* analogue of distance uniformity: the
+// largest fraction of ordered vertex pairs realizing one common distance r
+// (or r/r+1 for the almost variant). The paper's Conjecture 14 remark shows
+// this weaker pairwise notion admits large-diameter examples (StarOfPaths),
+// which is why the conjecture quantifies over every vertex.
+type PairProfile struct {
+	R              int
+	Fraction       float64 // fraction of pairs at distance exactly R
+	AlmostR        int
+	AlmostFraction float64 // fraction of pairs at distance AlmostR or AlmostR+1
+}
+
+// AnalyzePairs computes the pairwise distance concentration.
+func AnalyzePairs(m *graph.Matrix) (PairProfile, error) {
+	n := m.N()
+	if n < 2 || !m.Connected() {
+		return PairProfile{}, ErrDisconnected
+	}
+	diam, _ := m.Diameter()
+	counts := make([]int64, diam+2)
+	for v := 0; v < n; v++ {
+		for u := 0; u < n; u++ {
+			if u != v {
+				counts[m.At(v, u)]++
+			}
+		}
+	}
+	total := float64(n) * float64(n-1)
+	var p PairProfile
+	for r := 1; r <= diam; r++ {
+		if f := float64(counts[r]) / total; f > p.Fraction {
+			p.R, p.Fraction = r, f
+		}
+		if f := float64(counts[r]+counts[r+1]) / total; f > p.AlmostFraction {
+			p.AlmostR, p.AlmostFraction = r, f
+		}
+	}
+	return p, nil
+}
+
+// SkewFractionExact counts the fraction of ordered triples (a,b,c) of
+// distinct vertices with d(a,c) > p·lg n + d(a,b) — the "skew" triples of
+// the Theorem 13 proof, of which equilibria may only have an α fraction.
+// O(n³): intended for small graphs; use SkewFractionSampled beyond.
+func SkewFractionExact(m *graph.Matrix, p float64) float64 {
+	n := m.N()
+	if n < 3 {
+		return 0
+	}
+	threshold := p * math.Log2(float64(n))
+	var skew, total int64
+	for a := 0; a < n; a++ {
+		row := m.Row(a)
+		for b := 0; b < n; b++ {
+			if b == a {
+				continue
+			}
+			for c := 0; c < n; c++ {
+				if c == a || c == b {
+					continue
+				}
+				total++
+				if float64(row[c]) > threshold+float64(row[b]) {
+					skew++
+				}
+			}
+		}
+	}
+	return float64(skew) / float64(total)
+}
+
+// SkewFractionSampled estimates the skew-triple fraction from `samples`
+// uniform ordered triples.
+func SkewFractionSampled(m *graph.Matrix, p float64, samples int, rng *rand.Rand) float64 {
+	n := m.N()
+	if n < 3 || samples <= 0 {
+		return 0
+	}
+	threshold := p * math.Log2(float64(n))
+	skew := 0
+	for s := 0; s < samples; s++ {
+		a := rng.Intn(n)
+		b := rng.Intn(n)
+		c := rng.Intn(n)
+		if a == b || b == c || a == c {
+			s--
+			continue
+		}
+		if float64(m.At(a, c)) > threshold+float64(m.At(a, b)) {
+			skew++
+		}
+	}
+	return float64(skew) / float64(samples)
+}
+
+// MiddleInterval returns the smallest interval [lo, hi] that, for every
+// vertex, contains all its distances after discarding the nearest and
+// farthest ⌊beta·n⌋ vertices — the "middle (1−2β)n nodes" of the
+// Theorem 13 proof.
+func MiddleInterval(m *graph.Matrix, beta float64) (lo, hi int, err error) {
+	n := m.N()
+	if n == 0 || !m.Connected() {
+		return 0, 0, ErrDisconnected
+	}
+	drop := int(beta * float64(n))
+	lo, hi = math.MaxInt32, 0
+	buf := make([]int, n)
+	for v := 0; v < n; v++ {
+		row := m.Row(v)
+		for i, d := range row {
+			buf[i] = int(d)
+		}
+		sort.Ints(buf)
+		left, right := drop, n-1-drop
+		if left > right {
+			left, right = 0, n-1
+		}
+		if buf[left] < lo {
+			lo = buf[left]
+		}
+		if buf[right] > hi {
+			hi = buf[right]
+		}
+	}
+	return lo, hi, nil
+}
+
+// PowerAvoidingInterval returns the smallest x >= 2 such that no integer
+// multiple of x lies in [lo, hi] — the prime-selection step that upgrades
+// Theorem 13 from almost-uniform to uniform. The paper shows some
+// x = O(lg² n) always works when hi−lo = O(lg n); this exhaustive search
+// returns the true minimum. ok is false when lo <= 1 (1 divides x·1 for
+// every candidate... i.e. every x has a multiple below 2) or lo > hi.
+func PowerAvoidingInterval(lo, hi int) (x int, ok bool) {
+	if lo > hi || lo <= 1 {
+		return 0, false
+	}
+	for x = 2; ; x++ {
+		if x > hi {
+			// x itself exceeds hi and hi/x == 0: no positive multiple fits.
+			return x, true
+		}
+		if hi/x == (lo-1)/x {
+			return x, true
+		}
+	}
+}
+
+// Reduction reports one application of the Theorem 13 power-graph pipeline.
+type Reduction struct {
+	Beta      float64
+	Lo, Hi    int // middle-distance interval of the input
+	X         int // chosen power
+	InputDiam int
+	PowerDiam int
+	Profile   Profile // uniformity profile of the power graph
+	Uniform   bool    // true when the X avoided all multiples (exact-r mode)
+}
+
+// Reduce applies the Theorem 13 reduction to a connected graph g: compute
+// the middle-distance interval at the given beta, choose the power x —
+// preferring the smallest x whose multiples avoid the interval (yielding a
+// distance-uniform target), else hi−lo+1 (yielding distance-almost-uniform)
+// — and return the profile of G^x.
+func Reduce(g *graph.Graph, beta float64, workers int) (*Reduction, error) {
+	m := g.AllPairsParallel(workers)
+	if !m.Connected() {
+		return nil, ErrDisconnected
+	}
+	lo, hi, err := MiddleInterval(m, beta)
+	if err != nil {
+		return nil, err
+	}
+	red := &Reduction{Beta: beta, Lo: lo, Hi: hi}
+	red.InputDiam, _ = m.Diameter()
+
+	if x, ok := PowerAvoidingInterval(lo, hi); ok && x <= red.InputDiam {
+		red.X, red.Uniform = x, true
+	} else {
+		red.X = hi - lo + 1
+		if red.X < 1 {
+			red.X = 1
+		}
+	}
+	power := g.Power(red.X)
+	pm := power.AllPairsParallel(workers)
+	red.PowerDiam, _ = pm.Diameter()
+	prof, err := Analyze(pm)
+	if err != nil {
+		return nil, err
+	}
+	red.Profile = prof
+	return red, nil
+}

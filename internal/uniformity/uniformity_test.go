@@ -1,0 +1,249 @@
+package uniformity
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/constructions"
+	"repro/internal/graph"
+)
+
+func TestAnalyzeCompleteGraph(t *testing.T) {
+	// K_n: every vertex sees n-1 vertices at distance 1: ε = 1/n.
+	m := constructions.Complete(10).AllPairs()
+	p, err := Analyze(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.R != 1 {
+		t.Errorf("R = %d, want 1", p.R)
+	}
+	if math.Abs(p.Epsilon-0.1) > 1e-12 {
+		t.Errorf("Epsilon = %v, want 0.1", p.Epsilon)
+	}
+	if p.AlmostEpsilon > p.Epsilon {
+		t.Error("almost-uniform ε cannot exceed exact ε")
+	}
+}
+
+func TestAnalyzeCycle(t *testing.T) {
+	// C_n is far from distance-uniform: each vertex sees only 2 vertices
+	// per distance (1 at the antipode for even n).
+	m := constructions.Cycle(12).AllPairs()
+	p, err := Analyze(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Epsilon < 0.8 {
+		t.Errorf("C12 Epsilon = %v, expected near 1", p.Epsilon)
+	}
+	if p.Diameter != 6 {
+		t.Errorf("C12 diameter = %d, want 6", p.Diameter)
+	}
+}
+
+func TestAnalyzeHypercube(t *testing.T) {
+	// Q_d concentrates distances around d/2: the best exact radius is the
+	// mode of the binomial (d choose r), ε = 1 − C(d, d/2)/2^d.
+	d := 8
+	m := constructions.Hypercube(d).AllPairs()
+	p, err := Analyze(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.R != d/2 {
+		t.Errorf("Q%d best radius = %d, want %d", d, p.R, d/2)
+	}
+	wantEps := 1 - 70.0/256.0 // C(8,4)/2^8
+	if math.Abs(p.Epsilon-wantEps) > 1e-12 {
+		t.Errorf("Q%d Epsilon = %v, want %v", d, p.Epsilon, wantEps)
+	}
+}
+
+func TestAnalyzeDisconnected(t *testing.T) {
+	if _, err := Analyze(graph.New(3).AllPairs()); err != ErrDisconnected {
+		t.Errorf("err = %v, want ErrDisconnected", err)
+	}
+}
+
+func TestIsDistanceUniformThresholds(t *testing.T) {
+	m := constructions.Complete(10).AllPairs()
+	ok, r, err := IsDistanceUniform(m, 0.1)
+	if err != nil || !ok || r != 1 {
+		t.Errorf("K10 at ε=0.1: ok=%v r=%d err=%v", ok, r, err)
+	}
+	ok, _, err = IsDistanceUniform(m, 0.05)
+	if err != nil || ok {
+		t.Error("K10 at ε=0.05 should fail (needs ε >= 1/10)")
+	}
+	ok, _, err = IsDistanceAlmostUniform(constructions.Path(3).AllPairs(), 0.34)
+	if err != nil || !ok {
+		t.Error("P3 should be 1/3-distance-almost-uniform (radii {1,2})")
+	}
+}
+
+func TestSkewFractionExactZeroOnLowDiameter(t *testing.T) {
+	// Diameter 2 with p*lg n >= 2 means no skew triples at all.
+	m := constructions.Star(16).AllPairs()
+	if got := SkewFractionExact(m, 1); got != 0 {
+		t.Errorf("star skew fraction = %v, want 0", got)
+	}
+}
+
+func TestSkewFractionPathHasSkew(t *testing.T) {
+	// Long path with small p: plenty of skew triples.
+	m := constructions.Path(40).AllPairs()
+	got := SkewFractionExact(m, 0.5)
+	if got <= 0 {
+		t.Error("P40 should have skew triples at p=0.5")
+	}
+	sampled := SkewFractionSampled(m, 0.5, 20000, rand.New(rand.NewSource(5)))
+	if math.Abs(sampled-got) > 0.05 {
+		t.Errorf("sampled %v vs exact %v differ by more than 0.05", sampled, got)
+	}
+}
+
+func TestSkewFractionTinyGraphs(t *testing.T) {
+	m := constructions.Path(2).AllPairs()
+	if SkewFractionExact(m, 1) != 0 {
+		t.Error("n<3 should have zero skew fraction")
+	}
+	if SkewFractionSampled(m, 1, 100, rand.New(rand.NewSource(1))) != 0 {
+		t.Error("n<3 sampled should be 0")
+	}
+}
+
+func TestMiddleInterval(t *testing.T) {
+	// P11 from an endpoint: distances 0..10. With β=0.2 (drop 2 each side)
+	// vertex 0 contributes [2,8]; middle vertices contribute tighter
+	// intervals; union is [lo, hi] with lo <= 2 and hi >= 8... compute:
+	m := constructions.Path(11).AllPairs()
+	lo, hi, err := MiddleInterval(m, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo < 0 || hi > 10 || lo > hi {
+		t.Errorf("interval [%d,%d] out of bounds", lo, hi)
+	}
+	if hi < 8 {
+		t.Errorf("hi = %d, want >= 8 (endpoint's middle reaches 8)", hi)
+	}
+	// β=0 keeps everything: full range 0..10.
+	lo, hi, err = MiddleInterval(m, 0)
+	if err != nil || lo != 0 || hi != 10 {
+		t.Errorf("β=0 interval = [%d,%d], want [0,10]", lo, hi)
+	}
+}
+
+func TestMiddleIntervalDegenerateBeta(t *testing.T) {
+	// β >= 1/2 would drop everything; the implementation falls back to the
+	// full range instead of inverting.
+	m := constructions.Path(4).AllPairs()
+	lo, hi, err := MiddleInterval(m, 0.9)
+	if err != nil || lo > hi {
+		t.Errorf("degenerate beta: [%d,%d] err=%v", lo, hi, err)
+	}
+}
+
+func TestPowerAvoidingInterval(t *testing.T) {
+	cases := []struct {
+		lo, hi, want int
+		ok           bool
+	}{
+		{5, 7, 4, true},   // 2→6, 3→6 hit; 4's multiples 4, 8 miss [5,7]
+		{2, 3, 4, true},   // 2, 3 hit themselves; 4's first multiple is 4 > 3
+		{10, 11, 3, true}, // 2→10 hits; 3's multiples 9, 12 miss [10,11]
+		{1, 5, 0, false},  // lo <= 1 impossible
+		{6, 5, 0, false},  // empty interval
+	}
+	for _, c := range cases {
+		x, ok := PowerAvoidingInterval(c.lo, c.hi)
+		if ok != c.ok {
+			t.Errorf("[%d,%d]: ok=%v want %v", c.lo, c.hi, ok, c.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		// x must genuinely avoid the interval.
+		for mult := x; mult <= c.hi; mult += x {
+			if mult >= c.lo {
+				t.Errorf("[%d,%d]: returned x=%d has multiple %d inside", c.lo, c.hi, x, mult)
+			}
+		}
+		// And be minimal.
+		for y := 2; y < x; y++ {
+			bad := false
+			for mult := y; mult <= c.hi; mult += y {
+				if mult >= c.lo {
+					bad = true
+					break
+				}
+			}
+			if !bad {
+				t.Errorf("[%d,%d]: x=%d not minimal, %d also avoids", c.lo, c.hi, x, y)
+			}
+		}
+	}
+}
+
+func TestPowerAvoidingIntervalMatchesTheorem13Scale(t *testing.T) {
+	// For intervals of width O(lg n) the paper guarantees x = O(lg² n).
+	for _, lo := range []int{10, 50, 200} {
+		width := 8
+		x, ok := PowerAvoidingInterval(lo, lo+width)
+		if !ok {
+			t.Fatalf("no x for [%d,%d]", lo, lo+width)
+		}
+		if x > (lo+width)*2 {
+			t.Errorf("x=%d implausibly large for [%d,%d]", x, lo, lo+width)
+		}
+	}
+}
+
+func TestReduceCycle(t *testing.T) {
+	// The Theorem 13 pipeline on a long cycle must produce a power graph
+	// with much smaller diameter that is almost-uniform at modest ε.
+	g := constructions.Cycle(64)
+	red, err := Reduce(g, 0.15, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.InputDiam != 32 {
+		t.Errorf("input diameter = %d, want 32", red.InputDiam)
+	}
+	if red.PowerDiam >= red.InputDiam {
+		t.Errorf("power diameter %d did not shrink from %d", red.PowerDiam, red.InputDiam)
+	}
+	wantDiam := (red.InputDiam + red.X - 1) / red.X
+	if red.PowerDiam != wantDiam {
+		t.Errorf("power diameter = %d, want ceil(d/x) = %d", red.PowerDiam, wantDiam)
+	}
+	// The coalesced middle distances must make the power graph
+	// almost-uniform at ε comparable to 6β (Theorem 13 gives (1-6β)n mass
+	// on two levels).
+	if red.Profile.AlmostEpsilon > 6*red.Beta+0.05 {
+		t.Errorf("almost-ε = %v too large (β=%v)", red.Profile.AlmostEpsilon, red.Beta)
+	}
+}
+
+func TestReduceTorus(t *testing.T) {
+	g := constructions.NewTorus(8).Graph() // n=128, diameter 8
+	red, err := Reduce(g, 0.1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.InputDiam != 8 {
+		t.Errorf("torus diameter = %d, want 8", red.InputDiam)
+	}
+	if red.PowerDiam > red.InputDiam {
+		t.Error("power graph diameter grew")
+	}
+}
+
+func TestReduceDisconnected(t *testing.T) {
+	if _, err := Reduce(graph.New(4), 0.1, 1); err == nil {
+		t.Error("disconnected Reduce did not error")
+	}
+}
