@@ -1,0 +1,30 @@
+# Targets mirror the CI jobs in .github/workflows/ci.yml.
+
+GO ?= go
+
+.PHONY: all build test race bench fmt vet check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/...
+
+# One iteration per benchmark: the CI smoke that keeps bench_test.go alive.
+bench:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+check: fmt vet build test bench

@@ -160,7 +160,50 @@ func BenchmarkTorusOracleDist(b *testing.B) {
 	_ = sum
 }
 
-// Ablation: patch-based pricing of all swaps of a vertex vs naive
+// Tentpole ablation: the swap-pricing engine (two patched BFS rows per
+// candidate, internal/pricing) vs the naive per-candidate AllPairs path
+// (apply the move, recompute all-pairs shortest paths, read the cost,
+// revert) on a path graph with n = 256. The acceptance bar for the engine
+// is a ≥ 5× speedup here; see README.md for recorded numbers.
+
+func BenchmarkSwapPricingEnginePath256(b *testing.B) {
+	g := Path(256)
+	v := 128
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.PriceSwaps(g, v, core.Sum, func(core.Move, int64) bool { return true })
+	}
+}
+
+func BenchmarkSwapPricingNaiveAllPairsPath256(b *testing.B) {
+	g := Path(256)
+	v := 128
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, w := range g.Neighbors(v) {
+			for wp := 0; wp < g.N(); wp++ {
+				if wp == v {
+					continue
+				}
+				g.RemoveEdge(v, w)
+				added := g.AddEdge(v, wp)
+				ap := g.AllPairs()
+				var sum int64
+				for _, d := range ap.Row(v) {
+					sum += int64(d)
+				}
+				_ = sum
+				if added {
+					g.RemoveEdge(v, wp)
+				}
+				g.AddEdge(v, w)
+			}
+		}
+	}
+}
+
+// Ablation: engine-backed pricing of all swaps of a vertex vs naive
 // apply-BFS-revert per candidate.
 
 func BenchmarkSwapPricingPatch(b *testing.B) {

@@ -126,6 +126,13 @@ func BestSwap(g *Graph, v int, obj Objective) (Move, int64, bool) {
 	return core.BestSwap(g, v, obj)
 }
 
+// BestSwapParallel is BestSwap with the candidate scan sharded across the
+// given number of workers (<= 0 means all cores); the result is identical
+// for every worker count.
+func BestSwapParallel(g *Graph, v int, obj Objective, workers int) (Move, int64, bool) {
+	return core.BestSwapParallel(g, v, obj, workers)
+}
+
 // EvaluateMove prices one move by apply–measure–revert.
 func EvaluateMove(g *Graph, m Move, obj Objective) int64 {
 	return core.EvaluateMove(g, m, obj)

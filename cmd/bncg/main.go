@@ -223,6 +223,7 @@ func cmdDynamics(args []string) error {
 	obj := fs.String("obj", "sum", "sum|max")
 	policy := fs.String("policy", "best", "best|first|random")
 	seed := fs.Int64("seed", 1, "random seed")
+	workers := fs.Int("workers", 0, "pricing workers (0 = all cores)")
 	trace := fs.Bool("trace", false, "print every applied move")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -254,7 +255,7 @@ func cmdDynamics(args []string) error {
 	}
 	before, _ := g.Diameter()
 	res, err := bncg.RunDynamics(g, dynamics.Options{
-		Objective: objective, Policy: pol, Seed: *seed, Trace: *trace,
+		Objective: objective, Policy: pol, Workers: *workers, Seed: *seed, Trace: *trace,
 	})
 	if err != nil {
 		return err
@@ -268,7 +269,7 @@ func cmdDynamics(args []string) error {
 	fmt.Printf("n=%d init=%s obj=%s policy=%s: converged=%v moves=%d sweeps=%d diameter %d→%d\n",
 		*n, *initKind, objective, pol, res.Converged, res.Moves, res.Sweeps, before, after)
 	if res.Converged {
-		stable, viol, err := core.CheckSwapStable(g, objective, 0)
+		stable, viol, err := core.CheckSwapStable(g, objective, *workers)
 		if err != nil {
 			return err
 		}

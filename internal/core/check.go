@@ -6,16 +6,66 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/par"
+	"repro/internal/pricing"
 )
+
+// seqEngine is the shared sequential pricing engine behind the streaming
+// APIs; its scratch pool is reused across calls. Parallel paths share
+// per-worker-count engines through engineFor so the pools survive across
+// calls (dynamics sweeps call BestSwapParallel once per vertex per sweep).
+var seqEngine = pricing.New(1)
+
+var (
+	engineMu  sync.Mutex
+	engineByW = map[int]*pricing.Engine{1: seqEngine}
+)
+
+// engineFor returns the shared pricing engine for a worker count.
+func engineFor(workers int) *pricing.Engine {
+	engineMu.Lock()
+	defer engineMu.Unlock()
+	e, ok := engineByW[workers]
+	if !ok {
+		e = pricing.New(workers)
+		engineByW[workers] = e
+	}
+	return e
+}
+
+// pobj maps the package's objective onto the pricing engine's.
+func pobj(obj Objective) pricing.Objective {
+	if obj == Max {
+		return pricing.Max
+	}
+	return pricing.Sum
+}
 
 // PriceSwaps invokes fn once for every candidate swap of agent v — every
 // pair (w, w') with w a current neighbor and w' any other vertex — passing
-// the agent's usage cost after performing Move{v, w, w'}. Candidates where
-// w' == w (no-ops) are included and price to the current cost, which
-// callers may use as a consistency check. fn returning false stops the
-// scan early. g is mutated during the scan and restored before return; it
-// must not be shared concurrently.
+// the agent's usage cost after performing Move{v, w, w'}. Candidates are
+// enumerated add-major: w' ascending, and for each w', dropped edges w in
+// ascending order. Candidates where w' == w (no-ops) are included and price
+// to the current cost, which callers may use as a consistency check. fn
+// returning false stops the scan early. The graph is not mutated: pricing
+// runs over a frozen snapshot through the swap-pricing engine
+// (internal/pricing), costing one BFS per candidate endpoint shared across
+// all dropped edges instead of an all-pairs sweep per dropped edge.
 func PriceSwaps(g *graph.Graph, v int, obj Objective, fn func(m Move, newCost int64) bool) {
+	scan := seqEngine.NewScan(g.Freeze(), v)
+	defer scan.Close()
+	drops := scan.Drops()
+	scan.ForEach(pobj(obj), false, func(i, add int, cost int64) bool {
+		return fn(Move{V: v, Drop: int(drops[i]), Add: add}, cost)
+	})
+}
+
+// NaivePriceSwaps is the pre-engine pricing path, kept as the differential-
+// test oracle: for every dropped edge it recomputes all-pairs shortest
+// paths on G−vw and prices each candidate from the patched rows. Candidates
+// are enumerated drop-major (w ascending, then w'), the historical order.
+// g is mutated during the scan and restored before return; it must not be
+// shared concurrently.
+func NaivePriceSwaps(g *graph.Graph, v int, obj Objective, fn func(m Move, newCost int64) bool) {
 	n := g.N()
 	for _, w := range g.Neighbors(v) {
 		g.RemoveEdge(v, w)
@@ -46,11 +96,30 @@ func PriceSwaps(g *graph.Graph, v int, obj Objective, fn func(m Move, newCost in
 // BestSwap returns the cost-minimizing swap for agent v under obj, its new
 // cost, and whether it strictly improves on v's current cost. Ties are
 // broken toward the lexicographically smallest (Drop, Add), making the
-// result deterministic. g is temporarily mutated and restored.
+// result deterministic. The graph is not mutated.
 func BestSwap(g *graph.Graph, v int, obj Objective) (best Move, newCost int64, improves bool) {
+	return BestSwapParallel(g, v, obj, 1)
+}
+
+// BestSwapParallel is BestSwap with the candidate-endpoint scan sharded
+// across the given number of workers (<= 0 means par.DefaultWorkers). The
+// result is identical for every worker count.
+func BestSwapParallel(g *graph.Graph, v int, obj Objective, workers int) (best Move, newCost int64, improves bool) {
+	scan := engineFor(workers).NewScan(g.Freeze(), v)
+	defer scan.Close()
+	cur := scan.CurrentUsage(pobj(obj))
+	newCost = cur
+	if b, ok := scan.BestMove(pobj(obj), false); ok && b.Cost < cur {
+		return Move{V: v, Drop: b.Drop, Add: b.Add}, b.Cost, true
+	}
+	return best, newCost, false
+}
+
+// NaiveBestSwap is BestSwap over the NaivePriceSwaps oracle.
+func NaiveBestSwap(g *graph.Graph, v int, obj Objective) (best Move, newCost int64, improves bool) {
 	cur := Cost(g, v, obj)
 	newCost = cur
-	PriceSwaps(g, v, obj, func(m Move, c int64) bool {
+	NaivePriceSwaps(g, v, obj, func(m Move, c int64) bool {
 		if c < newCost {
 			newCost = c
 			best = m
@@ -134,6 +203,9 @@ func checkEquilibrium(g *graph.Graph, obj Objective, workers int) (bool, *Violat
 	return checkEquilibriumOpts(g, obj, workers, true)
 }
 
+// checkEquilibriumOpts shards agents across workers over one shared frozen
+// snapshot; each worker prices its agent's swaps through the engine with
+// pooled scratch, so no worker clones or mutates the graph.
 func checkEquilibriumOpts(g *graph.Graph, obj Objective, workers int, deletionCritical bool) (bool, *Violation, error) {
 	n := g.N()
 	if n <= 1 {
@@ -149,6 +221,7 @@ func checkEquilibriumOpts(g *graph.Graph, obj Objective, workers int, deletionCr
 		workers = n
 	}
 
+	f := g.Freeze()
 	var stop atomic.Bool
 	var mu sync.Mutex
 	var found *Violation
@@ -163,37 +236,31 @@ func checkEquilibriumOpts(g *graph.Graph, obj Objective, workers int, deletionCr
 
 	var next par.Counter
 	par.Workers(workers, func(int) {
-		gw := g.Clone()
 		for v := next.Next(); v < n; v = next.Next() {
 			if stop.Load() {
 				return
 			}
-			checkVertex(gw, v, obj, deletionCritical, &stop, record)
+			checkVertex(f, v, obj, deletionCritical, &stop, record)
 		}
 	})
 	return found == nil, found, nil
 }
 
-// checkVertex scans all moves of agent v, recording the first violation.
-func checkVertex(g *graph.Graph, v int, obj Objective, deletionCritical bool, stop *atomic.Bool, record func(Violation)) {
-	cur := Cost(g, v, obj)
-	n := g.N()
-	for _, w := range g.Neighbors(v) {
-		if stop.Load() {
-			return
-		}
-		g.RemoveEdge(v, w)
-		ap := g.AllPairs()
-		dv := ap.Row(v)
+// checkVertex scans all moves of agent v over the snapshot, recording the
+// first violation found in the engine's add-major enumeration order.
+func checkVertex(f *graph.Frozen, v int, obj Objective, deletionCritical bool, stop *atomic.Bool, record func(Violation)) {
+	scan := seqEngine.NewScan(f, v)
+	defer scan.Close()
+	cur := scan.CurrentUsage(pobj(obj))
 
-		if obj == Max && deletionCritical {
-			// Deletion-criticality half of the max-equilibrium condition:
-			// deleting vw must strictly increase v's local diameter.
-			if del := eccOfRow(dv); del <= cur {
-				g.AddEdge(v, w)
+	if obj == Max && deletionCritical {
+		// Deletion-criticality half of the max-equilibrium condition:
+		// deleting vw must strictly increase v's local diameter.
+		for i, w := range scan.Drops() {
+			if del := scan.DeletionUsage(i, pricing.Max); del <= cur {
 				record(Violation{
 					Kind:    DeletionSafe,
-					Edge:    graph.NewEdge(v, w),
+					Edge:    graph.NewEdge(v, int(w)),
 					Agent:   v,
 					OldCost: cur,
 					NewCost: del,
@@ -201,31 +268,25 @@ func checkVertex(g *graph.Graph, v int, obj Objective, deletionCritical bool, st
 				return
 			}
 		}
-
-		for wp := 0; wp < n; wp++ {
-			if wp == v {
-				continue
-			}
-			var cost int64
-			if obj == Sum {
-				cost = patchedSum(dv, ap.Row(wp))
-			} else {
-				cost = patchedEcc(dv, ap.Row(wp))
-			}
-			if cost < cur {
-				g.AddEdge(v, w)
-				record(Violation{
-					Kind:    SwapImproves,
-					Move:    Move{V: v, Drop: w, Add: wp},
-					Agent:   v,
-					OldCost: cur,
-					NewCost: cost,
-				})
-				return
-			}
-		}
-		g.AddEdge(v, w)
 	}
+
+	drops := scan.Drops()
+	scan.ForEach(pobj(obj), false, func(i, add int, cost int64) bool {
+		if stop.Load() {
+			return false
+		}
+		if cost < cur {
+			record(Violation{
+				Kind:    SwapImproves,
+				Move:    Move{V: v, Drop: int(drops[i]), Add: add},
+				Agent:   v,
+				OldCost: cur,
+				NewCost: cost,
+			})
+			return false
+		}
+		return true
+	})
 }
 
 // LocalDiameterSpread returns max_v ecc(v) − min_v ecc(v). Lemma 2 of the

@@ -19,9 +19,12 @@
 // k-insertion-stable), and move-pricing used by the dynamics engines.
 //
 // Swap pricing relies on the single-edge patch identity: in G' = G − vw,
-// adding edge vw' yields d(v,x) = min(d_{G'}(v,x), 1 + d_{G'}(w',x)), so a
-// single all-pairs computation on G' prices every candidate swap of the
-// edge vw simultaneously.
+// adding edge vw' yields d(v,x) = min(d_{G'}(v,x), 1 + d_{G'}(w',x)). The
+// engine-backed paths (internal/pricing) sharpen the second term to the
+// vertex-deleted graph G−v, which is independent of the dropped edge, so
+// one BFS row per candidate endpoint prices that endpoint against every
+// dropped edge at once; the historical all-pairs-per-dropped-edge path
+// survives as NaivePriceSwaps/NaiveBestSwap, the differential-test oracle.
 package core
 
 import (
@@ -29,6 +32,7 @@ import (
 	"fmt"
 
 	"repro/internal/graph"
+	"repro/internal/pricing"
 )
 
 // Objective selects which usage cost the agents minimize.
@@ -176,54 +180,18 @@ func SocialCost(g *graph.Graph, obj Objective) int64 {
 // patchedSum prices Σ_x min(dv[x], 1+dw[x]) where dv are distances from v
 // and dw distances from the new neighbor w', both measured in G' = G − vw;
 // -1 entries mean unreachable. Returns InfCost when the patched graph
-// leaves some vertex unreachable from v.
+// leaves some vertex unreachable from v. Delegates to the engine's patch
+// arithmetic (pricing.InfCost equals InfCost); independence of the
+// differential tests rests on the clone-apply-BFS oracles, not on
+// duplicating this identity.
 func patchedSum(dv, dw []int32) int64 {
-	var sum int64
-	for x := range dv {
-		a, b := dv[x], dw[x]
-		var d int32
-		switch {
-		case a == graph.Unreachable && b == graph.Unreachable:
-			return InfCost
-		case a == graph.Unreachable:
-			d = b + 1
-		case b == graph.Unreachable:
-			d = a
-		case b+1 < a:
-			d = b + 1
-		default:
-			d = a
-		}
-		sum += int64(d)
-	}
-	return sum
+	return pricing.Patched(dv, dw, pricing.Sum)
 }
 
 // patchedEcc prices max_x min(dv[x], 1+dw[x]) under the same conventions as
 // patchedSum.
 func patchedEcc(dv, dw []int32) int64 {
-	var ecc int64
-	for x := range dv {
-		a, b := dv[x], dw[x]
-		var d int64
-		switch {
-		case a == graph.Unreachable && b == graph.Unreachable:
-			return InfCost
-		case a == graph.Unreachable:
-			d = int64(b) + 1
-		case b == graph.Unreachable:
-			d = int64(a)
-		default:
-			d = int64(a)
-			if alt := int64(b) + 1; alt < d {
-				d = alt
-			}
-		}
-		if d > ecc {
-			ecc = d
-		}
-	}
-	return ecc
+	return pricing.Patched(dv, dw, pricing.Max)
 }
 
 // eccOfRow returns the maximum entry of a BFS row, or InfCost when some

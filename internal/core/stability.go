@@ -12,13 +12,16 @@ import (
 // IsDeletionCritical reports whether deleting any edge strictly increases
 // the local diameter of *both* endpoints (the paper's deletion-critical
 // property, used in the Section 4 lower-bound constructions). Disconnection
-// counts as an increase. Returns a witness violation on failure.
+// counts as an increase. Returns a witness violation on failure. Edges are
+// sharded across workers over one frozen snapshot; each probe is a
+// skip-edge BFS, so no worker clones or mutates the graph.
 func IsDeletionCritical(g *graph.Graph, workers int) (bool, *Violation, error) {
 	if !g.IsConnected() {
 		return false, nil, ErrDisconnected
 	}
 	edges := g.Edges()
-	ecc := eccentricities(g, workers)
+	f := g.Freeze()
+	ecc := eccentricities(f, workers)
 
 	var stop atomic.Bool
 	var mu sync.Mutex
@@ -28,17 +31,15 @@ func IsDeletionCritical(g *graph.Graph, workers int) (bool, *Violation, error) {
 		workers = par.DefaultWorkers
 	}
 	par.Workers(workers, func(int) {
-		gw := g.Clone()
-		dist := make([]int32, gw.N())
-		queue := make([]int, 0, gw.N())
+		dist := make([]int32, f.N())
+		queue := make([]int32, 0, f.N())
 		for i := next.Next(); i < len(edges); i = next.Next() {
 			if stop.Load() {
 				return
 			}
 			e := edges[i]
-			gw.RemoveEdge(e.U, e.V)
 			for _, endpoint := range [2]int{e.U, e.V} {
-				gw.BFSInto(endpoint, dist, queue)
+				f.BFSSkipEdge(endpoint, e.U, e.V, dist, queue)
 				after := eccOfRow(dist)
 				if after <= int64(ecc[endpoint]) {
 					mu.Lock()
@@ -56,7 +57,6 @@ func IsDeletionCritical(g *graph.Graph, workers int) (bool, *Violation, error) {
 					break
 				}
 			}
-			gw.AddEdge(e.U, e.V)
 		}
 	})
 	return found == nil, found, nil
@@ -124,11 +124,11 @@ func record(mu *sync.Mutex, stop *atomic.Bool, found **Violation, v Violation) {
 	stop.Store(true)
 }
 
-// eccentricities computes every vertex's local diameter in parallel.
-// Unreachable pairs yield InfCost-capped values; callers checking
-// connectivity first will only see finite entries.
-func eccentricities(g *graph.Graph, workers int) []int64 {
-	n := g.N()
+// eccentricities computes every vertex's local diameter in parallel over a
+// frozen snapshot. Unreachable pairs yield InfCost-capped values; callers
+// checking connectivity first will only see finite entries.
+func eccentricities(f *graph.Frozen, workers int) []int64 {
+	n := f.N()
 	out := make([]int64, n)
 	if workers <= 0 {
 		workers = par.DefaultWorkers
@@ -136,9 +136,9 @@ func eccentricities(g *graph.Graph, workers int) []int64 {
 	var next par.Counter
 	par.Workers(workers, func(int) {
 		dist := make([]int32, n)
-		queue := make([]int, 0, n)
+		queue := make([]int32, 0, n)
 		for v := next.Next(); v < n; v = next.Next() {
-			g.BFSInto(v, dist, queue)
+			f.BFSInto(v, dist, queue)
 			out[v] = eccOfRow(dist)
 		}
 	})

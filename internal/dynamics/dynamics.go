@@ -29,7 +29,11 @@ const (
 	// cost-minimizing improving swap, if any.
 	BestResponse Policy = iota
 	// FirstImprovement sweeps vertices round-robin; each vertex plays the
-	// first improving swap found in deterministic scan order.
+	// first improving swap found in deterministic scan order. The order is
+	// the pricing engine's add-major enumeration (see core.PriceSwaps);
+	// it differs from the pre-engine drop-major order, so trajectories
+	// differ from older builds while remaining deterministic and
+	// terminating in the same certified equilibria.
 	FirstImprovement
 	// RandomImproving samples random candidate swaps; a certification
 	// sweep declares equilibrium once random probing stops finding moves.
@@ -55,6 +59,11 @@ func (p Policy) String() string {
 type Options struct {
 	Objective core.Objective
 	Policy    Policy
+	// Workers bounds the pricing parallelism of the BestResponse policy's
+	// sweeps (<= 0 means all cores); results are identical for every
+	// count. FirstImprovement and RandomImproving are inherently
+	// sequential scans and ignore it.
+	Workers int
 	// MaxMoves caps the number of applied moves (default 10_000).
 	MaxMoves int
 	// Seed drives RandomImproving sampling (ignored by the deterministic
@@ -138,7 +147,7 @@ func runSweeping(g *graph.Graph, opt Options, res *Result) {
 		movedThisSweep := false
 		for v := 0; v < n && res.Moves < opt.MaxMoves; v++ {
 			if opt.Policy == BestResponse {
-				m, newCost, improves := core.BestSwap(g, v, opt.Objective)
+				m, newCost, improves := core.BestSwapParallel(g, v, opt.Objective, opt.Workers)
 				if improves {
 					old := core.Cost(g, v, opt.Objective)
 					applyAndRecord(g, m, old, newCost, opt, res)

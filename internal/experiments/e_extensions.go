@@ -131,7 +131,7 @@ func runE12(cfg Config) ([]*stats.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := nash.Run(st, nash.Options{})
+		res, err := nash.Run(st, nash.Options{Workers: cfg.Workers})
 		if err != nil {
 			return nil, err
 		}

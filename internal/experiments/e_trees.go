@@ -80,6 +80,7 @@ func runE1(cfg Config) ([]*stats.Table, error) {
 			g := treegen.RandomTree(n, rng)
 			res, err := dynamics.Run(g, dynamics.Options{
 				Objective: core.Sum, Policy: dynamics.BestResponse,
+				Workers: cfg.Workers,
 			})
 			if err != nil {
 				return nil, err

@@ -76,6 +76,92 @@ func (f *Frozen) BFSInto(src int, dist []int32, queue []int32) int {
 	return reached
 }
 
+// BFSSkipVertex runs a breadth-first search from src over the CSR layout of
+// the vertex-deleted subgraph G − skip: the skipped vertex is never visited
+// and keeps distance Unreachable. It panics if src == skip. The swap-pricing
+// engine uses these rows — a candidate endpoint's distances avoiding the
+// deviator — to price every swap of the deviator from a single search.
+func (f *Frozen) BFSSkipVertex(src, skip int, dist []int32, queue []int32) int {
+	if len(dist) != f.n {
+		panic("graph: Frozen.BFSSkipVertex dist length mismatch")
+	}
+	if src == skip {
+		panic("graph: Frozen.BFSSkipVertex src == skip")
+	}
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	queue = queue[:0]
+	queue = append(queue, int32(src))
+	dist[src] = 0
+	skip32 := int32(skip)
+	reached := 1
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		dv := dist[v] + 1
+		for _, u := range f.neigh[f.offset[v]:f.offset[v+1]] {
+			if u != skip32 && dist[u] == Unreachable {
+				dist[u] = dv
+				queue = append(queue, u)
+				reached++
+			}
+		}
+	}
+	return reached
+}
+
+// BFSSkipEdge runs a breadth-first search from src over the CSR layout of
+// the edge-deleted subgraph G − ab. The edge need not exist; a non-edge
+// degenerates to a plain BFS. Deletion pricing and the deletion-critical
+// scan use these rows without cloning or mutating the graph.
+func (f *Frozen) BFSSkipEdge(src, a, b int, dist []int32, queue []int32) int {
+	if len(dist) != f.n {
+		panic("graph: Frozen.BFSSkipEdge dist length mismatch")
+	}
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	queue = queue[:0]
+	queue = append(queue, int32(src))
+	dist[src] = 0
+	a32, b32 := int32(a), int32(b)
+	reached := 1
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		dv := dist[v] + 1
+		for _, u := range f.neigh[f.offset[v]:f.offset[v+1]] {
+			if (v == a32 && u == b32) || (v == b32 && u == a32) {
+				continue
+			}
+			if dist[u] == Unreachable {
+				dist[u] = dv
+				queue = append(queue, u)
+				reached++
+			}
+		}
+	}
+	return reached
+}
+
+// HasEdge reports whether edge uv is present in the snapshot, by binary
+// search over u's sorted adjacency.
+func (f *Frozen) HasEdge(u, v int) bool {
+	if u < 0 || v < 0 || u >= f.n || v >= f.n {
+		return false
+	}
+	nb := f.neigh[f.offset[u]:f.offset[u+1]]
+	lo, hi := 0, len(nb)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if nb[mid] < int32(v) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(nb) && nb[lo] == int32(v)
+}
+
 // AllPairs computes all-pairs shortest paths over the snapshot with the
 // given number of workers (<= 0 means par.DefaultWorkers).
 func (f *Frozen) AllPairs(workers int) *Matrix {

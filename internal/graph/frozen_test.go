@@ -82,6 +82,97 @@ func TestFrozenAllPairsMatches(t *testing.T) {
 	}
 }
 
+func TestFrozenBFSSkipVertexMatchesDeletedSubgraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + rng.Intn(20)
+		g := randomConnected(rng, n, rng.Float64()*0.3)
+		f := g.Freeze()
+		skip := rng.Intn(n)
+		// Reference: materialize G − skip by removing all incident edges
+		// (the orphaned vertex keeps Unreachable everywhere, matching the
+		// skip semantics).
+		h := g.Clone()
+		for _, u := range g.Neighbors(skip) {
+			h.RemoveEdge(skip, u)
+		}
+		dist := make([]int32, n)
+		queue := make([]int32, 0, n)
+		for src := 0; src < n; src++ {
+			if src == skip {
+				continue
+			}
+			want := h.BFS(src)
+			reached := f.BFSSkipVertex(src, skip, dist, queue)
+			wantReached := 0
+			for v := 0; v < n; v++ {
+				if want[v] != Unreachable {
+					wantReached++
+				}
+				if dist[v] != want[v] {
+					t.Fatalf("trial %d src %d skip %d: dist[%d] = %d, want %d",
+						trial, src, skip, v, dist[v], want[v])
+				}
+			}
+			if reached != wantReached {
+				t.Fatalf("trial %d: reached %d, want %d", trial, reached, wantReached)
+			}
+		}
+	}
+}
+
+func TestFrozenBFSSkipEdgeMatchesDeletedSubgraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + rng.Intn(20)
+		g := randomConnected(rng, n, rng.Float64()*0.3)
+		f := g.Freeze()
+		edges := g.Edges()
+		e := edges[rng.Intn(len(edges))]
+		h := g.Clone()
+		h.RemoveEdge(e.U, e.V)
+		dist := make([]int32, n)
+		queue := make([]int32, 0, n)
+		for src := 0; src < n; src++ {
+			want := h.BFS(src)
+			f.BFSSkipEdge(src, e.U, e.V, dist, queue)
+			for v := 0; v < n; v++ {
+				if dist[v] != want[v] {
+					t.Fatalf("trial %d src %d minus %v: dist[%d] = %d, want %d",
+						trial, src, e, v, dist[v], want[v])
+				}
+			}
+		}
+		// A non-edge degenerates to plain BFS.
+		u, v := rng.Intn(n), rng.Intn(n)
+		if !g.HasEdge(u, v) {
+			want := g.BFS(0)
+			f.BFSSkipEdge(0, u, v, dist, queue)
+			for x := 0; x < n; x++ {
+				if dist[x] != want[x] {
+					t.Fatalf("non-edge skip changed BFS at %d", x)
+				}
+			}
+		}
+	}
+}
+
+func TestFrozenHasEdge(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g := randomConnected(rng, 30, 0.2)
+	f := g.Freeze()
+	for u := 0; u < g.N(); u++ {
+		for v := 0; v < g.N(); v++ {
+			if f.HasEdge(u, v) != g.HasEdge(u, v) {
+				t.Fatalf("HasEdge(%d,%d) mismatch", u, v)
+			}
+		}
+	}
+	if f.HasEdge(-1, 0) || f.HasEdge(0, g.N()) {
+		t.Error("out-of-range HasEdge returned true")
+	}
+}
+
 func TestFrozenEmpty(t *testing.T) {
 	f := New(0).Freeze()
 	if f.N() != 0 || f.M() != 0 {

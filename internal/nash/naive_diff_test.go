@@ -1,0 +1,85 @@
+package nash
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/games"
+	"repro/internal/graph"
+	"repro/internal/treegen"
+)
+
+// The engine-backed BestResponse and OwnerSwapStable must agree with the
+// pre-engine Naive* oracles: same move kind, same delta, same verdict.
+
+func TestBestResponseAgreesWithNaiveOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 6; trial++ {
+		n := 5 + rng.Intn(10)
+		for _, obj := range []core.Objective{core.Sum, core.Max} {
+			for _, alpha := range []float64{0.25, 1, 4, 100} {
+				g := treegen.RandomTree(n, rng)
+				for i := 0; i < n/3; i++ {
+					u, v := rng.Intn(n), rng.Intn(n)
+					if u != v {
+						g.AddEdge(u, v)
+					}
+				}
+				s, err := NewStateObj(g, games.MinOwnership(g), alpha, obj)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, workers := range []int{1, 3} {
+					s.Workers = workers
+					for v := 0; v < n; v++ {
+						m, delta, found := s.BestResponse(v)
+						nm, ndelta, nfound := s.NaiveBestResponse(v)
+						if found != nfound || delta != ndelta || (found && m != nm) {
+							t.Fatalf("trial %d obj=%v α=%v v=%d workers=%d: engine (%v, %v, %v) naive (%v, %v, %v)",
+								trial, obj, alpha, v, workers, m, delta, found, nm, ndelta, nfound)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestOwnerSwapStableAgreesWithNaiveOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 8; trial++ {
+		n := 5 + rng.Intn(10)
+		g := treegen.RandomTree(n, rng)
+		for i := 0; i < n/4; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.AddEdge(u, v)
+			}
+		}
+		for _, obj := range []core.Objective{core.Sum, core.Max} {
+			s, err := NewStateObj(g.Clone(), games.MinOwnership(g), 1, obj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotOK, gotWitness := s.OwnerSwapStable()
+			naiveOK, _ := s.NaiveOwnerSwapStable()
+			if gotOK != naiveOK {
+				t.Fatalf("trial %d obj=%v: engine stable=%v, naive stable=%v", trial, obj, gotOK, naiveOK)
+			}
+			if gotWitness != nil {
+				// Any witness must be a strictly improving owned swap.
+				if s.Own[graph.NewEdge(gotWitness.Player, gotWitness.Drop)] != gotWitness.Player {
+					t.Fatalf("trial %d: witness %v drops an unowned edge", trial, gotWitness)
+				}
+				before := s.PlayerCost(gotWitness.Player)
+				if err := s.Apply(*gotWitness); err != nil {
+					t.Fatalf("trial %d: witness %v not applicable: %v", trial, gotWitness, err)
+				}
+				if after := s.PlayerCost(gotWitness.Player); after >= before {
+					t.Fatalf("trial %d: witness %v does not improve (%v → %v)", trial, gotWitness, before, after)
+				}
+			}
+		}
+	}
+}

@@ -18,10 +18,14 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/games"
 	"repro/internal/graph"
+	"repro/internal/par"
+	"repro/internal/pricing"
 )
 
 // MoveKind labels the three single-edge moves of the greedy α-game.
@@ -79,6 +83,35 @@ type State struct {
 	Own   games.Ownership
 	Alpha float64
 	Obj   core.Objective // zero value is core.Sum
+	// Workers bounds the pricing parallelism of BestResponse and
+	// OwnerSwapStable (<= 0 means par.DefaultWorkers). Results are
+	// identical for every worker count.
+	Workers int
+
+	eng        *pricing.Engine
+	engWorkers int
+}
+
+// engine returns the state's swap-pricing engine, rebuilt when the worker
+// count changes.
+func (s *State) engine() *pricing.Engine {
+	w := s.Workers
+	if w <= 0 {
+		w = par.DefaultWorkers
+	}
+	if s.eng == nil || s.engWorkers != w {
+		s.eng = pricing.New(w)
+		s.engWorkers = w
+	}
+	return s.eng
+}
+
+// pricingObj maps the state's objective onto the pricing engine's.
+func (s *State) pricingObj() pricing.Objective {
+	if s.Obj == core.Max {
+		return pricing.Max
+	}
+	return pricing.Sum
 }
 
 // NewState validates and wraps a sum-version configuration.
@@ -141,9 +174,131 @@ func (s *State) ownedNeighbors(v int) []int {
 
 // BestResponse returns player v's cost-minimizing single-edge move and its
 // (negative) cost delta, with found=false when no move strictly improves.
-// The scan order is deterministic: buys, deletes, then swaps, each in
-// ascending vertex order; ties keep the earliest.
+// The selection is deterministic for any worker count: buys, deletes, then
+// swaps, each in ascending vertex order; ties keep the earliest. Pricing
+// runs over a frozen snapshot through the swap-pricing engine: buys are
+// sharded across workers, deletes read the engine's per-dropped-edge rows,
+// and swaps are priced with two patched BFS rows per candidate instead of
+// an all-pairs sweep per owned edge.
 func (s *State) BestResponse(v int) (best Move, bestDelta float64, found bool) {
+	n := s.G.N()
+	f := s.G.Freeze()
+	eng := s.engine()
+	obj := s.pricingObj()
+	scan := eng.NewScanDrops(f, v, ownedNeighbors32(s, v))
+	defer scan.Close()
+	dv := scan.CurrentRow()
+	baseUsage := scan.CurrentUsage(obj)
+	bestDelta = 0
+
+	consider := func(m Move, delta float64) {
+		if delta < bestDelta {
+			bestDelta, best, found = delta, m, true
+		}
+	}
+
+	// Buys: Δ = α + (usage_after − usage_before), sharded over candidate
+	// endpoints and merged toward the smallest (delta, endpoint).
+	type buy struct {
+		w     int
+		delta float64
+	}
+	var mu sync.Mutex
+	var bestBuy buy
+	haveBuy := false
+	par.ForChunked(eng.Workers(), n, func(lo, hi int) {
+		dist, queue, release := eng.Scratch(n)
+		defer release()
+		var local buy
+		have := false
+		for w := lo; w < hi; w++ {
+			if w == v || f.HasEdge(v, w) {
+				continue
+			}
+			f.BFSInto(w, dist, queue)
+			after := pricing.Patched(dv, dist, obj)
+			delta := s.Alpha + float64(after-baseUsage)
+			if !have || delta < local.delta || (delta == local.delta && w < local.w) {
+				local, have = buy{w: w, delta: delta}, true
+			}
+		}
+		if have {
+			mu.Lock()
+			if !haveBuy || local.delta < bestBuy.delta ||
+				(local.delta == bestBuy.delta && local.w < bestBuy.w) {
+				bestBuy, haveBuy = local, true
+			}
+			mu.Unlock()
+		}
+	})
+	if haveBuy {
+		consider(Move{Kind: Buy, Player: v, Add: bestBuy.w}, bestBuy.delta)
+	}
+
+	// Deletes and swaps share the historical interleaved scan order — for
+	// each owned edge ascending, the deletion comes before the swaps that
+	// drop it — so ties are merged on (delta, drop index, delete-before-
+	// swap, add). Deletions read the engine's dropped-edge rows; swaps use
+	// the engine's sharded best-move search with the α-game rule that the
+	// target edge must not exist.
+	type dsCand struct {
+		m       Move
+		delta   float64
+		dropIdx int
+		isSwap  bool
+		add     int
+	}
+	var bestDS dsCand
+	haveDS := false
+	considerDS := func(c dsCand) {
+		if !haveDS {
+			bestDS, haveDS = c, true
+			return
+		}
+		b := bestDS
+		better := c.delta < b.delta ||
+			(c.delta == b.delta && (c.dropIdx < b.dropIdx ||
+				(c.dropIdx == b.dropIdx && (!c.isSwap && b.isSwap ||
+					(c.isSwap == b.isSwap && c.add < b.add)))))
+		if better {
+			bestDS = c
+		}
+	}
+	drops := scan.Drops()
+	for i, w := range drops {
+		delUsage := scan.DeletionUsage(i, obj)
+		considerDS(dsCand{
+			m:       Move{Kind: Delete, Player: v, Drop: int(w)},
+			delta:   -s.Alpha + float64(delUsage-baseUsage),
+			dropIdx: i,
+		})
+	}
+	if b, ok := scan.BestMove(obj, true); ok {
+		dropIdx := 0
+		for i, w := range drops {
+			if int(w) == b.Drop {
+				dropIdx = i
+				break
+			}
+		}
+		considerDS(dsCand{
+			m:       Move{Kind: Swap, Player: v, Drop: b.Drop, Add: b.Add},
+			delta:   float64(b.Cost - baseUsage),
+			dropIdx: dropIdx,
+			isSwap:  true,
+			add:     b.Add,
+		})
+	}
+	if haveDS {
+		consider(bestDS.m, bestDS.delta)
+	}
+	return best, bestDelta, found
+}
+
+// NaiveBestResponse is the pre-engine best response, kept as the
+// differential-test oracle: buys re-BFS each endpoint and swaps pay a full
+// all-pairs sweep per owned edge. g is mutated and restored.
+func (s *State) NaiveBestResponse(v int) (best Move, bestDelta float64, found bool) {
 	n := s.G.N()
 	dv := s.G.BFS(v)
 	baseUsage := s.usageOfRow(dv)
@@ -189,6 +344,17 @@ func (s *State) BestResponse(v int) (best Move, bestDelta float64, found bool) {
 		s.G.AddEdge(v, w)
 	}
 	return best, bestDelta, found
+}
+
+// ownedNeighbors32 lists v's owned-edge endpoints ascending as int32 for
+// the pricing engine.
+func ownedNeighbors32(s *State, v int) []int32 {
+	owned := s.ownedNeighbors(v)
+	out := make([]int32, len(owned))
+	for i, w := range owned {
+		out[i] = int32(w)
+	}
+	return out
 }
 
 // Apply performs the move, updating graph and ownership.
@@ -238,6 +404,8 @@ type Result struct {
 // Options bounds a dynamics run.
 type Options struct {
 	MaxMoves int // default 10000
+	// Workers bounds pricing parallelism (<= 0 keeps the state's setting).
+	Workers int
 }
 
 // Run performs round-robin greedy best response until no player improves
@@ -250,6 +418,11 @@ func Run(s *State, opt Options) (*Result, error) {
 	maxMoves := opt.MaxMoves
 	if maxMoves <= 0 {
 		maxMoves = 10000
+	}
+	if opt.Workers > 0 {
+		prev := s.Workers
+		s.Workers = opt.Workers
+		defer func() { s.Workers = prev }()
 	}
 	res := &Result{}
 	for res.Moves < maxMoves {
@@ -289,8 +462,55 @@ func Check(s *State) (bool, *Move) {
 // OwnerSwapStable reports whether no owner-side swap improves any player —
 // the α-independent condition that transfers to the basic game. Every
 // greedy equilibrium satisfies it; the converse direction (both-endpoint
-// swap stability of the basic game) is strictly stronger.
+// swap stability of the basic game) is strictly stronger. Players are
+// sharded across the state's workers over one frozen snapshot; on failure
+// some witness improving swap is returned.
 func (s *State) OwnerSwapStable() (bool, *Move) {
+	n := s.G.N()
+	f := s.G.Freeze()
+	eng := s.engine()
+	obj := s.pricingObj()
+
+	var stop atomic.Bool
+	var mu sync.Mutex
+	var witness *Move
+	var next par.Counter
+	par.Workers(eng.Workers(), func(int) {
+		for v := next.Next(); v < n; v = next.Next() {
+			if stop.Load() {
+				return
+			}
+			owned := ownedNeighbors32(s, v)
+			if len(owned) == 0 {
+				continue
+			}
+			scan := eng.NewScanDrops(f, v, owned)
+			base := scan.CurrentUsage(obj)
+			scan.ForEach(obj, true, func(i, add int, cost int64) bool {
+				if stop.Load() {
+					return false
+				}
+				if cost < base {
+					mu.Lock()
+					if witness == nil {
+						witness = &Move{Kind: Swap, Player: v, Drop: int(owned[i]), Add: add}
+					}
+					mu.Unlock()
+					stop.Store(true)
+					return false
+				}
+				return true
+			})
+			scan.Close()
+		}
+	})
+	return witness == nil, witness
+}
+
+// NaiveOwnerSwapStable is the pre-engine owner-swap scan, kept as the
+// differential-test oracle; it returns the first witness in (player, drop,
+// add) order. g is mutated and restored.
+func (s *State) NaiveOwnerSwapStable() (bool, *Move) {
 	n := s.G.N()
 	for v := 0; v < n; v++ {
 		dv := s.G.BFS(v)

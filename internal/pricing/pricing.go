@@ -1,0 +1,333 @@
+// Package pricing implements the sharded swap-pricing engine for the basic
+// network creation game.
+//
+// The core computational object of the game is the single-edge swap: agent v
+// replaces an incident edge vw by an edge vw'. Equilibrium checking and
+// best-response dynamics price Θ(n·deg(v)) candidate swaps per agent, and
+// the naive path pays a fresh shortest-path computation for every candidate.
+// The engine prices every candidate from two patched BFS rows instead:
+//
+//	d_{G−vw+vw'}(v, x) = min( d_{G−vw}(v, x), 1 + d_{G−v}(w', x) )
+//
+// The identity is exact: a shortest v–x path in the post-swap graph either
+// avoids the new edge vw' (so it lives in G−vw, the first term), or uses it;
+// a simple path that uses vw' starts with it, and its remainder is a w'–x
+// path that avoids v entirely — and a w'–x path that avoids v automatically
+// avoids the deleted edge vw, so it lives in G−v (the second term). A w'–x
+// detour through v never helps, because 1 + d(w',v) + d(v,x) > d_{G−vw}(v,x).
+//
+// A Scan therefore prepares deg(v)+1 rows once per deviator (the deviator's
+// row in G and in each G−vw), and then prices all candidates for one
+// endpoint w' from a single BFS row of G−v, shared across every dropped
+// edge. Per-worker scratch (distance rows and queues) lives in pooled
+// buffers, and the best-move search shards candidate endpoints across
+// workers via internal/par with dynamic chunking; results are merged with a
+// total order on (cost, drop, add), so the outcome is deterministic for any
+// worker count.
+//
+// The package depends only on internal/graph and internal/par so that both
+// the basic-game checkers (internal/core) and the α-game dynamics
+// (internal/nash) can share one engine.
+package pricing
+
+import (
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/par"
+)
+
+// Objective selects which usage cost is priced.
+type Objective int
+
+const (
+	// Sum prices Σ_x d(v,x) (the sum version of the game).
+	Sum Objective = iota
+	// Max prices max_x d(v,x) (the local-diameter version).
+	Max
+)
+
+// InfCost is the usage cost of a disconnected position. It equals
+// core.InfCost; the engine duplicates the constant rather than importing
+// internal/core, which sits above it in the dependency order.
+const InfCost = int64(1) << 60
+
+// Engine prices swaps over frozen CSR snapshots with pooled per-worker
+// scratch. The zero worker count selects par.DefaultWorkers. An Engine is
+// safe for concurrent use; Scans are not.
+type Engine struct {
+	workers int
+	pool    sync.Pool // *scratch
+}
+
+type scratch struct {
+	dist  []int32
+	queue []int32
+}
+
+// New returns an engine. workers bounds the sharded best-move search
+// (<= 0 means par.DefaultWorkers).
+func New(workers int) *Engine {
+	if workers <= 0 {
+		workers = par.DefaultWorkers
+	}
+	return &Engine{workers: workers}
+}
+
+// Workers returns the engine's effective worker count.
+func (e *Engine) Workers() int { return e.workers }
+
+func (e *Engine) getScratch(n int) *scratch {
+	if s, ok := e.pool.Get().(*scratch); ok && len(s.dist) == n {
+		return s
+	}
+	return &scratch{dist: make([]int32, n), queue: make([]int32, 0, n)}
+}
+
+func (e *Engine) putScratch(s *scratch) { e.pool.Put(s) }
+
+// Scratch borrows a pooled (dist, queue) buffer pair sized for an n-vertex
+// graph; release returns it to the pool. Callers running their own sharded
+// BFS loops (e.g. the α-game's buy scan) use this to share the engine's
+// per-worker scratch instead of allocating per chunk.
+func (e *Engine) Scratch(n int) (dist, queue []int32, release func()) {
+	s := e.getScratch(n)
+	return s.dist, s.queue, func() { e.putScratch(s) }
+}
+
+// Scan holds the per-deviator pricing state: the deviator's BFS row in G and
+// in each edge-deleted graph G−vw for the scanned dropped edges. Building a
+// Scan costs len(drops)+1 BFS passes; pricing a candidate endpoint then
+// costs one BFS pass shared across all dropped edges. A Scan prices against
+// the snapshot it was built from; re-freeze and re-scan after mutating the
+// underlying graph. Close detaches the Scan from its snapshot (its row
+// buffers are plain allocations, reclaimed by the GC); using a Scan after
+// Close is invalid.
+type Scan struct {
+	e        *Engine
+	f        *graph.Frozen
+	v        int
+	drops    []int32   // dropped-edge endpoints, ascending
+	cur      []int32   // d_G(v,·)
+	dropRows [][]int32 // dropRows[i] = d_{G−v·drops[i]}(v,·)
+}
+
+// NewScan prepares pricing state for deviator v with every incident edge as
+// a dropped-edge candidate (the basic game's move set).
+func (e *Engine) NewScan(f *graph.Frozen, v int) *Scan {
+	return e.NewScanDrops(f, v, f.Neighbors(v))
+}
+
+// NewScanDrops prepares pricing state for deviator v restricted to the given
+// dropped-edge endpoints (e.g. the owned edges in the α-game). drops must be
+// neighbors of v, in ascending order; the slice is not retained.
+func (e *Engine) NewScanDrops(f *graph.Frozen, v int, drops []int32) *Scan {
+	n := f.N()
+	s := &Scan{
+		e:        e,
+		f:        f,
+		v:        v,
+		drops:    append([]int32(nil), drops...),
+		cur:      make([]int32, n),
+		dropRows: make([][]int32, len(drops)),
+	}
+	sc := e.getScratch(n)
+	f.BFSInto(v, s.cur, sc.queue)
+	for i, w := range s.drops {
+		row := make([]int32, n)
+		f.BFSSkipEdge(v, v, int(w), row, sc.queue)
+		s.dropRows[i] = row
+	}
+	e.putScratch(sc)
+	return s
+}
+
+// Close detaches the Scan from its snapshot, invalidating further use.
+func (s *Scan) Close() { s.f = nil }
+
+// V returns the deviator.
+func (s *Scan) V() int { return s.v }
+
+// Drops returns the scanned dropped-edge endpoints in ascending order. The
+// slice is owned by the Scan; do not modify.
+func (s *Scan) Drops() []int32 { return s.drops }
+
+// CurrentRow returns d_G(v,·) (owned by the Scan; do not modify).
+func (s *Scan) CurrentRow() []int32 { return s.cur }
+
+// CurrentUsage returns the deviator's usage cost in G.
+func (s *Scan) CurrentUsage(obj Objective) int64 { return Usage(s.cur, obj) }
+
+// DropRow returns d_{G−v·drops[i]}(v,·) (owned by the Scan; do not modify).
+func (s *Scan) DropRow(i int) []int32 { return s.dropRows[i] }
+
+// DeletionUsage returns the deviator's usage cost in G−v·drops[i], i.e. the
+// price of a pure deletion of the i-th dropped edge.
+func (s *Scan) DeletionUsage(i int, obj Objective) int64 {
+	return Usage(s.dropRows[i], obj)
+}
+
+// ForEach prices every candidate swap (drop = drops[i], add) sequentially
+// and invokes fn with the deviator's post-move usage cost. Candidates are
+// enumerated add-major: add ascending over all vertices except v, and for
+// each add, dropped edges in ascending order. skipAdjacent skips every add
+// that is currently a neighbor of v — the α-game's rule, where the target
+// edge must not exist; without it, an adjacent add prices the pure deletion
+// of the dropped edge and add == drop prices the current cost (a no-op),
+// the basic game's semantics. fn returning false stops the scan.
+func (s *Scan) ForEach(obj Objective, skipAdjacent bool, fn func(dropIdx, add int, cost int64) bool) {
+	if len(s.drops) == 0 {
+		return
+	}
+	n := s.f.N()
+	sc := s.e.getScratch(n)
+	defer s.e.putScratch(sc)
+	for add := 0; add < n; add++ {
+		if add == s.v || (skipAdjacent && s.f.HasEdge(s.v, add)) {
+			continue
+		}
+		s.f.BFSSkipVertex(add, s.v, sc.dist, sc.queue)
+		for i := range s.drops {
+			if !fn(i, add, Patched(s.dropRows[i], sc.dist, obj)) {
+				return
+			}
+		}
+	}
+}
+
+// Best is a priced swap candidate.
+type Best struct {
+	Drop int   // endpoint losing its edge to the deviator
+	Add  int   // new endpoint
+	Cost int64 // deviator's usage cost after the swap
+}
+
+func (b Best) less(o Best) bool {
+	if b.Cost != o.Cost {
+		return b.Cost < o.Cost
+	}
+	if b.Drop != o.Drop {
+		return b.Drop < o.Drop
+	}
+	return b.Add < o.Add
+}
+
+// BestMove returns the minimum-cost candidate swap, with ties broken toward
+// the lexicographically smallest (Drop, Add). Candidate endpoints are
+// sharded across the engine's workers; the merge order is deterministic for
+// any worker count. ok is false when v has no candidate swaps.
+func (s *Scan) BestMove(obj Objective, skipAdjacent bool) (best Best, ok bool) {
+	if len(s.drops) == 0 {
+		return Best{}, false
+	}
+	n := s.f.N()
+	var mu sync.Mutex
+	par.ForChunked(s.e.workers, n, func(lo, hi int) {
+		sc := s.e.getScratch(n)
+		defer s.e.putScratch(sc)
+		var local Best
+		found := false
+		for add := lo; add < hi; add++ {
+			if add == s.v || (skipAdjacent && s.f.HasEdge(s.v, add)) {
+				continue
+			}
+			s.f.BFSSkipVertex(add, s.v, sc.dist, sc.queue)
+			for i, w := range s.drops {
+				cand := Best{Drop: int(w), Add: add, Cost: Patched(s.dropRows[i], sc.dist, obj)}
+				if !found || cand.less(local) {
+					local, found = cand, true
+				}
+			}
+		}
+		if found {
+			mu.Lock()
+			if !ok || local.less(best) {
+				best, ok = local, true
+			}
+			mu.Unlock()
+		}
+	})
+	return best, ok
+}
+
+// Usage prices a BFS row under obj: the row's sum (Sum) or maximum (Max),
+// or InfCost when some vertex is unreachable.
+func Usage(row []int32, obj Objective) int64 {
+	if obj == Max {
+		var ecc int64
+		for _, d := range row {
+			if d == graph.Unreachable {
+				return InfCost
+			}
+			if int64(d) > ecc {
+				ecc = int64(d)
+			}
+		}
+		return ecc
+	}
+	var sum int64
+	for _, d := range row {
+		if d == graph.Unreachable {
+			return InfCost
+		}
+		sum += int64(d)
+	}
+	return sum
+}
+
+// Patched prices the one-edge patch of two BFS rows under obj: the sum or
+// maximum over x of min(dv[x], 1+dw[x]), with graph.Unreachable entries
+// treated as infinite and InfCost returned when some x is unreachable via
+// both rows. dv is the deviator's row and dw the new endpoint's row, both
+// measured in the graph without the patching edge.
+func Patched(dv, dw []int32, obj Objective) int64 {
+	if obj == Max {
+		return patchedEcc(dv, dw)
+	}
+	return patchedSum(dv, dw)
+}
+
+func patchedSum(dv, dw []int32) int64 {
+	var sum int64
+	for x := range dv {
+		a, b := dv[x], dw[x]
+		switch {
+		case a == graph.Unreachable && b == graph.Unreachable:
+			return InfCost
+		case a == graph.Unreachable:
+			sum += int64(b) + 1
+		case b == graph.Unreachable:
+			sum += int64(a)
+		case b+1 < a:
+			sum += int64(b) + 1
+		default:
+			sum += int64(a)
+		}
+	}
+	return sum
+}
+
+func patchedEcc(dv, dw []int32) int64 {
+	var ecc int64
+	for x := range dv {
+		a, b := dv[x], dw[x]
+		var d int64
+		switch {
+		case a == graph.Unreachable && b == graph.Unreachable:
+			return InfCost
+		case a == graph.Unreachable:
+			d = int64(b) + 1
+		case b == graph.Unreachable:
+			d = int64(a)
+		default:
+			d = int64(a)
+			if alt := int64(b) + 1; alt < d {
+				d = alt
+			}
+		}
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
