@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fmt vet check
+.PHONY: all build test race bench fuzz fmt vet check
 
 all: check
 
@@ -18,6 +18,10 @@ race:
 # One iteration per benchmark: the CI smoke that keeps bench_test.go alive.
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# Bounded fuzz of the incremental pricing session's mutation path.
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzApplySwap -fuzztime=30s ./internal/pricing
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

@@ -253,6 +253,71 @@ func BenchmarkDynamicsBestResponse(b *testing.B)     { benchDynamics(b, dynamics
 func BenchmarkDynamicsFirstImprovement(b *testing.B) { benchDynamics(b, dynamics.FirstImprovement) }
 func BenchmarkDynamicsRandomImproving(b *testing.B)  { benchDynamics(b, dynamics.RandomImproving) }
 
+// Tentpole ablation: the incremental pricing session held across a whole
+// trajectory (dynamics.Run) vs the re-freeze-per-move oracle
+// (dynamics.NaiveRun) on 128+ vertex instances; both run single-worker so
+// the difference is the snapshot lifecycle, not parallelism. Trajectories
+// are bit-identical (see internal/dynamics differential tests), so each
+// pair does the same moves. ROADMAP.md records the measured numbers.
+
+func benchDynamicsAblation(b *testing.B, run func(*graph.Graph, dynamics.Options) (*dynamics.Result, error),
+	mk func() *graph.Graph, policy dynamics.Policy, obj core.Objective) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		g := mk()
+		b.StartTimer()
+		res, err := run(g, dynamics.Options{Objective: obj, Policy: policy, Seed: 7, Workers: 1})
+		if err != nil || !res.Converged {
+			b.Fatal("dynamics failed", err)
+		}
+	}
+}
+
+func BenchmarkDynamicsSessionBestResponsePath128(b *testing.B) {
+	benchDynamicsAblation(b, dynamics.Run, func() *graph.Graph { return Path(128) },
+		dynamics.BestResponse, core.Sum)
+}
+
+func BenchmarkDynamicsRefreezeBestResponsePath128(b *testing.B) {
+	benchDynamicsAblation(b, dynamics.NaiveRun, func() *graph.Graph { return Path(128) },
+		dynamics.BestResponse, core.Sum)
+}
+
+func BenchmarkDynamicsSessionFirstImprovementPath128(b *testing.B) {
+	benchDynamicsAblation(b, dynamics.Run, func() *graph.Graph { return Path(128) },
+		dynamics.FirstImprovement, core.Sum)
+}
+
+func BenchmarkDynamicsRefreezeFirstImprovementPath128(b *testing.B) {
+	benchDynamicsAblation(b, dynamics.NaiveRun, func() *graph.Graph { return Path(128) },
+		dynamics.FirstImprovement, core.Sum)
+}
+
+func BenchmarkDynamicsSessionRandomImprovingPath128(b *testing.B) {
+	benchDynamicsAblation(b, dynamics.Run, func() *graph.Graph { return Path(128) },
+		dynamics.RandomImproving, core.Sum)
+}
+
+func BenchmarkDynamicsRefreezeRandomImprovingPath128(b *testing.B) {
+	benchDynamicsAblation(b, dynamics.NaiveRun, func() *graph.Graph { return Path(128) },
+		dynamics.RandomImproving, core.Sum)
+}
+
+// The 256-vertex torus is already a max equilibrium, so these measure the
+// pure certification sweep (one full no-move pass) with and without the
+// per-vertex re-freeze.
+
+func BenchmarkDynamicsSessionCertifyTorus256(b *testing.B) {
+	benchDynamicsAblation(b, dynamics.Run, func() *graph.Graph { return NewTorus(8).Graph() },
+		dynamics.BestResponse, core.Max)
+}
+
+func BenchmarkDynamicsRefreezeCertifyTorus256(b *testing.B) {
+	benchDynamicsAblation(b, dynamics.NaiveRun, func() *graph.Graph { return NewTorus(8).Graph() },
+		dynamics.BestResponse, core.Max)
+}
+
 func BenchmarkGraph6RoundTrip(b *testing.B) {
 	g := benchGraph(200, 4)
 	b.ReportAllocs()

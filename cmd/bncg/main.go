@@ -223,7 +223,7 @@ func cmdDynamics(args []string) error {
 	obj := fs.String("obj", "sum", "sum|max")
 	policy := fs.String("policy", "best", "best|first|random")
 	seed := fs.Int64("seed", 1, "random seed")
-	workers := fs.Int("workers", 0, "pricing workers (0 = all cores)")
+	workers := fs.Int("workers", 0, "pricing workers for every policy, including the random policy's certification sweeps (0 = all cores; trajectories are identical for any count)")
 	trace := fs.Bool("trace", false, "print every applied move")
 	if err := fs.Parse(args); err != nil {
 		return err

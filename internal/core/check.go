@@ -199,6 +199,15 @@ func CheckSwapStable(g *graph.Graph, obj Objective, workers int) (bool, *Violati
 	return checkEquilibriumOpts(g, Max, workers, false)
 }
 
+// CheckSwapEquilibrium is CheckSwapStable under the paper's name for the
+// condition dynamics converge to: no single swap strictly improves any
+// agent. Certification sweeps (dynamics.Run, Session.CheckSwapStable) and
+// this one-shot checker must agree on every graph; the regression tests in
+// internal/dynamics pin that.
+func CheckSwapEquilibrium(g *graph.Graph, obj Objective, workers int) (bool, *Violation, error) {
+	return CheckSwapStable(g, obj, workers)
+}
+
 func checkEquilibrium(g *graph.Graph, obj Objective, workers int) (bool, *Violation, error) {
 	return checkEquilibriumOpts(g, obj, workers, true)
 }
@@ -221,7 +230,15 @@ func checkEquilibriumOpts(g *graph.Graph, obj Objective, workers int, deletionCr
 		workers = n
 	}
 
-	f := g.Freeze()
+	found := scanAgents(g.Freeze(), obj, workers, deletionCritical)
+	return found == nil, found, nil
+}
+
+// scanAgents shards agents across workers over one shared snapshot —
+// a one-shot Frozen or a session's live CSR — and returns the first
+// violation recorded, nil when every agent is stable.
+func scanAgents(view pricing.Snapshot, obj Objective, workers int, deletionCritical bool) *Violation {
+	n := view.N()
 	var stop atomic.Bool
 	var mu sync.Mutex
 	var found *Violation
@@ -240,15 +257,15 @@ func checkEquilibriumOpts(g *graph.Graph, obj Objective, workers int, deletionCr
 			if stop.Load() {
 				return
 			}
-			checkVertex(f, v, obj, deletionCritical, &stop, record)
+			checkVertex(view, v, obj, deletionCritical, &stop, record)
 		}
 	})
-	return found == nil, found, nil
+	return found
 }
 
 // checkVertex scans all moves of agent v over the snapshot, recording the
 // first violation found in the engine's add-major enumeration order.
-func checkVertex(f *graph.Frozen, v int, obj Objective, deletionCritical bool, stop *atomic.Bool, record func(Violation)) {
+func checkVertex(f pricing.Snapshot, v int, obj Objective, deletionCritical bool, stop *atomic.Bool, record func(Violation)) {
 	scan := seqEngine.NewScan(f, v)
 	defer scan.Close()
 	cur := scan.CurrentUsage(pobj(obj))

@@ -7,6 +7,14 @@
 // because convergence is declared only after a full exhaustive pass finds
 // no improving swap.
 //
+// Every trajectory runs inside one incremental pricing session
+// (core.Session): the starting graph is thawed into a mutable CSR once,
+// each applied move patches the snapshot in O(deg) instead of re-freezing
+// in O(n+m), and every probe, sweep, and certification pass prices against
+// the live snapshot. The pre-session loop survives as NaiveRun, the
+// differential-test oracle; trajectories are bit-identical between the two
+// paths for every policy and worker count.
+//
 // Swap dynamics need not converge in general (the game is not a potential
 // game), so Run enforces MaxMoves and reports Converged=false when the
 // budget is exhausted; in practice the experiments converge quickly.
@@ -59,10 +67,12 @@ func (p Policy) String() string {
 type Options struct {
 	Objective core.Objective
 	Policy    Policy
-	// Workers bounds the pricing parallelism of the BestResponse policy's
-	// sweeps (<= 0 means all cores); results are identical for every
-	// count. FirstImprovement and RandomImproving are inherently
-	// sequential scans and ignore it.
+	// Workers bounds the pricing parallelism of every policy (<= 0 means
+	// all cores): BestResponse shards each best-swap scan,
+	// FirstImprovement shards each first-improving scan with a
+	// deterministic enumeration-order merge, and RandomImproving shards
+	// its certification sweeps the same way. Trajectories are bit-identical
+	// for every worker count.
 	Workers int
 	// MaxMoves caps the number of applied moves (default 10_000).
 	MaxMoves int
@@ -100,14 +110,12 @@ type Result struct {
 // ErrTooSmall is returned for graphs with fewer than 2 vertices.
 var ErrTooSmall = errors.New("dynamics: graph needs at least 2 vertices")
 
-// Run executes swap dynamics on g (mutating it) until equilibrium or the
-// move budget is exhausted.
-func Run(g *graph.Graph, opt Options) (*Result, error) {
+func validate(g *graph.Graph, opt *Options) error {
 	if g.N() < 2 {
-		return nil, ErrTooSmall
+		return ErrTooSmall
 	}
 	if !g.IsConnected() {
-		return nil, core.ErrDisconnected
+		return core.ErrDisconnected
 	}
 	if opt.MaxMoves <= 0 {
 		opt.MaxMoves = 10000
@@ -115,20 +123,158 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 	if opt.PatienceFactor <= 0 {
 		opt.PatienceFactor = 20
 	}
+	switch opt.Policy {
+	case BestResponse, FirstImprovement, RandomImproving:
+		return nil
+	default:
+		return fmt.Errorf("dynamics: unknown policy %v", opt.Policy)
+	}
+}
+
+// Run executes swap dynamics on g (mutating it) until equilibrium or the
+// move budget is exhausted. The whole trajectory shares one incremental
+// pricing session: applied moves patch the live CSR snapshot in O(deg),
+// and all probes and sweeps price against it.
+func Run(g *graph.Graph, opt Options) (*Result, error) {
+	if err := validate(g, &opt); err != nil {
+		return nil, err
+	}
 	res := &Result{}
+	sess := core.NewSession(g, opt.Workers)
 	switch opt.Policy {
 	case BestResponse, FirstImprovement:
-		runSweeping(g, opt, res)
+		runSweeping(sess, opt, res)
 	case RandomImproving:
-		runRandom(g, opt, res)
-	default:
-		return nil, fmt.Errorf("dynamics: unknown policy %v", opt.Policy)
+		runRandom(sess, opt, res)
 	}
 	return res, nil
 }
 
-// applyAndRecord applies m and appends a trace entry when enabled.
-func applyAndRecord(g *graph.Graph, m core.Move, oldCost, newCost int64, opt Options, res *Result) {
+// applyAndRecord applies m through the session and appends a trace entry
+// when enabled; the post-move social cost is measured on the live snapshot.
+func applyAndRecord(sess *core.Session, m core.Move, oldCost, newCost int64, opt Options, res *Result) {
+	sess.Apply(m)
+	res.Moves++
+	if opt.Trace {
+		res.Trace = append(res.Trace, TraceEntry{
+			Move: m, OldCost: oldCost, NewCost: newCost,
+			SocialCost: sess.SocialCost(opt.Objective),
+			MoveRank:   res.Moves,
+		})
+	}
+}
+
+func runSweeping(sess *core.Session, opt Options, res *Result) {
+	n := sess.Graph().N()
+	for res.Moves < opt.MaxMoves {
+		res.Sweeps++
+		movedThisSweep := false
+		for v := 0; v < n && res.Moves < opt.MaxMoves; v++ {
+			var m core.Move
+			var old, newCost int64
+			var improves bool
+			if opt.Policy == BestResponse {
+				m, old, newCost, improves = sess.BestSwap(v, opt.Objective)
+			} else {
+				m, old, newCost, improves = sess.FirstImproving(v, opt.Objective)
+			}
+			if improves {
+				applyAndRecord(sess, m, old, newCost, opt, res)
+				movedThisSweep = true
+			}
+		}
+		if !movedThisSweep {
+			res.Converged = true
+			return
+		}
+	}
+}
+
+func runRandom(sess *core.Session, opt Options, res *Result) {
+	rng := rand.New(rand.NewSource(opt.Seed))
+	view := sess.View()
+	n := view.N()
+	patience := opt.PatienceFactor * view.M()
+	if patience < 50 {
+		patience = 50
+	}
+	// Probes against an unchanged graph share the prober's current cost:
+	// the cache is stamped with the applied-move generation and only
+	// recomputed after a move actually lands, so the patience window
+	// between moves pays one current-cost BFS per distinct sampled vertex
+	// instead of one per probe.
+	curCost := make([]int64, n)
+	curGen := make([]uint64, n)
+	gen := uint64(1)
+	cost := func(v int) int64 {
+		if curGen[v] != gen {
+			curCost[v] = sess.Cost(v, opt.Objective)
+			curGen[v] = gen
+		}
+		return curCost[v]
+	}
+	failStreak := 0
+	for res.Moves < opt.MaxMoves {
+		if failStreak >= patience {
+			// Certification sweep: exhaustively search for any improving
+			// swap over the live snapshot; none ⇒ certified equilibrium.
+			res.Sweeps++
+			m, old, newCost, found := sess.FindImprovement(opt.Objective)
+			if !found {
+				res.Converged = true
+				return
+			}
+			applyAndRecord(sess, m, old, newCost, opt, res)
+			gen++
+			failStreak = 0
+			continue
+		}
+		v := rng.Intn(n)
+		if view.Degree(v) == 0 {
+			failStreak++
+			continue
+		}
+		nbs := view.Neighbors(v)
+		w := int(nbs[rng.Intn(len(nbs))])
+		wp := rng.Intn(n)
+		if wp == v || wp == w {
+			failStreak++
+			continue
+		}
+		cur := cost(v)
+		m := core.Move{V: v, Drop: w, Add: wp}
+		if c := sess.PriceMove(m, opt.Objective); c < cur {
+			applyAndRecord(sess, m, cur, c, opt, res)
+			gen++
+			failStreak = 0
+		} else {
+			failStreak++
+		}
+	}
+}
+
+// NaiveRun is the pre-session dynamics loop, kept as the differential-test
+// oracle: every best-swap and first-improvement scan re-freezes the graph
+// (core.BestSwapParallel / core.PriceSwaps), random probes are priced by
+// apply-BFS-revert on the map graph (core.EvaluateMove), and certification
+// sweeps re-freeze per vertex. Run must reproduce its trajectories
+// move-for-move for every policy, objective, seed, and worker count.
+func NaiveRun(g *graph.Graph, opt Options) (*Result, error) {
+	if err := validate(g, &opt); err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	switch opt.Policy {
+	case BestResponse, FirstImprovement:
+		naiveSweeping(g, opt, res)
+	case RandomImproving:
+		naiveRandom(g, opt, res)
+	}
+	return res, nil
+}
+
+// naiveApplyAndRecord applies m directly to the map graph.
+func naiveApplyAndRecord(g *graph.Graph, m core.Move, oldCost, newCost int64, opt Options, res *Result) {
 	core.ApplyMove(g, m)
 	res.Moves++
 	if opt.Trace {
@@ -140,7 +286,7 @@ func applyAndRecord(g *graph.Graph, m core.Move, oldCost, newCost int64, opt Opt
 	}
 }
 
-func runSweeping(g *graph.Graph, opt Options, res *Result) {
+func naiveSweeping(g *graph.Graph, opt Options, res *Result) {
 	n := g.N()
 	for res.Moves < opt.MaxMoves {
 		res.Sweeps++
@@ -150,7 +296,7 @@ func runSweeping(g *graph.Graph, opt Options, res *Result) {
 				m, newCost, improves := core.BestSwapParallel(g, v, opt.Objective, opt.Workers)
 				if improves {
 					old := core.Cost(g, v, opt.Objective)
-					applyAndRecord(g, m, old, newCost, opt, res)
+					naiveApplyAndRecord(g, m, old, newCost, opt, res)
 					movedThisSweep = true
 				}
 				continue
@@ -168,7 +314,7 @@ func runSweeping(g *graph.Graph, opt Options, res *Result) {
 				return true
 			})
 			if chosen != nil {
-				applyAndRecord(g, *chosen, cur, chosenCost, opt, res)
+				naiveApplyAndRecord(g, *chosen, cur, chosenCost, opt, res)
 				movedThisSweep = true
 			}
 		}
@@ -179,7 +325,7 @@ func runSweeping(g *graph.Graph, opt Options, res *Result) {
 	}
 }
 
-func runRandom(g *graph.Graph, opt Options, res *Result) {
+func naiveRandom(g *graph.Graph, opt Options, res *Result) {
 	rng := rand.New(rand.NewSource(opt.Seed))
 	n := g.N()
 	patience := opt.PatienceFactor * g.M()
@@ -189,15 +335,13 @@ func runRandom(g *graph.Graph, opt Options, res *Result) {
 	failStreak := 0
 	for res.Moves < opt.MaxMoves {
 		if failStreak >= patience {
-			// Certification sweep: exhaustively search for any improving
-			// swap; none ⇒ certified equilibrium.
 			res.Sweeps++
-			m, old, newCost, found := findAnyImprovement(g, opt.Objective)
+			m, old, newCost, found := naiveFindAnyImprovement(g, opt.Objective)
 			if !found {
 				res.Converged = true
 				return
 			}
-			applyAndRecord(g, m, old, newCost, opt, res)
+			naiveApplyAndRecord(g, m, old, newCost, opt, res)
 			failStreak = 0
 			continue
 		}
@@ -216,7 +360,7 @@ func runRandom(g *graph.Graph, opt Options, res *Result) {
 		cur := core.Cost(g, v, opt.Objective)
 		m := core.Move{V: v, Drop: w, Add: wp}
 		if c := core.EvaluateMove(g, m, opt.Objective); c < cur {
-			applyAndRecord(g, m, cur, c, opt, res)
+			naiveApplyAndRecord(g, m, cur, c, opt, res)
 			failStreak = 0
 		} else {
 			failStreak++
@@ -224,8 +368,9 @@ func runRandom(g *graph.Graph, opt Options, res *Result) {
 	}
 }
 
-// findAnyImprovement scans all vertices for an improving swap.
-func findAnyImprovement(g *graph.Graph, obj core.Objective) (core.Move, int64, int64, bool) {
+// naiveFindAnyImprovement scans all vertices for an improving swap,
+// re-freezing per vertex.
+func naiveFindAnyImprovement(g *graph.Graph, obj core.Objective) (core.Move, int64, int64, bool) {
 	for v := 0; v < g.N(); v++ {
 		cur := core.Cost(g, v, obj)
 		var chosen *core.Move

@@ -204,6 +204,115 @@ func TestPolicyString(t *testing.T) {
 	}
 }
 
+func TestRandomImprovingGoldenTrace(t *testing.T) {
+	// Fixed-seed pin of the random-improving trajectory on Path(12): the
+	// policy's probe pricing, rng consumption, and certification sweep are
+	// all load-bearing for reproducibility, so any change to them shows up
+	// here as a move-for-move diff.
+	g := constructions.Path(12)
+	res, err := Run(g, Options{
+		Objective: core.Sum, Policy: RandomImproving, Seed: 99, Trace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Sweeps != 1 {
+		t.Fatalf("converged=%v sweeps=%d, want true, 1", res.Converged, res.Sweeps)
+	}
+	golden := []struct {
+		m        core.Move
+		old, new int64
+	}{
+		{core.Move{V: 0, Drop: 1, Add: 5}, 66, 42},
+		{core.Move{V: 7, Drop: 6, Add: 3}, 34, 29},
+		{core.Move{V: 5, Drop: 4, Add: 8}, 37, 30},
+		{core.Move{V: 11, Drop: 10, Add: 7}, 48, 33},
+		{core.Move{V: 1, Drop: 2, Add: 7}, 45, 31},
+		{core.Move{V: 4, Drop: 3, Add: 7}, 37, 30},
+		{core.Move{V: 10, Drop: 9, Add: 8}, 38, 29},
+		{core.Move{V: 2, Drop: 3, Add: 9}, 37, 36},
+		{core.Move{V: 1, Drop: 7, Add: 8}, 30, 27},
+		{core.Move{V: 4, Drop: 7, Add: 8}, 31, 26},
+		{core.Move{V: 0, Drop: 5, Add: 8}, 32, 25},
+		{core.Move{V: 6, Drop: 5, Add: 8}, 33, 24},
+		{core.Move{V: 2, Drop: 9, Add: 8}, 32, 23},
+		{core.Move{V: 3, Drop: 7, Add: 8}, 29, 22},
+		{core.Move{V: 11, Drop: 7, Add: 8}, 30, 21},
+	}
+	if res.Moves != len(golden) || len(res.Trace) != len(golden) {
+		t.Fatalf("moves=%d trace=%d, want %d", res.Moves, len(res.Trace), len(golden))
+	}
+	for i, want := range golden {
+		e := res.Trace[i]
+		if e.Move != want.m || e.OldCost != want.old || e.NewCost != want.new {
+			t.Fatalf("move %d: got %v %d→%d, want %v %d→%d",
+				i+1, e.Move, e.OldCost, e.NewCost, want.m, want.old, want.new)
+		}
+	}
+}
+
+func TestRandomImprovingCertificationMatchesChecker(t *testing.T) {
+	// Convergence is declared by the certification sweep; the one-shot
+	// equilibrium checker must agree on the final graph, for both
+	// objectives and several seeds/worker counts.
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 4; trial++ {
+		n := 8 + rng.Intn(10)
+		base := treegen.RandomTree(n, rng)
+		for _, obj := range []core.Objective{core.Sum, core.Max} {
+			for _, workers := range []int{1, 4} {
+				g := base.Clone()
+				res, err := Run(g, Options{
+					Objective: obj, Policy: RandomImproving,
+					Seed: int64(trial), Workers: workers,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !res.Converged {
+					t.Fatalf("trial %d obj=%v: did not converge", trial, obj)
+				}
+				stable, viol, err := core.CheckSwapEquilibrium(g, obj, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !stable {
+					t.Errorf("trial %d obj=%v workers=%d: certified graph fails checker: %v",
+						trial, obj, workers, viol)
+				}
+			}
+		}
+	}
+}
+
+func TestRandomImprovingWorkerInvariant(t *testing.T) {
+	// Workers only shard the certification sweeps; the trajectory must be
+	// bit-identical for every count.
+	var ref *Result
+	var refG *graph.Graph
+	for _, workers := range []int{1, 2, 8} {
+		g := constructions.Path(16)
+		res, err := Run(g, Options{
+			Objective: core.Sum, Policy: RandomImproving, Seed: 5, Workers: workers, Trace: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref, refG = res, g
+			continue
+		}
+		if res.Moves != ref.Moves || res.Sweeps != ref.Sweeps || !g.Equal(refG) {
+			t.Fatalf("workers=%d diverged: moves %d vs %d", workers, res.Moves, ref.Moves)
+		}
+		for i := range ref.Trace {
+			if res.Trace[i] != ref.Trace[i] {
+				t.Fatalf("workers=%d: trace diverges at move %d", workers, i+1)
+			}
+		}
+	}
+}
+
 func TestC6ConvergesToEquilibrium(t *testing.T) {
 	// C6 is not a sum equilibrium; dynamics must make at least one move and
 	// stop at a certified equilibrium.

@@ -1,0 +1,125 @@
+package dynamics
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/treegen"
+)
+
+// The session-backed Run must reproduce the pre-session NaiveRun (which
+// re-freezes or re-evaluates per move) move-for-move: same applied moves,
+// same costs, same sweep counts, same final equilibrium graph — for every
+// policy, objective, seed, and worker count.
+
+// diffInstance builds a connected test graph: a random tree plus chords.
+func diffInstance(rng *rand.Rand, n, chords int) *graph.Graph {
+	g := treegen.RandomTree(n, rng)
+	for i := 0; i < chords; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// requireSameRun asserts two results agree on outcome and full trace.
+func requireSameRun(t *testing.T, label string, got, want *Result, gg, wg *graph.Graph) {
+	t.Helper()
+	if got.Converged != want.Converged || got.Moves != want.Moves || got.Sweeps != want.Sweeps {
+		t.Fatalf("%s: session (converged=%v moves=%d sweeps=%d), naive (converged=%v moves=%d sweeps=%d)",
+			label, got.Converged, got.Moves, got.Sweeps, want.Converged, want.Moves, want.Sweeps)
+	}
+	if len(got.Trace) != len(want.Trace) {
+		t.Fatalf("%s: trace lengths %d vs %d", label, len(got.Trace), len(want.Trace))
+	}
+	for i := range want.Trace {
+		if got.Trace[i] != want.Trace[i] {
+			t.Fatalf("%s: trace diverges at move %d: session %+v, naive %+v",
+				label, i+1, got.Trace[i], want.Trace[i])
+		}
+	}
+	if !gg.Equal(wg) {
+		t.Fatalf("%s: final graphs differ", label)
+	}
+}
+
+func TestRunAgreesWithNaiveRunAllPolicies(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	sizes := []struct{ n, chords int }{{8, 2}, {17, 5}, {33, 8}, {64, 16}}
+	for _, sz := range sizes {
+		base := diffInstance(rng, sz.n, sz.chords)
+		for _, obj := range []core.Objective{core.Sum, core.Max} {
+			for _, pol := range []Policy{BestResponse, FirstImprovement, RandomImproving} {
+				for _, workers := range []int{1, 3} {
+					gSess := base.Clone()
+					gNaive := base.Clone()
+					opt := Options{
+						Objective: obj, Policy: pol, Workers: workers,
+						Seed: 7, Trace: true,
+					}
+					rs, err1 := Run(gSess, opt)
+					rn, err2 := NaiveRun(gNaive, opt)
+					if err1 != nil || err2 != nil {
+						t.Fatal(err1, err2)
+					}
+					label := pol.String() + "/" + obj.String()
+					requireSameRun(t, label, rs, rn, gSess, gNaive)
+				}
+			}
+		}
+	}
+}
+
+func TestBestResponseTrajectoryWorkerInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	base := diffInstance(rng, 40, 10)
+	for _, pol := range []Policy{BestResponse, FirstImprovement} {
+		var ref *Result
+		var refG *graph.Graph
+		for _, workers := range []int{1, 2, 8} {
+			g := base.Clone()
+			res, err := Run(g, Options{Objective: core.Sum, Policy: pol, Workers: workers, Trace: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref == nil {
+				ref, refG = res, g
+				continue
+			}
+			requireSameRun(t, pol.String(), res, ref, g, refG)
+		}
+	}
+}
+
+func TestFindImprovementAgreesWithCheckSwapEquilibrium(t *testing.T) {
+	// The certification sweep (core.Session.FindImprovement over the live
+	// snapshot) and the one-shot checker must always agree on the verdict,
+	// and a found move must actually improve.
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 12; trial++ {
+		g := diffInstance(rng, 5+rng.Intn(14), rng.Intn(6))
+		for _, obj := range []core.Objective{core.Sum, core.Max} {
+			sess := core.NewSession(g.Clone(), 2)
+			m, old, newCost, found := sess.FindImprovement(obj)
+			stable, _, err := core.CheckSwapEquilibrium(g, obj, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if found == stable {
+				t.Fatalf("trial %d obj=%v: sweep found=%v, checker stable=%v", trial, obj, found, stable)
+			}
+			if found {
+				if newCost >= old {
+					t.Fatalf("trial %d obj=%v: 'improving' move %v prices %d→%d", trial, obj, m, old, newCost)
+				}
+				if got := core.EvaluateMove(g, m, obj); got != newCost {
+					t.Fatalf("trial %d obj=%v: move %v priced %d, evaluates to %d", trial, obj, m, newCost, got)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,237 @@
+package graph
+
+// Dyn is a mutable compressed-sparse-row adjacency: per-vertex sorted
+// neighbor slices carved out of one arena at Thaw time, with O(deg)
+// insertion and deletion. It is the live snapshot behind the pricing
+// package's incremental sessions — swap dynamics apply a move by patching
+// the two or three affected adjacency lists instead of re-freezing the
+// whole graph in O(n+m) — and it exposes the same BFS kernels as Frozen,
+// so either structure can back a pricing scan.
+//
+// Dyn never changes its vertex count; a swap, insertion, or deletion only
+// touches the endpoint slices involved. A vertex whose slice outgrows its
+// arena segment is relocated to a private allocation (amortized O(deg)),
+// so the initial locality of the thawed arena degrades only where the
+// graph actually churns. Dyn is safe for concurrent reads; mutations must
+// be externally serialized, like Graph.
+type Dyn struct {
+	n   int
+	m   int
+	adj [][]int32 // sorted per vertex
+}
+
+// Thaw copies the frozen snapshot into a mutable CSR.
+func (f *Frozen) Thaw() *Dyn {
+	arena := append([]int32(nil), f.neigh...)
+	d := &Dyn{n: f.n, m: len(f.neigh) / 2, adj: make([][]int32, f.n)}
+	for v := 0; v < f.n; v++ {
+		lo, hi := f.offset[v], f.offset[v+1]
+		// Full slice expressions cap each segment at its own end so a
+		// vertex growing past its degree reallocates instead of
+		// overwriting its neighbor's segment.
+		d.adj[v] = arena[lo:hi:hi]
+	}
+	return d
+}
+
+// Thaw builds a mutable CSR snapshot of g (equivalent to g.Freeze().Thaw()).
+func (g *Graph) Thaw() *Dyn {
+	return g.Freeze().Thaw()
+}
+
+// N returns the number of vertices.
+func (d *Dyn) N() int { return d.n }
+
+// M returns the number of edges.
+func (d *Dyn) M() int { return d.m }
+
+// Degree returns the degree of v.
+func (d *Dyn) Degree(v int) int { return len(d.adj[v]) }
+
+// Neighbors returns the sorted adjacency slice of v. The slice is live
+// storage: it is invalidated by the next mutation of v and must not be
+// modified.
+func (d *Dyn) Neighbors(v int) []int32 { return d.adj[v] }
+
+// searchNeighbor returns the insertion position of x in v's sorted
+// adjacency and whether x is present.
+func (d *Dyn) searchNeighbor(v int, x int32) (int, bool) {
+	nb := d.adj[v]
+	lo, hi := 0, len(nb)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if nb[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(nb) && nb[lo] == x
+}
+
+// HasEdge reports whether edge uv is present.
+func (d *Dyn) HasEdge(u, v int) bool {
+	if u < 0 || v < 0 || u >= d.n || v >= d.n {
+		return false
+	}
+	_, ok := d.searchNeighbor(u, int32(v))
+	return ok
+}
+
+// insert adds x to v's sorted adjacency (caller guarantees absence).
+func (d *Dyn) insert(v int, x int32) {
+	i, _ := d.searchNeighbor(v, x)
+	nb := append(d.adj[v], 0)
+	copy(nb[i+1:], nb[i:])
+	nb[i] = x
+	d.adj[v] = nb
+}
+
+// remove deletes x from v's sorted adjacency (caller guarantees presence).
+func (d *Dyn) remove(v int, x int32) {
+	i, _ := d.searchNeighbor(v, x)
+	nb := d.adj[v]
+	copy(nb[i:], nb[i+1:])
+	d.adj[v] = nb[:len(nb)-1]
+}
+
+// AddEdge inserts edge uv in O(deg(u)+deg(v)). It returns false (and does
+// nothing) if the edge already exists or u == v. It panics if either
+// endpoint is out of range.
+func (d *Dyn) AddEdge(u, v int) bool {
+	d.check(u)
+	d.check(v)
+	if u == v || d.HasEdge(u, v) {
+		return false
+	}
+	d.insert(u, int32(v))
+	d.insert(v, int32(u))
+	d.m++
+	return true
+}
+
+// RemoveEdge deletes edge uv in O(deg(u)+deg(v)). It returns false if the
+// edge was absent.
+func (d *Dyn) RemoveEdge(u, v int) bool {
+	if !d.HasEdge(u, v) {
+		return false
+	}
+	d.remove(u, int32(v))
+	d.remove(v, int32(u))
+	d.m--
+	return true
+}
+
+func (d *Dyn) check(v int) {
+	if v < 0 || v >= d.n {
+		panic("graph: Dyn vertex out of range")
+	}
+}
+
+// Freeze compacts the mutable CSR back into an immutable snapshot.
+func (d *Dyn) Freeze() *Frozen {
+	f := &Frozen{
+		n:      d.n,
+		offset: make([]int32, d.n+1),
+		neigh:  make([]int32, 0, 2*d.m),
+	}
+	for v := 0; v < d.n; v++ {
+		f.offset[v] = int32(len(f.neigh))
+		f.neigh = append(f.neigh, d.adj[v]...)
+	}
+	f.offset[d.n] = int32(len(f.neigh))
+	return f
+}
+
+// BFSInto runs a breadth-first search from src, writing distances into
+// dist (length N) and reusing queue storage. It returns the number of
+// reached vertices. The kernel mirrors Frozen.BFSInto over the mutable
+// layout.
+func (d *Dyn) BFSInto(src int, dist []int32, queue []int32) int {
+	if len(dist) != d.n {
+		panic("graph: Dyn.BFSInto dist length mismatch")
+	}
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	queue = queue[:0]
+	queue = append(queue, int32(src))
+	dist[src] = 0
+	reached := 1
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		dv := dist[v] + 1
+		for _, u := range d.adj[v] {
+			if dist[u] == Unreachable {
+				dist[u] = dv
+				queue = append(queue, u)
+				reached++
+			}
+		}
+	}
+	return reached
+}
+
+// BFSSkipVertex runs a breadth-first search from src over the
+// vertex-deleted subgraph G − skip; the skipped vertex keeps distance
+// Unreachable. It panics if src == skip.
+func (d *Dyn) BFSSkipVertex(src, skip int, dist []int32, queue []int32) int {
+	if len(dist) != d.n {
+		panic("graph: Dyn.BFSSkipVertex dist length mismatch")
+	}
+	if src == skip {
+		panic("graph: Dyn.BFSSkipVertex src == skip")
+	}
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	queue = queue[:0]
+	queue = append(queue, int32(src))
+	dist[src] = 0
+	skip32 := int32(skip)
+	reached := 1
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		dv := dist[v] + 1
+		for _, u := range d.adj[v] {
+			if u != skip32 && dist[u] == Unreachable {
+				dist[u] = dv
+				queue = append(queue, u)
+				reached++
+			}
+		}
+	}
+	return reached
+}
+
+// BFSSkipEdge runs a breadth-first search from src over the edge-deleted
+// subgraph G − ab. The edge need not exist; a non-edge degenerates to a
+// plain BFS.
+func (d *Dyn) BFSSkipEdge(src, a, b int, dist []int32, queue []int32) int {
+	if len(dist) != d.n {
+		panic("graph: Dyn.BFSSkipEdge dist length mismatch")
+	}
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	queue = queue[:0]
+	queue = append(queue, int32(src))
+	dist[src] = 0
+	a32, b32 := int32(a), int32(b)
+	reached := 1
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		dv := dist[v] + 1
+		for _, u := range d.adj[v] {
+			if (v == a32 && u == b32) || (v == b32 && u == a32) {
+				continue
+			}
+			if dist[u] == Unreachable {
+				dist[u] = dv
+				queue = append(queue, u)
+				reached++
+			}
+		}
+	}
+	return reached
+}

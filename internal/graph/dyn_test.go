@@ -1,0 +1,175 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomDynGraph builds a connected random graph for Dyn tests.
+func randomDynGraph(t *testing.T, rng *rand.Rand, n int, extra int) *Graph {
+	t.Helper()
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(v, rng.Intn(v))
+	}
+	for i := 0; i < extra; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// requireDynMatches asserts d mirrors g exactly: sizes, degrees, sorted
+// adjacency, and edge membership.
+func requireDynMatches(t *testing.T, d *Dyn, g *Graph) {
+	t.Helper()
+	if d.N() != g.N() || d.M() != g.M() {
+		t.Fatalf("Dyn n=%d m=%d, graph n=%d m=%d", d.N(), d.M(), g.N(), g.M())
+	}
+	for v := 0; v < g.N(); v++ {
+		want := g.Neighbors(v)
+		got := d.Neighbors(v)
+		if len(got) != len(want) || d.Degree(v) != g.Degree(v) {
+			t.Fatalf("vertex %d: Dyn degree %d, graph degree %d", v, len(got), len(want))
+		}
+		for i := range want {
+			if int(got[i]) != want[i] {
+				t.Fatalf("vertex %d adjacency: Dyn %v, graph %v", v, got, want)
+			}
+		}
+		for u := 0; u < g.N(); u++ {
+			if d.HasEdge(v, u) != g.HasEdge(v, u) {
+				t.Fatalf("HasEdge(%d,%d) mismatch", v, u)
+			}
+		}
+	}
+}
+
+func TestThawMirrorsGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		g := randomDynGraph(t, rng, 3+rng.Intn(20), rng.Intn(12))
+		requireDynMatches(t, g.Thaw(), g)
+	}
+}
+
+func TestDynMutationsMirrorGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 10; trial++ {
+		n := 4 + rng.Intn(16)
+		g := randomDynGraph(t, rng, n, rng.Intn(8))
+		d := g.Thaw()
+		for step := 0; step < 60; step++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			var wantOK, gotOK bool
+			if rng.Intn(2) == 0 {
+				wantOK = g.AddEdge(u, v)
+				gotOK = d.AddEdge(u, v)
+			} else {
+				wantOK = g.RemoveEdge(u, v)
+				gotOK = d.RemoveEdge(u, v)
+			}
+			if wantOK != gotOK {
+				t.Fatalf("step %d: mutation verdict mismatch (graph %v, dyn %v)", step, wantOK, gotOK)
+			}
+			requireDynMatches(t, d, g)
+		}
+	}
+}
+
+func TestDynGrowthPastArenaSegment(t *testing.T) {
+	// A vertex growing past its thawed degree must not corrupt the next
+	// vertex's arena segment.
+	g := New(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	d := g.Thaw()
+	before := append([]int32(nil), d.Neighbors(2)...)
+	for _, w := range []int{3, 4, 5} {
+		d.AddEdge(1, w) // vertex 1 grows past its segment
+	}
+	got := d.Neighbors(2)
+	if len(got) != len(before) || got[0] != before[0] || got[1] != before[1] {
+		t.Fatalf("vertex 2 adjacency corrupted by vertex 1 growth: %v -> %v", before, got)
+	}
+}
+
+func TestDynBFSAgreesWithFrozen(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 8; trial++ {
+		n := 4 + rng.Intn(16)
+		g := randomDynGraph(t, rng, n, rng.Intn(10))
+		d := g.Thaw()
+		// Mutate both, then compare every BFS variant against a fresh
+		// Freeze of the mutated graph.
+		for step := 0; step < 10; step++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if rng.Intn(2) == 0 {
+				g.AddEdge(u, v)
+				d.AddEdge(u, v)
+			} else {
+				g.RemoveEdge(u, v)
+				d.RemoveEdge(u, v)
+			}
+		}
+		f := g.Freeze()
+		distD := make([]int32, n)
+		distF := make([]int32, n)
+		queue := make([]int32, 0, n)
+		for src := 0; src < n; src++ {
+			if rd, rf := d.BFSInto(src, distD, queue), f.BFSInto(src, distF, queue); rd != rf {
+				t.Fatalf("BFSInto reached %d vs %d", rd, rf)
+			}
+			for x := range distD {
+				if distD[x] != distF[x] {
+					t.Fatalf("BFSInto(%d) row mismatch at %d: %d vs %d", src, x, distD[x], distF[x])
+				}
+			}
+			skip := (src + 1) % n
+			d.BFSSkipVertex(src, skip, distD, queue)
+			f.BFSSkipVertex(src, skip, distF, queue)
+			for x := range distD {
+				if distD[x] != distF[x] {
+					t.Fatalf("BFSSkipVertex(%d,%d) mismatch at %d", src, skip, x)
+				}
+			}
+			a, b := rng.Intn(n), rng.Intn(n)
+			d.BFSSkipEdge(src, a, b, distD, queue)
+			f.BFSSkipEdge(src, a, b, distF, queue)
+			for x := range distD {
+				if distD[x] != distF[x] {
+					t.Fatalf("BFSSkipEdge(%d,%d,%d) mismatch at %d", src, a, b, x)
+				}
+			}
+		}
+	}
+}
+
+func TestDynFreezeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := randomDynGraph(t, rng, 12, 8)
+	d := g.Thaw()
+	d.AddEdge(0, 7)
+	g.AddEdge(0, 7)
+	d.RemoveEdge(1, 0)
+	g.RemoveEdge(1, 0)
+	f := d.Freeze()
+	want := g.Freeze()
+	if f.N() != want.N() || f.M() != want.M() {
+		t.Fatalf("round-trip n/m mismatch")
+	}
+	for v := 0; v < f.N(); v++ {
+		got, exp := f.Neighbors(v), want.Neighbors(v)
+		if len(got) != len(exp) {
+			t.Fatalf("vertex %d degree mismatch", v)
+		}
+		for i := range got {
+			if got[i] != exp[i] {
+				t.Fatalf("vertex %d adjacency mismatch", v)
+			}
+		}
+	}
+}

@@ -46,6 +46,73 @@ func TestBestResponseAgreesWithNaiveOracle(t *testing.T) {
 	}
 }
 
+func TestRunTrajectoryMatchesRefreezePerTurn(t *testing.T) {
+	// Run holds one incremental session across the trajectory; a reference
+	// loop that re-freezes before every player turn (the pre-session
+	// behavior, via the public BestResponse) must produce the identical
+	// move sequence, ownership, and final graph.
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 5; trial++ {
+		n := 5 + rng.Intn(10)
+		g := treegen.RandomTree(n, rng)
+		for i := 0; i < n/3; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.AddEdge(u, v)
+			}
+		}
+		for _, obj := range []core.Objective{core.Sum, core.Max} {
+			for _, alpha := range []float64{0.5, 2, 20} {
+				sessState, err := NewStateObj(g.Clone(), games.MinOwnership(g), alpha, obj)
+				if err != nil {
+					t.Fatal(err)
+				}
+				refState, err := NewStateObj(g.Clone(), games.MinOwnership(g), alpha, obj)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := Run(sessState, Options{MaxMoves: 400})
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Reference: the pre-session loop, freeze per turn.
+				refMoves := 0
+				refConverged := false
+				for refMoves < 400 {
+					moved := false
+					for v := 0; v < n && refMoves < 400; v++ {
+						m, _, found := refState.BestResponse(v)
+						if !found {
+							continue
+						}
+						if err := refState.Apply(m); err != nil {
+							t.Fatal(err)
+						}
+						refMoves++
+						moved = true
+					}
+					if !moved {
+						refConverged = true
+						break
+					}
+				}
+				if res.Converged != refConverged || res.Moves != refMoves {
+					t.Fatalf("trial %d obj=%v α=%v: session (converged=%v moves=%d), refreeze (converged=%v moves=%d)",
+						trial, obj, alpha, res.Converged, res.Moves, refConverged, refMoves)
+				}
+				if !sessState.G.Equal(refState.G) {
+					t.Fatalf("trial %d obj=%v α=%v: final graphs differ", trial, obj, alpha)
+				}
+				for e, owner := range refState.Own {
+					if sessState.Own[e] != owner {
+						t.Fatalf("trial %d obj=%v α=%v: ownership differs at %v", trial, obj, alpha, e)
+					}
+				}
+			}
+		}
+	}
+}
+
 func TestOwnerSwapStableAgreesWithNaiveOracle(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	for trial := 0; trial < 8; trial++ {

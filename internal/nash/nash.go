@@ -181,8 +181,15 @@ func (s *State) ownedNeighbors(v int) []int {
 // and swaps are priced with two patched BFS rows per candidate instead of
 // an all-pairs sweep per owned edge.
 func (s *State) BestResponse(v int) (best Move, bestDelta float64, found bool) {
-	n := s.G.N()
-	f := s.G.Freeze()
+	return s.bestResponseOn(s.G.Freeze(), v)
+}
+
+// bestResponseOn is BestResponse priced against an explicit snapshot — a
+// one-shot Frozen, or the live CSR of the incremental session that Run and
+// Check hold across a whole trajectory so each player's turn skips the
+// O(n+m) re-freeze.
+func (s *State) bestResponseOn(f pricing.Snapshot, v int) (best Move, bestDelta float64, found bool) {
+	n := f.N()
 	eng := s.engine()
 	obj := s.pricingObj()
 	scan := eng.NewScanDrops(f, v, ownedNeighbors32(s, v))
@@ -410,7 +417,10 @@ type Options struct {
 
 // Run performs round-robin greedy best response until no player improves
 // (a greedy equilibrium) or the budget is exhausted. The state is mutated
-// in place.
+// in place. The whole trajectory holds one incremental pricing session:
+// every applied buy, delete, or swap patches the live CSR snapshot in
+// O(deg) instead of re-freezing the graph per player turn, and every
+// best-response scan prices against it.
 func Run(s *State, opt Options) (*Result, error) {
 	if s.G.N() < 2 {
 		return nil, errors.New("nash: graph needs at least 2 vertices")
@@ -424,18 +434,20 @@ func Run(s *State, opt Options) (*Result, error) {
 		s.Workers = opt.Workers
 		defer func() { s.Workers = prev }()
 	}
+	sess := s.engine().NewSession(s.G)
 	res := &Result{}
 	for res.Moves < maxMoves {
 		res.Sweeps++
 		moved := false
 		for v := 0; v < s.G.N() && res.Moves < maxMoves; v++ {
-			m, _, found := s.BestResponse(v)
+			m, _, found := s.bestResponseOn(sess.View(), v)
 			if !found {
 				continue
 			}
 			if err := s.Apply(m); err != nil {
 				return nil, err
 			}
+			mirrorMove(sess, m)
 			res.Moves++
 			moved = true
 		}
@@ -447,11 +459,26 @@ func Run(s *State, opt Options) (*Result, error) {
 	return res, nil
 }
 
+// mirrorMove patches the live session snapshot with a move already
+// validated and applied to the authoritative State by Apply.
+func mirrorMove(sess *pricing.Session, m Move) {
+	switch m.Kind {
+	case Buy:
+		sess.ApplyAdd(m.Player, m.Add)
+	case Delete:
+		sess.ApplyRemove(m.Player, m.Drop)
+	case Swap:
+		sess.ApplySwap(m.Player, m.Drop, m.Add)
+	}
+}
+
 // Check reports whether the state is a greedy equilibrium, with a witness
-// improving move on failure.
+// improving move on failure. All players are priced against one shared
+// snapshot (Check applies no moves, so it never goes stale).
 func Check(s *State) (bool, *Move) {
+	f := s.G.Freeze()
 	for v := 0; v < s.G.N(); v++ {
-		if m, _, found := s.BestResponse(v); found {
+		if m, _, found := s.bestResponseOn(f, v); found {
 			mm := m
 			return false, &mm
 		}

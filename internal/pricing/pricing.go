@@ -32,6 +32,7 @@ package pricing
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/graph"
 	"repro/internal/par"
@@ -51,6 +52,27 @@ const (
 // core.InfCost; the engine duplicates the constant rather than importing
 // internal/core, which sits above it in the dependency order.
 const InfCost = int64(1) << 60
+
+// Snapshot is the read surface the engine prices against: vertex count,
+// sorted int32 adjacency, edge membership, and the three BFS kernels.
+// Both graph.Frozen (the immutable CSR used by one-shot scans) and
+// graph.Dyn (the mutable CSR owned by a Session) implement it. Snapshots
+// must be safe for concurrent reads while a scan is sharded across
+// workers.
+type Snapshot interface {
+	N() int
+	Degree(v int) int
+	Neighbors(v int) []int32
+	HasEdge(u, v int) bool
+	BFSInto(src int, dist, queue []int32) int
+	BFSSkipVertex(src, skip int, dist, queue []int32) int
+	BFSSkipEdge(src, a, b int, dist, queue []int32) int
+}
+
+var (
+	_ Snapshot = (*graph.Frozen)(nil)
+	_ Snapshot = (*graph.Dyn)(nil)
+)
 
 // Engine prices swaps over frozen CSR snapshots with pooled per-worker
 // scratch. The zero worker count selects par.DefaultWorkers. An Engine is
@@ -99,29 +121,32 @@ func (e *Engine) Scratch(n int) (dist, queue []int32, release func()) {
 // in each edge-deleted graph G−vw for the scanned dropped edges. Building a
 // Scan costs len(drops)+1 BFS passes; pricing a candidate endpoint then
 // costs one BFS pass shared across all dropped edges. A Scan prices against
-// the snapshot it was built from; re-freeze and re-scan after mutating the
-// underlying graph. Close detaches the Scan from its snapshot (its row
-// buffers are plain allocations, reclaimed by the GC); using a Scan after
-// Close is invalid.
+// the snapshot it was built from; re-freeze (or re-issue Session.NewScan)
+// and re-scan after mutating the underlying graph — scans issued by a
+// Session detect mutation and panic rather than price stale rows. Close
+// detaches the Scan from its snapshot (its row buffers are plain
+// allocations, reclaimed by the GC); using a Scan after Close is invalid.
 type Scan struct {
 	e        *Engine
-	f        *graph.Frozen
+	f        Snapshot
 	v        int
 	drops    []int32   // dropped-edge endpoints, ascending
 	cur      []int32   // d_G(v,·)
 	dropRows [][]int32 // dropRows[i] = d_{G−v·drops[i]}(v,·)
+	sess     *Session  // issuing session, nil for one-shot scans
+	gen      uint64    // session generation at build time
 }
 
 // NewScan prepares pricing state for deviator v with every incident edge as
 // a dropped-edge candidate (the basic game's move set).
-func (e *Engine) NewScan(f *graph.Frozen, v int) *Scan {
+func (e *Engine) NewScan(f Snapshot, v int) *Scan {
 	return e.NewScanDrops(f, v, f.Neighbors(v))
 }
 
 // NewScanDrops prepares pricing state for deviator v restricted to the given
 // dropped-edge endpoints (e.g. the owned edges in the α-game). drops must be
 // neighbors of v, in ascending order; the slice is not retained.
-func (e *Engine) NewScanDrops(f *graph.Frozen, v int, drops []int32) *Scan {
+func (e *Engine) NewScanDrops(f Snapshot, v int, drops []int32) *Scan {
 	n := f.N()
 	s := &Scan{
 		e:        e,
@@ -144,6 +169,15 @@ func (e *Engine) NewScanDrops(f *graph.Frozen, v int, drops []int32) *Scan {
 
 // Close detaches the Scan from its snapshot, invalidating further use.
 func (s *Scan) Close() { s.f = nil }
+
+// checkFresh panics when a session-issued Scan outlived a mutation of its
+// session's live snapshot: its precomputed rows no longer describe the
+// graph, so pricing from them would be silently wrong.
+func (s *Scan) checkFresh() {
+	if s.sess != nil && s.sess.gen != s.gen {
+		panic("pricing: Scan used after Session mutation; re-issue the scan")
+	}
+}
 
 // V returns the deviator.
 func (s *Scan) V() int { return s.v }
@@ -176,6 +210,7 @@ func (s *Scan) DeletionUsage(i int, obj Objective) int64 {
 // of the dropped edge and add == drop prices the current cost (a no-op),
 // the basic game's semantics. fn returning false stops the scan.
 func (s *Scan) ForEach(obj Objective, skipAdjacent bool, fn func(dropIdx, add int, cost int64) bool) {
+	s.checkFresh()
 	if len(s.drops) == 0 {
 		return
 	}
@@ -217,6 +252,7 @@ func (b Best) less(o Best) bool {
 // sharded across the engine's workers; the merge order is deterministic for
 // any worker count. ok is false when v has no candidate swaps.
 func (s *Scan) BestMove(obj Objective, skipAdjacent bool) (best Best, ok bool) {
+	s.checkFresh()
 	if len(s.drops) == 0 {
 		return Best{}, false
 	}
@@ -248,6 +284,61 @@ func (s *Scan) BestMove(obj Objective, skipAdjacent bool) (best Best, ok bool) {
 		}
 	})
 	return best, ok
+}
+
+// FirstImproving returns the first candidate in the ForEach enumeration
+// order — add-major, dropped edges ascending within an endpoint — whose
+// cost is strictly below threshold. Candidate endpoints are sharded across
+// the engine's workers and chunks past an already-found endpoint are
+// pruned, so the result equals a sequential early-exit scan for any worker
+// count. It powers the first-improvement dynamics policy and the
+// random-improving certification sweep.
+func (s *Scan) FirstImproving(obj Objective, skipAdjacent bool, threshold int64) (first Best, ok bool) {
+	s.checkFresh()
+	if len(s.drops) == 0 {
+		return Best{}, false
+	}
+	n := s.f.N()
+	var mu sync.Mutex
+	var bestAdd atomic.Int64 // smallest improving endpoint so far, prunes later chunks
+	bestAdd.Store(int64(n))
+	par.ForChunked(s.e.workers, n, func(lo, hi int) {
+		if int64(lo) > bestAdd.Load() {
+			return
+		}
+		sc := s.e.getScratch(n)
+		defer s.e.putScratch(sc)
+		for add := lo; add < hi; add++ {
+			if int64(add) > bestAdd.Load() {
+				return
+			}
+			if add == s.v || (skipAdjacent && s.f.HasEdge(s.v, add)) {
+				continue
+			}
+			s.f.BFSSkipVertex(add, s.v, sc.dist, sc.queue)
+			for i, w := range s.drops {
+				cost := Patched(s.dropRows[i], sc.dist, obj)
+				if cost >= threshold {
+					continue
+				}
+				mu.Lock()
+				if !ok || add < first.Add {
+					first, ok = Best{Drop: int(w), Add: add, Cost: cost}, true
+					for {
+						cur := bestAdd.Load()
+						if int64(add) >= cur || bestAdd.CompareAndSwap(cur, int64(add)) {
+							break
+						}
+					}
+				}
+				mu.Unlock()
+				// Drops are scanned ascending, so the first improving drop
+				// for this endpoint is already the enumeration-first one.
+				break
+			}
+		}
+	})
+	return first, ok
 }
 
 // Usage prices a BFS row under obj: the row's sum (Sum) or maximum (Max),

@@ -1,0 +1,133 @@
+package pricing
+
+import (
+	"repro/internal/graph"
+)
+
+// Session is a long-lived incremental pricing context: it owns a mutable
+// CSR snapshot (graph.Dyn) of the game graph and patches it in O(deg) per
+// applied move instead of re-freezing in O(n+m). Swap dynamics and
+// best-response iterations hold one Session across an entire trajectory,
+// issuing a fresh Scan per deviator over the live snapshot; the engine's
+// pooled BFS scratch is shared with one-shot scans, and outstanding Scans
+// are invalidated cheaply by a generation counter — a Scan issued before a
+// mutation panics on its next use instead of pricing stale rows.
+//
+// The Session's lifecycle is freeze → apply → invalidate → certify: thaw
+// the starting graph once, patch adjacency per applied (or undone) move,
+// let the generation bump invalidate outstanding scans, and run
+// certification sweeps against the same live snapshot. A Session is not
+// safe for concurrent mutation; concurrent reads (sharded scans) between
+// mutations are safe.
+type Session struct {
+	e    *Engine
+	d    *graph.Dyn
+	gen  uint64
+	undo []sessionOp
+}
+
+// sessionOp records one applied mutation for Undo. added/removed record
+// what actually changed, so degenerate moves (swap onto an existing edge =
+// pure deletion, swap with add == drop = no-op) roll back exactly.
+type sessionOp struct {
+	v, drop, add int32
+	removed      bool // the v–drop edge was removed
+	added        bool // the v–add edge was inserted
+}
+
+// NewSession starts an incremental pricing session on a thawed snapshot
+// of g. Later mutations of g are not observed; route every move through
+// ApplySwap/ApplyAdd/ApplyRemove (mirroring them onto g if the caller
+// keeps g authoritative).
+func (e *Engine) NewSession(g *graph.Graph) *Session {
+	return &Session{e: e, d: g.Thaw()}
+}
+
+// Engine returns the engine whose workers and scratch pool back the
+// session's scans.
+func (s *Session) Engine() *Engine { return s.e }
+
+// View returns the live snapshot. It remains valid across mutations (its
+// contents change in place); readers that must not observe a mutation
+// should hold the session's generation via Gen.
+func (s *Session) View() *graph.Dyn { return s.d }
+
+// N returns the vertex count of the session's snapshot.
+func (s *Session) N() int { return s.d.N() }
+
+// Gen returns the mutation generation, incremented by every applied or
+// undone move. Scans remember the generation they were issued at.
+func (s *Session) Gen() uint64 { return s.gen }
+
+// Depth returns the number of applied moves available to Undo.
+func (s *Session) Depth() int { return len(s.undo) }
+
+// ApplySwap applies the basic game's move for agent v: the edge v–drop is
+// removed and the edge v–add inserted, each endpoint's adjacency patched
+// in O(deg). A swap onto an existing edge realizes a pure deletion and
+// add == drop realizes a no-op, matching core.ApplyMove. It panics when
+// the dropped edge is absent, mirroring core.ApplyMove's contract.
+func (s *Session) ApplySwap(v, drop, add int) {
+	if !s.d.RemoveEdge(v, drop) {
+		panic("pricing: Session.ApplySwap drop edge missing")
+	}
+	added := s.d.AddEdge(v, add)
+	s.push(sessionOp{v: int32(v), drop: int32(drop), add: int32(add), removed: true, added: added})
+}
+
+// ApplyAdd inserts edge uv (the α-game's buy), reporting whether the edge
+// was actually added.
+func (s *Session) ApplyAdd(u, v int) bool {
+	added := s.d.AddEdge(u, v)
+	s.push(sessionOp{v: int32(u), add: int32(v), added: added})
+	return added
+}
+
+// ApplyRemove deletes edge uv (the α-game's delete), reporting whether the
+// edge was present.
+func (s *Session) ApplyRemove(u, v int) bool {
+	removed := s.d.RemoveEdge(u, v)
+	s.push(sessionOp{v: int32(u), drop: int32(v), removed: removed})
+	return removed
+}
+
+func (s *Session) push(op sessionOp) {
+	s.undo = append(s.undo, op)
+	s.gen++
+}
+
+// Undo reverts the most recent applied move, returning false when the
+// undo stack is empty. Like every mutation it bumps the generation, so
+// scans issued before the Undo are invalidated too.
+func (s *Session) Undo() bool {
+	if len(s.undo) == 0 {
+		return false
+	}
+	op := s.undo[len(s.undo)-1]
+	s.undo = s.undo[:len(s.undo)-1]
+	if op.added {
+		s.d.RemoveEdge(int(op.v), int(op.add))
+	}
+	if op.removed {
+		s.d.AddEdge(int(op.v), int(op.drop))
+	}
+	s.gen++
+	return true
+}
+
+// NewScan prepares pricing state for deviator v over the live snapshot,
+// with every incident edge as a dropped-edge candidate. The Scan is valid
+// until the session's next mutation.
+func (s *Session) NewScan(v int) *Scan {
+	sc := s.e.NewScan(s.d, v)
+	sc.sess, sc.gen = s, s.gen
+	return sc
+}
+
+// NewScanDrops is NewScan restricted to the given dropped-edge endpoints
+// (ascending neighbors of v).
+func (s *Session) NewScanDrops(v int, drops []int32) *Scan {
+	sc := s.e.NewScanDrops(s.d, v, drops)
+	sc.sess, sc.gen = s, s.gen
+	return sc
+}
