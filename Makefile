@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fuzz fmt vet check
+.PHONY: all build test race bench fuzz smoke fmt vet check
 
 all: check
 
@@ -19,9 +19,17 @@ race:
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
-# Bounded fuzz of the incremental pricing session's mutation path.
+# Bounded fuzz of the incremental pricing session's swap mutation path and
+# the greedy model's add/delete/swap apply/undo path.
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzApplySwap -fuzztime=30s ./internal/pricing
+	$(GO) test -run=NONE -fuzz=FuzzGreedyApply -fuzztime=30s ./internal/game
+
+# End-to-end CLI smoke of every deviation model (mirrors the CI step).
+smoke:
+	$(GO) run ./cmd/bncg dynamics -n 24 -model swap -policy first -workers 2
+	$(GO) run ./cmd/bncg dynamics -n 24 -model greedy -edgecost 3 -policy best -workers 2
+	$(GO) run ./cmd/bncg dynamics -n 24 -model interests -policy random -seed 3 -workers 2
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -31,4 +39,4 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-check: fmt vet build test bench
+check: fmt vet build test bench smoke

@@ -14,10 +14,12 @@ import (
 	"repro/internal/core"
 	"repro/internal/dynamics"
 	"repro/internal/experiments"
+	"repro/internal/game"
 	"repro/internal/games"
 	"repro/internal/graph"
 	"repro/internal/iso"
 	"repro/internal/nash"
+	"repro/internal/pricing"
 	"repro/internal/treegen"
 )
 
@@ -316,6 +318,88 @@ func BenchmarkDynamicsSessionCertifyTorus256(b *testing.B) {
 func BenchmarkDynamicsRefreezeCertifyTorus256(b *testing.B) {
 	benchDynamicsAblation(b, dynamics.NaiveRun, func() *graph.Graph { return NewTorus(8).Graph() },
 		dynamics.BestResponse, core.Max)
+}
+
+// Deviation-model benchmarks: the Greedy and Interests models end-to-end
+// through the model-generic dynamics driver, and the probe-row cache
+// behind SwapSession.PriceMove (the random-improving ablation above
+// measures its trajectory-level effect; this isolates the warm-cache probe
+// path). ROADMAP.md records the measured numbers.
+
+func benchModelDynamics(b *testing.B, model game.Model, policy dynamics.Policy) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		rng := rand.New(rand.NewSource(7))
+		g := treegen.RandomTree(64, rng)
+		b.StartTimer()
+		// Interests dynamics may legally cycle; the cap makes the work
+		// deterministic either way.
+		if _, err := dynamics.Run(g, dynamics.Options{
+			Objective: core.Sum, Policy: policy, Model: model,
+			Workers: 1, Seed: 7, MaxMoves: 500,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDynamicsGreedyBestResponse64(b *testing.B) {
+	benchModelDynamics(b, game.Greedy{EdgeCost: 2}, dynamics.BestResponse)
+}
+
+func BenchmarkDynamicsInterestsFirstImprovement64(b *testing.B) {
+	irng := rand.New(rand.NewSource(3))
+	benchModelDynamics(b, game.RandomInterests(64, 0.3, irng), dynamics.FirstImprovement)
+}
+
+func BenchmarkSwapPriceMoveWarmCache(b *testing.B) {
+	// Repeated probes of an unchanged position: after the first pass every
+	// PriceMove is two cache hits instead of two BFS passes.
+	g := Path(128)
+	sess := core.NewSession(g, 1)
+	rng := rand.New(rand.NewSource(9))
+	moves := make([]core.Move, 0, 64)
+	for len(moves) < 64 {
+		if m, ok := sess.Instance().Sample(rng); ok {
+			moves = append(moves, m)
+		}
+	}
+	for _, m := range moves { // prime the cache
+		sess.PriceMove(m, core.Sum)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess.PriceMove(moves[i%len(moves)], core.Sum)
+	}
+}
+
+func BenchmarkSwapPriceMoveNoCache(b *testing.B) {
+	// The same probes priced from two fresh BFS rows over the live view —
+	// the pre-cache probe path.
+	g := Path(128)
+	sess := core.NewSession(g, 1)
+	rng := rand.New(rand.NewSource(9))
+	moves := make([]core.Move, 0, 64)
+	for len(moves) < 64 {
+		if m, ok := sess.Instance().Sample(rng); ok {
+			moves = append(moves, m)
+		}
+	}
+	view := sess.View()
+	n := view.N()
+	dv := make([]int32, n)
+	dw := make([]int32, n)
+	queue := make([]int32, 0, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := moves[i%len(moves)]
+		view.BFSSkipEdge(m.V, m.V, m.Drop, dv, queue)
+		view.BFSSkipVertex(m.Add, m.V, dw, queue)
+		pricing.Patched(dv, dw, pricing.Sum)
+	}
 }
 
 func BenchmarkGraph6RoundTrip(b *testing.B) {

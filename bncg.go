@@ -26,6 +26,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dynamics"
 	"repro/internal/experiments"
+	"repro/internal/game"
 	"repro/internal/games"
 	"repro/internal/graph"
 	"repro/internal/graphio"
@@ -76,6 +77,34 @@ const (
 	BestResponse     = dynamics.BestResponse
 	FirstImprovement = dynamics.FirstImprovement
 	RandomImproving  = dynamics.RandomImproving
+)
+
+// The deviation-model layer (internal/game): a GameModel owns move
+// enumeration and incremental pricing for one deviation rule, and plugs
+// into RunDynamics via DynamicsOptions.Model.
+type (
+	// GameModel is one deviation rule (swap, greedy add/delete/swap,
+	// communication interests, ...).
+	GameModel = game.Model
+	// GameInstance is a model bound to a live position.
+	GameInstance = game.Instance
+)
+
+var (
+	// SwapModel is the paper's basic game (the default model).
+	SwapModel = game.Swap{}
+	// GreedyModel builds the greedy add/delete/swap model with the given
+	// per-incident-edge maintenance price.
+	GreedyModel = func(edgeCost int64) GameModel { return game.Greedy{EdgeCost: edgeCost} }
+	// InterestsModel builds the communication-interests model from
+	// per-vertex interest sets.
+	InterestsModel = func(sets [][]int32) GameModel { return game.NewInterests(sets) }
+	// RandomInterestsModel draws each ordered interest pair with
+	// probability p.
+	RandomInterestsModel = game.RandomInterests
+	// UniformInterestsModel is the full-interest degenerate case that
+	// coincides with the basic swap game.
+	UniformInterestsModel = game.UniformInterests
 )
 
 // NewGraph returns an empty graph on n vertices.
@@ -182,13 +211,15 @@ func AllTrees(n int, fn func(*Graph) bool) uint64 { return treegen.AllTrees(n, f
 
 // Graph serialization.
 var (
-	WriteEdgeList = graphio.WriteEdgeList
-	ReadEdgeList  = graphio.ReadEdgeList
-	ToGraph6      = graphio.ToGraph6
-	FromGraph6    = graphio.FromGraph6
-	ToSparse6     = graphio.ToSparse6
-	FromSparse6   = graphio.FromSparse6
-	ToDOT         = graphio.ToDOT
+	WriteEdgeList  = graphio.WriteEdgeList
+	ReadEdgeList   = graphio.ReadEdgeList
+	ToGraph6       = graphio.ToGraph6
+	FromGraph6     = graphio.FromGraph6
+	ToSparse6      = graphio.ToSparse6
+	FromSparse6    = graphio.FromSparse6
+	ToDOT          = graphio.ToDOT
+	WriteInterests = graphio.WriteInterests
+	ReadInterests  = graphio.ReadInterests
 )
 
 // Executable proofs: the improving moves constructed in the paper's

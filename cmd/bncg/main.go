@@ -2,13 +2,16 @@
 //
 //	bncg construct  -family torus -k 5 -format edgelist|graph6|dot [-o file]
 //	bncg check      -in graph.txt [-format edgelist|graph6] [-obj sum|max]
-//	bncg dynamics   -n 40 -init tree|chords [-obj sum|max] [-policy best|first|random] [-seed 1]
+//	bncg dynamics   -n 40 -init tree|chords [-obj sum|max] [-policy best|first|random]
+//	                [-model swap|greedy|interests] [-edgecost 2] [-interests file] [-seed 1]
 //	bncg experiments [-id E5] [-quick] [-seed 1]
 //
 // `construct` emits one of the paper's graphs, `check` runs every
 // equilibrium and stability predicate on an input graph, `dynamics` runs
-// swap dynamics from a random start and certifies the result, and
-// `experiments` regenerates the paper's tables (see EXPERIMENTS.md).
+// move dynamics from a random start under the selected deviation model
+// (the basic game's swap, greedy add/delete/swap, or communication
+// interests) and certifies the result, and `experiments` regenerates the
+// paper's tables (see EXPERIMENTS.md).
 package main
 
 import (
@@ -22,6 +25,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dynamics"
 	"repro/internal/experiments"
+	"repro/internal/game"
 	"repro/internal/graph"
 )
 
@@ -216,12 +220,47 @@ func cmdCheck(args []string) error {
 	return nil
 }
 
+// buildModel resolves the -model / -edgecost / -interests flags into a
+// deviation model. Interest sets load from a graphio.ReadInterests file;
+// with no file, random sets are drawn from the run's seed (p = 0.3).
+func buildModel(name string, n int, edgeCost int64, interestsPath string, seed int64) (game.Model, error) {
+	switch name {
+	case "swap":
+		return game.Swap{}, nil
+	case "greedy":
+		return game.Greedy{EdgeCost: edgeCost}, nil
+	case "interests":
+		if interestsPath == "" {
+			rng := rand.New(rand.NewSource(seed ^ 0x1e7e5e57)) // decouple from the start-graph draw
+			return game.RandomInterests(n, 0.3, rng), nil
+		}
+		f, err := os.Open(interestsPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		sets, err := bncg.ReadInterests(f)
+		if err != nil {
+			return nil, err
+		}
+		if len(sets) != n {
+			return nil, fmt.Errorf("interests file declares %d vertices, run has n=%d", len(sets), n)
+		}
+		return game.NewInterests(sets), nil
+	default:
+		return nil, fmt.Errorf("unknown model %q", name)
+	}
+}
+
 func cmdDynamics(args []string) error {
 	fs := flag.NewFlagSet("dynamics", flag.ExitOnError)
 	n := fs.Int("n", 40, "vertex count")
 	initKind := fs.String("init", "tree", "tree|chords (tree plus n/4 chords)")
 	obj := fs.String("obj", "sum", "sum|max")
 	policy := fs.String("policy", "best", "best|first|random")
+	model := fs.String("model", "swap", "deviation model: swap|greedy|interests")
+	edgeCost := fs.Int64("edgecost", game.DefaultEdgeCost, "greedy model: per-incident-edge maintenance price")
+	interests := fs.String("interests", "", "interests model: interest-set file (graphio format); empty = random sets (p=0.3) from the seed")
 	seed := fs.Int64("seed", 1, "random seed")
 	workers := fs.Int("workers", 0, "pricing workers for every policy, including the random policy's certification sweeps (0 = all cores; trajectories are identical for any count)")
 	trace := fs.Bool("trace", false, "print every applied move")
@@ -253,9 +292,15 @@ func cmdDynamics(args []string) error {
 	default:
 		return fmt.Errorf("unknown policy %q", *policy)
 	}
+	mdl, err := buildModel(*model, *n, *edgeCost, *interests, *seed)
+	if err != nil {
+		return err
+	}
 	before, _ := g.Diameter()
+	mBefore := g.M()
 	res, err := bncg.RunDynamics(g, dynamics.Options{
-		Objective: objective, Policy: pol, Workers: *workers, Seed: *seed, Trace: *trace,
+		Objective: objective, Policy: pol, Model: mdl,
+		Workers: *workers, Seed: *seed, Trace: *trace,
 	})
 	if err != nil {
 		return err
@@ -266,14 +311,17 @@ func cmdDynamics(args []string) error {
 		}
 	}
 	after, _ := g.Diameter()
-	fmt.Printf("n=%d init=%s obj=%s policy=%s: converged=%v moves=%d sweeps=%d diameter %d→%d\n",
-		*n, *initKind, objective, pol, res.Converged, res.Moves, res.Sweeps, before, after)
+	fmt.Printf("n=%d init=%s obj=%s policy=%s model=%s: converged=%v moves=%d sweeps=%d diameter %d→%d m %d→%d\n",
+		*n, *initKind, objective, pol, mdl.Name(), res.Converged, res.Moves, res.Sweeps, before, after, mBefore, g.M())
 	if res.Converged {
-		stable, viol, err := core.CheckSwapStable(g, objective, *workers)
+		// Certify the final graph with the model's one-shot check — a
+		// fresh instance, so the verdict is independent of the trajectory's
+		// session state.
+		stable, viol, err := mdl.New(g, *workers).CheckStable(objective)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("certified swap-stable: %v", stable)
+		fmt.Printf("certified %s-stable: %v", mdl.Name(), stable)
 		if viol != nil {
 			fmt.Printf(" (%v)", viol)
 		}

@@ -1,44 +1,9 @@
 package core
 
 import (
-	"sync"
-	"sync/atomic"
-
+	"repro/internal/game"
 	"repro/internal/graph"
-	"repro/internal/par"
-	"repro/internal/pricing"
 )
-
-// seqEngine is the shared sequential pricing engine behind the streaming
-// APIs; its scratch pool is reused across calls. Parallel paths share
-// per-worker-count engines through engineFor so the pools survive across
-// calls (dynamics sweeps call BestSwapParallel once per vertex per sweep).
-var seqEngine = pricing.New(1)
-
-var (
-	engineMu  sync.Mutex
-	engineByW = map[int]*pricing.Engine{1: seqEngine}
-)
-
-// engineFor returns the shared pricing engine for a worker count.
-func engineFor(workers int) *pricing.Engine {
-	engineMu.Lock()
-	defer engineMu.Unlock()
-	e, ok := engineByW[workers]
-	if !ok {
-		e = pricing.New(workers)
-		engineByW[workers] = e
-	}
-	return e
-}
-
-// pobj maps the package's objective onto the pricing engine's.
-func pobj(obj Objective) pricing.Objective {
-	if obj == Max {
-		return pricing.Max
-	}
-	return pricing.Sum
-}
 
 // PriceSwaps invokes fn once for every candidate swap of agent v — every
 // pair (w, w') with w a current neighbor and w' any other vertex — passing
@@ -51,12 +16,7 @@ func pobj(obj Objective) pricing.Objective {
 // (internal/pricing), costing one BFS per candidate endpoint shared across
 // all dropped edges instead of an all-pairs sweep per dropped edge.
 func PriceSwaps(g *graph.Graph, v int, obj Objective, fn func(m Move, newCost int64) bool) {
-	scan := seqEngine.NewScan(g.Freeze(), v)
-	defer scan.Close()
-	drops := scan.Drops()
-	scan.ForEach(pobj(obj), false, func(i, add int, cost int64) bool {
-		return fn(Move{V: v, Drop: int(drops[i]), Add: add}, cost)
-	})
+	game.PriceSwaps(g, v, obj, fn)
 }
 
 // NaivePriceSwaps is the pre-engine pricing path, kept as the differential-
@@ -98,21 +58,14 @@ func NaivePriceSwaps(g *graph.Graph, v int, obj Objective, fn func(m Move, newCo
 // broken toward the lexicographically smallest (Drop, Add), making the
 // result deterministic. The graph is not mutated.
 func BestSwap(g *graph.Graph, v int, obj Objective) (best Move, newCost int64, improves bool) {
-	return BestSwapParallel(g, v, obj, 1)
+	return game.BestSwap(g, v, obj, 1)
 }
 
 // BestSwapParallel is BestSwap with the candidate-endpoint scan sharded
 // across the given number of workers (<= 0 means par.DefaultWorkers). The
 // result is identical for every worker count.
 func BestSwapParallel(g *graph.Graph, v int, obj Objective, workers int) (best Move, newCost int64, improves bool) {
-	scan := engineFor(workers).NewScan(g.Freeze(), v)
-	defer scan.Close()
-	cur := scan.CurrentUsage(pobj(obj))
-	newCost = cur
-	if b, ok := scan.BestMove(pobj(obj), false); ok && b.Cost < cur {
-		return Move{V: v, Drop: b.Drop, Add: b.Add}, b.Cost, true
-	}
-	return best, newCost, false
+	return game.BestSwap(g, v, obj, workers)
 }
 
 // NaiveBestSwap is BestSwap over the NaivePriceSwaps oracle.
@@ -129,46 +82,12 @@ func NaiveBestSwap(g *graph.Graph, v int, obj Objective) (best Move, newCost int
 	return best, newCost, newCost < cur
 }
 
-// EvaluateMove prices a single move by applying it, measuring the agent's
-// cost, and reverting. It is the slow-but-simple reference the patch-based
-// pricing is validated against. The graph is restored before returning.
-// Applying a no-op (Add == Drop) or a move whose Add edge already exists
-// (a deletion) is handled per the game's semantics.
-func EvaluateMove(g *graph.Graph, m Move, obj Objective) int64 {
-	removedDrop := g.RemoveEdge(m.V, m.Drop)
-	addedNew := g.AddEdge(m.V, m.Add)
-	cost := Cost(g, m.V, obj)
-	if addedNew {
-		g.RemoveEdge(m.V, m.Add)
-	}
-	if removedDrop {
-		g.AddEdge(m.V, m.Drop)
-	}
-	return cost
-}
-
-// ApplyMove applies m to g: removes V–Drop and inserts V–Add. It returns a
-// function that undoes the move. Invalid moves (Drop not a neighbor) panic.
-func ApplyMove(g *graph.Graph, m Move) (undo func()) {
-	if !g.HasEdge(m.V, m.Drop) {
-		panic("core: ApplyMove drop edge missing")
-	}
-	g.RemoveEdge(m.V, m.Drop)
-	added := g.AddEdge(m.V, m.Add)
-	return func() {
-		if added {
-			g.RemoveEdge(m.V, m.Add)
-		}
-		g.AddEdge(m.V, m.Drop)
-	}
-}
-
 // CheckSum reports whether g is in sum equilibrium: no edge swap strictly
 // decreases the moving agent's total distance. On failure a witness
 // violation is returned. workers <= 0 selects par.DefaultWorkers.
 // Returns ErrDisconnected for disconnected input.
 func CheckSum(g *graph.Graph, workers int) (bool, *Violation, error) {
-	return checkEquilibrium(g, Sum, workers)
+	return game.CheckSwap(g, Sum, workers, true)
 }
 
 // CheckMax reports whether g is in max equilibrium: no edge swap strictly
@@ -176,7 +95,7 @@ func CheckSum(g *graph.Graph, workers int) (bool, *Violation, error) {
 // strictly increases the local diameter of the agent. On failure a witness
 // violation is returned. workers <= 0 selects par.DefaultWorkers.
 func CheckMax(g *graph.Graph, workers int) (bool, *Violation, error) {
-	return checkEquilibrium(g, Max, workers)
+	return game.CheckSwap(g, Max, workers, true)
 }
 
 // Check dispatches to CheckSum or CheckMax.
@@ -191,119 +110,21 @@ func Check(g *graph.Graph, obj Objective, workers int) (bool, *Violation, error)
 // agent under obj. For Sum this coincides with sum equilibrium; for Max it
 // is the weaker half of max equilibrium that swap dynamics converge to
 // (the deletion-criticality condition is checked separately by
-// IsDeletionCritical).
+// IsDeletionCritical). Agents are scanned in ascending order with each
+// agent's candidate scan sharded across workers (the engine's
+// deterministic first-improvement merge), so the witness is identical for
+// any worker count and single-agent workloads on huge n use every worker.
 func CheckSwapStable(g *graph.Graph, obj Objective, workers int) (bool, *Violation, error) {
-	if obj == Sum {
-		return checkEquilibrium(g, Sum, workers)
-	}
-	return checkEquilibriumOpts(g, Max, workers, false)
+	return game.CheckSwap(g, obj, workers, false)
 }
 
 // CheckSwapEquilibrium is CheckSwapStable under the paper's name for the
 // condition dynamics converge to: no single swap strictly improves any
-// agent. Certification sweeps (dynamics.Run, Session.CheckSwapStable) and
+// agent. Certification sweeps (dynamics.Run, Session.FindImprovement) and
 // this one-shot checker must agree on every graph; the regression tests in
 // internal/dynamics pin that.
 func CheckSwapEquilibrium(g *graph.Graph, obj Objective, workers int) (bool, *Violation, error) {
 	return CheckSwapStable(g, obj, workers)
-}
-
-func checkEquilibrium(g *graph.Graph, obj Objective, workers int) (bool, *Violation, error) {
-	return checkEquilibriumOpts(g, obj, workers, true)
-}
-
-// checkEquilibriumOpts shards agents across workers over one shared frozen
-// snapshot; each worker prices its agent's swaps through the engine with
-// pooled scratch, so no worker clones or mutates the graph.
-func checkEquilibriumOpts(g *graph.Graph, obj Objective, workers int, deletionCritical bool) (bool, *Violation, error) {
-	n := g.N()
-	if n <= 1 {
-		return true, nil, nil
-	}
-	if !g.IsConnected() {
-		return false, nil, ErrDisconnected
-	}
-	if workers <= 0 {
-		workers = par.DefaultWorkers
-	}
-	if workers > n {
-		workers = n
-	}
-
-	found := scanAgents(g.Freeze(), obj, workers, deletionCritical)
-	return found == nil, found, nil
-}
-
-// scanAgents shards agents across workers over one shared snapshot —
-// a one-shot Frozen or a session's live CSR — and returns the first
-// violation recorded, nil when every agent is stable.
-func scanAgents(view pricing.Snapshot, obj Objective, workers int, deletionCritical bool) *Violation {
-	n := view.N()
-	var stop atomic.Bool
-	var mu sync.Mutex
-	var found *Violation
-	record := func(viol Violation) {
-		mu.Lock()
-		if found == nil {
-			found = &viol
-		}
-		mu.Unlock()
-		stop.Store(true)
-	}
-
-	var next par.Counter
-	par.Workers(workers, func(int) {
-		for v := next.Next(); v < n; v = next.Next() {
-			if stop.Load() {
-				return
-			}
-			checkVertex(view, v, obj, deletionCritical, &stop, record)
-		}
-	})
-	return found
-}
-
-// checkVertex scans all moves of agent v over the snapshot, recording the
-// first violation found in the engine's add-major enumeration order.
-func checkVertex(f pricing.Snapshot, v int, obj Objective, deletionCritical bool, stop *atomic.Bool, record func(Violation)) {
-	scan := seqEngine.NewScan(f, v)
-	defer scan.Close()
-	cur := scan.CurrentUsage(pobj(obj))
-
-	if obj == Max && deletionCritical {
-		// Deletion-criticality half of the max-equilibrium condition:
-		// deleting vw must strictly increase v's local diameter.
-		for i, w := range scan.Drops() {
-			if del := scan.DeletionUsage(i, pricing.Max); del <= cur {
-				record(Violation{
-					Kind:    DeletionSafe,
-					Edge:    graph.NewEdge(v, int(w)),
-					Agent:   v,
-					OldCost: cur,
-					NewCost: del,
-				})
-				return
-			}
-		}
-	}
-
-	drops := scan.Drops()
-	scan.ForEach(pobj(obj), false, func(i, add int, cost int64) bool {
-		if stop.Load() {
-			return false
-		}
-		if cost < cur {
-			record(Violation{
-				Kind:    SwapImproves,
-				Move:    Move{V: v, Drop: int(drops[i]), Add: add},
-				Agent:   v,
-				OldCost: cur,
-				NewCost: cost,
-			})
-			return false
-		}
-		return true
-	})
 }
 
 // LocalDiameterSpread returns max_v ecc(v) − min_v ecc(v). Lemma 2 of the

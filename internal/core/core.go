@@ -18,164 +18,95 @@
 // structural predicates (deletion-critical, insertion-stable,
 // k-insertion-stable), and move-pricing used by the dynamics engines.
 //
-// Swap pricing relies on the single-edge patch identity: in G' = G − vw,
-// adding edge vw' yields d(v,x) = min(d_{G'}(v,x), 1 + d_{G'}(w',x)). The
-// engine-backed paths (internal/pricing) sharpen the second term to the
-// vertex-deleted graph G−v, which is independent of the dropped edge, so
-// one BFS row per candidate endpoint prices that endpoint against every
-// dropped edge at once; the historical all-pairs-per-dropped-edge path
-// survives as NaivePriceSwaps/NaiveBestSwap, the differential-test oracle.
+// The swap rule itself — move enumeration, incremental pricing over live
+// snapshots, equilibrium scans — lives in internal/game as the Swap model
+// of the deviation-model layer (alongside the Greedy and Interests
+// variants from related work); this package re-exports the basic game's
+// types from there and keeps the paper-specific predicates, structural
+// checkers, and the historical Naive* oracles that the differential tests
+// pin the engine against.
 package core
 
 import (
-	"errors"
-	"fmt"
-
+	"repro/internal/game"
 	"repro/internal/graph"
 	"repro/internal/pricing"
 )
 
-// Objective selects which usage cost the agents minimize.
-type Objective int
+// Objective selects which usage cost the agents minimize. It is the game
+// layer's objective; Sum and Max are re-exported below.
+type Objective = game.Objective
 
 const (
 	// Sum is the local-average-distance version: cost(v) = Σ_u d(v,u).
-	Sum Objective = iota
+	Sum = game.Sum
 	// Max is the local-diameter version: cost(v) = max_u d(v,u).
-	Max
+	Max = game.Max
 )
-
-// String returns "sum" or "max".
-func (o Objective) String() string {
-	switch o {
-	case Sum:
-		return "sum"
-	case Max:
-		return "max"
-	default:
-		return fmt.Sprintf("Objective(%d)", int(o))
-	}
-}
 
 // InfCost is the usage cost of a disconnected position. Any swap that
 // disconnects the agent from some vertex prices to InfCost and is therefore
 // never improving.
-const InfCost = int64(1) << 60
+const InfCost = game.InfCost
 
 // ErrDisconnected is returned by checkers that require connected input.
-var ErrDisconnected = errors.New("core: graph must be connected")
+var ErrDisconnected = game.ErrDisconnected
 
-// Move is an edge swap performed by agent V: the edge V–Drop is replaced by
-// the edge V–Add. Add == Drop encodes a no-op; Add being an existing
-// neighbor of V encodes a net deletion of V–Drop.
-type Move struct {
-	V    int // the moving agent
-	Drop int // current neighbor losing its edge to V
-	Add  int // new endpoint of V's edge
-}
-
-// String formats the move as "v: drop→add".
-func (m Move) String() string { return fmt.Sprintf("%d: %d→%d", m.V, m.Drop, m.Add) }
+// Move is an edge move performed by agent V. The basic game's literals
+// Move{V, Drop, Add} denote a swap (the zero Kind): the edge V–Drop is
+// replaced by the edge V–Add; Add == Drop encodes a no-op and Add being an
+// existing neighbor of V a net deletion. Richer models (internal/game's
+// Greedy) set Kind to KindAdd or KindDelete.
+type Move = game.Move
 
 // ViolationKind classifies why a graph fails an equilibrium or stability
 // predicate.
-type ViolationKind int
+type ViolationKind = game.ViolationKind
 
 const (
 	// SwapImproves: the recorded Move strictly decreases the agent's cost.
-	SwapImproves ViolationKind = iota
+	SwapImproves = game.SwapImproves
 	// DeletionSafe: deleting the recorded edge does not strictly increase
 	// the endpoint's local diameter (violates the max-equilibrium and
 	// deletion-critical conditions).
-	DeletionSafe
+	DeletionSafe = game.DeletionSafe
 	// InsertionHelps: inserting the recorded edge strictly decreases the
 	// endpoint's local diameter (violates insertion stability).
-	InsertionHelps
+	InsertionHelps = game.InsertionHelps
 )
-
-// String names the violation kind.
-func (k ViolationKind) String() string {
-	switch k {
-	case SwapImproves:
-		return "swap-improves"
-	case DeletionSafe:
-		return "deletion-safe"
-	case InsertionHelps:
-		return "insertion-helps"
-	default:
-		return fmt.Sprintf("ViolationKind(%d)", int(k))
-	}
-}
 
 // Violation is a witness that a predicate fails: either an improving swap
 // (SwapImproves, see Move) or an offending edge with the affected agent.
-type Violation struct {
-	Kind    ViolationKind
-	Move    Move       // valid when Kind == SwapImproves
-	Edge    graph.Edge // valid for DeletionSafe / InsertionHelps
-	Agent   int        // the agent whose cost witnesses the violation
-	OldCost int64      // agent's cost before the change
-	NewCost int64      // agent's cost after the change
-}
-
-// String renders the witness with costs.
-func (v *Violation) String() string {
-	switch v.Kind {
-	case SwapImproves:
-		return fmt.Sprintf("swap %v improves cost %d→%d", v.Move, v.OldCost, v.NewCost)
-	case DeletionSafe:
-		return fmt.Sprintf("deleting %v leaves agent %d cost %d→%d (no increase)",
-			v.Edge, v.Agent, v.OldCost, v.NewCost)
-	case InsertionHelps:
-		return fmt.Sprintf("inserting %v improves agent %d cost %d→%d",
-			v.Edge, v.Agent, v.OldCost, v.NewCost)
-	default:
-		return "unknown violation"
-	}
-}
+type Violation = game.Violation
 
 // SumCost returns agent v's usage cost in the sum version: the total
 // distance to all other vertices, or InfCost if some vertex is unreachable.
-func SumCost(g *graph.Graph, v int) int64 {
-	sum, reached := g.SumOfDistances(v)
-	if reached != g.N() {
-		return InfCost
-	}
-	return sum
-}
+func SumCost(g *graph.Graph, v int) int64 { return game.Cost(g, v, Sum) }
 
 // MaxCost returns agent v's usage cost in the max version: its local
 // diameter (eccentricity), or InfCost if some vertex is unreachable.
-func MaxCost(g *graph.Graph, v int) int64 {
-	ecc, ok := g.Eccentricity(v)
-	if !ok {
-		return InfCost
-	}
-	return int64(ecc)
-}
+func MaxCost(g *graph.Graph, v int) int64 { return game.Cost(g, v, Max) }
 
 // Cost returns agent v's usage cost under the given objective.
-func Cost(g *graph.Graph, v int, obj Objective) int64 {
-	if obj == Sum {
-		return SumCost(g, v)
-	}
-	return MaxCost(g, v)
-}
+func Cost(g *graph.Graph, v int, obj Objective) int64 { return game.Cost(g, v, obj) }
 
 // SocialCost returns the sum over all agents of their usage cost (the
 // quantity whose ratio to the optimum defines the price of anarchy), or
 // InfCost when g is disconnected.
-func SocialCost(g *graph.Graph, obj Objective) int64 {
-	var total int64
-	for v := 0; v < g.N(); v++ {
-		c := Cost(g, v, obj)
-		if c >= InfCost {
-			return InfCost
-		}
-		total += c
-	}
-	return total
+func SocialCost(g *graph.Graph, obj Objective) int64 { return game.SocialCost(g, obj) }
+
+// EvaluateMove prices a single move by applying it, measuring the agent's
+// cost, and reverting. It is the slow-but-simple reference the patch-based
+// pricing is validated against. The graph is restored before returning.
+// Applying a no-op (Add == Drop) or a move whose Add edge already exists
+// (a deletion) is handled per the game's semantics.
+func EvaluateMove(g *graph.Graph, m Move, obj Objective) int64 {
+	return game.Evaluate(g, m, obj)
 }
+
+// ApplyMove applies m to g: removes V–Drop and inserts V–Add. It returns a
+// function that undoes the move. Invalid moves (Drop not a neighbor) panic.
+func ApplyMove(g *graph.Graph, m Move) (undo func()) { return game.ApplyToGraph(g, m) }
 
 // patchedSum prices Σ_x min(dv[x], 1+dw[x]) where dv are distances from v
 // and dw distances from the new neighbor w', both measured in G' = G − vw;

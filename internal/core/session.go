@@ -1,112 +1,67 @@
 package core
 
 import (
+	"repro/internal/game"
 	"repro/internal/graph"
-	"repro/internal/par"
-	"repro/internal/pricing"
 )
 
-// Session is an incremental pricing session over a game graph: it owns a
-// live CSR snapshot (pricing.Session over graph.Dyn) kept in sync with the
-// authoritative map-backed graph, so a whole dynamics trajectory — or a
-// best-response iteration, or an equilibrium-certification sweep — prices
-// every move against one snapshot that is patched in O(deg) per applied
-// move instead of re-frozen in O(n+m).
+// Session is the basic game's incremental pricing session. It is a thin
+// facade over game.SwapSession — the Swap model's fast instance in the
+// deviation-model layer — kept so the historical core surface (and its
+// method names: BestSwap, CheckSwapStable) stays stable: a live CSR
+// snapshot is patched in O(deg) per applied move instead of re-frozen in
+// O(n+m), and every probe, sweep, and certification pass prices against
+// it. See game.SwapSession for the lifecycle and determinism contract.
 //
-// Lifecycle: NewSession thaws the graph once (freeze), Apply routes each
-// move to both structures (apply), the session's generation counter
-// invalidates any outstanding scans (invalidate), and BestSwap /
-// FirstImproving / FindImprovement / CheckSwapStable certify against the
-// same live snapshot (certify). All pricing results are bit-identical to
-// the one-shot engine paths (BestSwapParallel, PriceSwaps) on the same
-// graph, for any worker count; the differential tests in internal/dynamics
-// pin that move-for-move.
-//
-// A Session is single-writer: Apply and Undo must not race with pricing
+// A Session is single-writer: Apply and undo must not race with pricing
 // calls. The pricing calls themselves shard internally across the
 // session's workers.
 type Session struct {
-	g       *graph.Graph
-	ps      *pricing.Session
-	eng     *pricing.Engine
-	workers int
+	inst *game.SwapSession
 }
 
 // NewSession starts a session on g with the given pricing parallelism
 // (<= 0 means all cores). The engine (and its pooled BFS scratch) is
 // shared with other sessions and one-shot calls at the same worker count.
 func NewSession(g *graph.Graph, workers int) *Session {
-	if workers <= 0 {
-		workers = par.DefaultWorkers
-	}
-	eng := engineFor(workers)
-	return &Session{g: g, ps: eng.NewSession(g), eng: eng, workers: workers}
+	return &Session{inst: game.NewSwapSession(g, workers)}
 }
+
+// Instance returns the underlying Swap model instance (the game.Instance
+// the model-generic engines drive).
+func (s *Session) Instance() *game.SwapSession { return s.inst }
 
 // Graph returns the authoritative mutable graph. Mutating it directly
 // desynchronizes the session; route moves through Apply.
-func (s *Session) Graph() *graph.Graph { return s.g }
+func (s *Session) Graph() *graph.Graph { return s.inst.Graph() }
 
 // Workers returns the session's pricing parallelism.
-func (s *Session) Workers() int { return s.workers }
+func (s *Session) Workers() int { return s.inst.Workers() }
 
 // View returns the live CSR snapshot for read-only use (e.g. sampling
 // neighbors without allocating); mutate only through Apply.
-func (s *Session) View() *graph.Dyn { return s.ps.View() }
+func (s *Session) View() *graph.Dyn { return s.inst.View() }
 
 // Apply performs m on both the graph and the live snapshot, returning a
 // function that undoes the move on both (undos must be invoked in LIFO
 // order). Invalid moves (Drop not a neighbor) panic, like ApplyMove.
-func (s *Session) Apply(m Move) (undo func()) {
-	gundo := ApplyMove(s.g, m)
-	s.ps.ApplySwap(m.V, m.Drop, m.Add)
-	return func() {
-		s.ps.Undo()
-		gundo()
-	}
-}
+func (s *Session) Apply(m Move) (undo func()) { return s.inst.Apply(m) }
 
 // Cost returns agent v's usage cost from one BFS row over the live
 // snapshot. It equals Cost(g, v, obj) on the synced graph.
-func (s *Session) Cost(v int, obj Objective) int64 {
-	dist, queue, release := s.eng.Scratch(s.ps.N())
-	defer release()
-	s.ps.View().BFSInto(v, dist, queue)
-	return pricing.Usage(dist, pobj(obj))
-}
+func (s *Session) Cost(v int, obj Objective) int64 { return s.inst.Cost(v, obj) }
 
 // SocialCost returns the sum of all agents' usage costs (InfCost when the
 // graph is disconnected), computed over the live snapshot. It equals
 // SocialCost(g, obj) on the synced graph.
-func (s *Session) SocialCost(obj Objective) int64 {
-	n := s.ps.N()
-	view := s.ps.View()
-	dist, queue, release := s.eng.Scratch(n)
-	defer release()
-	var total int64
-	for v := 0; v < n; v++ {
-		view.BFSInto(v, dist, queue)
-		c := pricing.Usage(dist, pobj(obj))
-		if c >= InfCost {
-			return InfCost
-		}
-		total += c
-	}
-	return total
-}
+func (s *Session) SocialCost(obj Objective) int64 { return s.inst.SocialCost(obj) }
 
 // BestSwap returns agent v's cost-minimizing swap over the live snapshot,
 // with the same deterministic (cost, drop, add) tie-break as
 // BestSwapParallel, plus v's current cost (read from the scan for free).
 // The candidate-endpoint scan is sharded across the session's workers.
 func (s *Session) BestSwap(v int, obj Objective) (best Move, oldCost, newCost int64, improves bool) {
-	scan := s.ps.NewScan(v)
-	defer scan.Close()
-	cur := scan.CurrentUsage(pobj(obj))
-	if b, ok := scan.BestMove(pobj(obj), false); ok && b.Cost < cur {
-		return Move{V: v, Drop: b.Drop, Add: b.Add}, cur, b.Cost, true
-	}
-	return best, cur, cur, false
+	return s.inst.BestMove(v, obj)
 }
 
 // FirstImproving returns agent v's first improving swap in the engine's
@@ -114,25 +69,14 @@ func (s *Session) BestSwap(v int, obj Objective) (best Move, oldCost, newCost in
 // sharded across the session's workers with a deterministic merge, so the
 // result equals the sequential early-exit scan for any worker count.
 func (s *Session) FirstImproving(v int, obj Objective) (m Move, oldCost, newCost int64, found bool) {
-	scan := s.ps.NewScan(v)
-	defer scan.Close()
-	cur := scan.CurrentUsage(pobj(obj))
-	if b, ok := scan.FirstImproving(pobj(obj), false, cur); ok {
-		return Move{V: v, Drop: b.Drop, Add: b.Add}, cur, b.Cost, true
-	}
-	return m, cur, cur, false
+	return s.inst.FirstImproving(v, obj)
 }
 
 // PriceSwaps streams every candidate swap of agent v over the live
 // snapshot in the same add-major order as the package-level PriceSwaps,
 // without re-freezing.
 func (s *Session) PriceSwaps(v int, obj Objective, fn func(m Move, newCost int64) bool) {
-	scan := s.ps.NewScan(v)
-	defer scan.Close()
-	drops := scan.Drops()
-	scan.ForEach(pobj(obj), false, func(i, add int, cost int64) bool {
-		return fn(Move{V: v, Drop: int(drops[i]), Add: add}, cost)
-	})
+	s.inst.PriceSwaps(v, obj, fn)
 }
 
 // PriceMove prices a single candidate move from two BFS rows over the live
@@ -140,18 +84,9 @@ func (s *Session) PriceSwaps(v int, obj Objective, fn func(m Move, newCost int64
 // anything. It equals EvaluateMove(g, m, obj) on the synced graph and is
 // the random-improving policy's probe path. Requires Add != V; Drop need
 // not be a neighbor (a non-edge drop degenerates to pricing the insertion
-// alone, matching EvaluateMove).
-func (s *Session) PriceMove(m Move, obj Objective) int64 {
-	n := s.ps.N()
-	view := s.ps.View()
-	dv, qv, releaseV := s.eng.Scratch(n)
-	defer releaseV()
-	dw, qw, releaseW := s.eng.Scratch(n)
-	defer releaseW()
-	view.BFSSkipEdge(m.V, m.V, m.Drop, dv, qv)
-	view.BFSSkipVertex(m.Add, m.V, dw, qw)
-	return pricing.Patched(dv, dw, pobj(obj))
-}
+// alone, matching EvaluateMove). Rows are memoized across probes within
+// one mutation generation (see game.SwapSession).
+func (s *Session) PriceMove(m Move, obj Objective) int64 { return s.inst.PriceMove(m, obj) }
 
 // FindImprovement scans agents in ascending order for the first improving
 // swap — the certification sweep of the random-improving policy. Within
@@ -160,34 +95,14 @@ func (s *Session) PriceMove(m Move, obj Objective) int64 {
 // for any worker count. found is false exactly when the graph is in swap
 // equilibrium under obj.
 func (s *Session) FindImprovement(obj Objective) (m Move, oldCost, newCost int64, found bool) {
-	n := s.ps.N()
-	for v := 0; v < n; v++ {
-		if m, oldCost, newCost, found = s.FirstImproving(v, obj); found {
-			return m, oldCost, newCost, true
-		}
-	}
-	return Move{}, 0, 0, false
+	return s.inst.FindImprovement(obj)
 }
 
 // CheckSwapStable reports whether no single swap strictly improves any
-// agent, certifying against the live snapshot without re-freezing; agents
-// are sharded across the session's workers. The verdict agrees with the
-// one-shot CheckSwapStable / CheckSwapEquilibrium on the synced graph.
+// agent, certifying against the live snapshot without re-freezing; each
+// agent's scan is sharded across the session's workers. The verdict agrees
+// with the one-shot CheckSwapStable / CheckSwapEquilibrium on the synced
+// graph.
 func (s *Session) CheckSwapStable(obj Objective) (bool, *Violation, error) {
-	n := s.ps.N()
-	if n <= 1 {
-		return true, nil, nil
-	}
-	dist, queue, release := s.eng.Scratch(n)
-	if s.ps.View().BFSInto(0, dist, queue) != n {
-		release()
-		return false, nil, ErrDisconnected
-	}
-	release()
-	workers := s.workers
-	if workers > n {
-		workers = n
-	}
-	found := scanAgents(s.ps.View(), obj, workers, false)
-	return found == nil, found, nil
+	return s.inst.CheckStable(obj)
 }

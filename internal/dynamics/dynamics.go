@@ -1,22 +1,28 @@
-// Package dynamics runs swap dynamics for the basic network creation game:
-// agents repeatedly perform improving edge swaps until no agent can improve
-// (a swap equilibrium) or a move budget is exhausted. Three scheduling
-// policies are provided — deterministic round-robin best response,
-// deterministic first improvement, and seeded random improving moves — all
-// of which terminate in a certified equilibrium when they converge,
-// because convergence is declared only after a full exhaustive pass finds
-// no improving swap.
+// Package dynamics runs move dynamics for network creation games: agents
+// repeatedly perform improving moves until no agent can improve (an
+// equilibrium of the game's deviation model) or a move budget is
+// exhausted. Three scheduling policies are provided — deterministic
+// round-robin best response, deterministic first improvement, and seeded
+// random improving moves — all of which terminate in a certified
+// equilibrium when they converge, because convergence is declared only
+// after a full exhaustive pass finds no improving move.
 //
-// Every trajectory runs inside one incremental pricing session
-// (core.Session): the starting graph is thawed into a mutable CSR once,
-// each applied move patches the snapshot in O(deg) instead of re-freezing
-// in O(n+m), and every probe, sweep, and certification pass prices against
-// the live snapshot. The pre-session loop survives as NaiveRun, the
-// differential-test oracle; trajectories are bit-identical between the two
-// paths for every policy and worker count.
+// The deviation model is pluggable (Options.Model, a game.Model): the
+// default Swap model is the source paper's basic game, Greedy adds
+// single-edge buy/delete moves with edge-cost accounting, and Interests
+// restricts each agent's cost to its communication-interest set. The
+// driver is generic in the model; every trajectory runs inside one
+// incremental pricing instance (model.New): the starting graph is thawed
+// into a mutable CSR once, each applied move patches the snapshot in
+// O(deg) instead of re-freezing in O(n+m), and every probe, sweep, and
+// certification pass prices against the live snapshot. NaiveRun drives the
+// same policies through the model's oracle instance (model.Naive —
+// re-freeze / apply-measure-revert pricing); trajectories are bit-identical
+// between the two paths for every model, policy, and worker count, which
+// the differential tests pin move-for-move.
 //
-// Swap dynamics need not converge in general (the game is not a potential
-// game), so Run enforces MaxMoves and reports Converged=false when the
+// Move dynamics need not converge in general (the games are not potential
+// games), so Run enforces MaxMoves and reports Converged=false when the
 // budget is exhausted; in practice the experiments converge quickly.
 package dynamics
 
@@ -26,6 +32,7 @@ import (
 	"math/rand"
 
 	"repro/internal/core"
+	"repro/internal/game"
 	"repro/internal/graph"
 )
 
@@ -34,16 +41,17 @@ type Policy int
 
 const (
 	// BestResponse sweeps vertices round-robin; each vertex plays its
-	// cost-minimizing improving swap, if any.
+	// cost-minimizing improving move, if any.
 	BestResponse Policy = iota
 	// FirstImprovement sweeps vertices round-robin; each vertex plays the
-	// first improving swap found in deterministic scan order. The order is
-	// the pricing engine's add-major enumeration (see core.PriceSwaps);
-	// it differs from the pre-engine drop-major order, so trajectories
-	// differ from older builds while remaining deterministic and
-	// terminating in the same certified equilibria.
+	// first improving move found in the model's deterministic scan order.
+	// For the swap model the order is the pricing engine's add-major
+	// enumeration (see core.PriceSwaps); it differs from the pre-engine
+	// drop-major order, so trajectories differ from older builds while
+	// remaining deterministic and terminating in the same certified
+	// equilibria.
 	FirstImprovement
-	// RandomImproving samples random candidate swaps; a certification
+	// RandomImproving samples random candidate moves; a certification
 	// sweep declares equilibrium once random probing stops finding moves.
 	RandomImproving
 )
@@ -63,12 +71,15 @@ func (p Policy) String() string {
 }
 
 // Options configures a dynamics run. The zero value is a usable sum-version
-// best-response run with default budgets.
+// best-response run of the basic swap game with default budgets.
 type Options struct {
 	Objective core.Objective
 	Policy    Policy
+	// Model selects the deviation model (nil means game.Swap{}, the basic
+	// game).
+	Model game.Model
 	// Workers bounds the pricing parallelism of every policy (<= 0 means
-	// all cores): BestResponse shards each best-swap scan,
+	// all cores): BestResponse shards each best-move scan,
 	// FirstImprovement shards each first-improving scan with a
 	// deterministic enumeration-order merge, and RandomImproving shards
 	// its certification sweeps the same way. Trajectories are bit-identical
@@ -80,15 +91,24 @@ type Options struct {
 	// policies).
 	Seed int64
 	// PatienceFactor scales how many consecutive failed random samples
-	// trigger a certification sweep (default 20, multiplied by m).
+	// trigger a certification sweep (default 20, multiplied by the
+	// starting edge count).
 	PatienceFactor int
 	// Trace records every applied move when true.
 	Trace bool
 }
 
+// model resolves the deviation model.
+func (o *Options) model() game.Model {
+	if o.Model == nil {
+		return game.Swap{}
+	}
+	return o.Model
+}
+
 // TraceEntry records one applied move and the mover's cost change,
 // together with the social cost after the move — individual improvements
-// do not imply social improvement (the game has no potential function),
+// do not imply social improvement (the games have no potential function),
 // and the trace makes that observable.
 type TraceEntry struct {
 	Move       core.Move
@@ -131,70 +151,82 @@ func validate(g *graph.Graph, opt *Options) error {
 	}
 }
 
-// Run executes swap dynamics on g (mutating it) until equilibrium or the
+// Run executes move dynamics on g (mutating it) until equilibrium or the
 // move budget is exhausted. The whole trajectory shares one incremental
-// pricing session: applied moves patch the live CSR snapshot in O(deg),
-// and all probes and sweeps price against it.
+// pricing instance of the model: applied moves patch the live CSR snapshot
+// in O(deg), and all probes and sweeps price against it.
 func Run(g *graph.Graph, opt Options) (*Result, error) {
 	if err := validate(g, &opt); err != nil {
 		return nil, err
 	}
+	return drive(opt.model().New(g, opt.Workers), opt)
+}
+
+// NaiveRun drives the same policies through the model's oracle instance:
+// every best-move and first-improvement scan re-freezes the graph, random
+// probes are priced by apply-measure-revert on the map graph, and
+// certification sweeps re-freeze per vertex. Run must reproduce its
+// trajectories move-for-move for every model, policy, objective, seed, and
+// worker count.
+func NaiveRun(g *graph.Graph, opt Options) (*Result, error) {
+	if err := validate(g, &opt); err != nil {
+		return nil, err
+	}
+	return drive(opt.model().Naive(g, opt.Workers), opt)
+}
+
+// drive dispatches the validated run to the policy loop.
+func drive(inst game.Instance, opt Options) (*Result, error) {
 	res := &Result{}
-	sess := core.NewSession(g, opt.Workers)
 	switch opt.Policy {
 	case BestResponse, FirstImprovement:
-		runSweeping(sess, opt, res)
+		runSweeping(inst, opt, res)
 	case RandomImproving:
-		runRandom(sess, opt, res)
+		runRandom(inst, opt, res)
 	}
 	return res, nil
 }
 
-// applyAndRecord applies m through the session and appends a trace entry
-// when enabled; the post-move social cost is measured on the live snapshot.
-func applyAndRecord(sess *core.Session, m core.Move, oldCost, newCost int64, opt Options, res *Result) {
-	sess.Apply(m)
+// applyAndRecord applies m through the instance and appends a trace entry
+// when enabled; the post-move social cost is measured on the instance.
+func applyAndRecord(inst game.Instance, m core.Move, oldCost, newCost int64, opt Options, res *Result) {
+	inst.Apply(m)
 	res.Moves++
 	if opt.Trace {
 		res.Trace = append(res.Trace, TraceEntry{
 			Move: m, OldCost: oldCost, NewCost: newCost,
-			SocialCost: sess.SocialCost(opt.Objective),
+			SocialCost: inst.SocialCost(opt.Objective),
 			MoveRank:   res.Moves,
 		})
 	}
 }
 
-func runSweeping(sess *core.Session, opt Options, res *Result) {
-	n := sess.Graph().N()
-	for res.Moves < opt.MaxMoves {
-		res.Sweeps++
-		movedThisSweep := false
-		for v := 0; v < n && res.Moves < opt.MaxMoves; v++ {
-			var m core.Move
-			var old, newCost int64
-			var improves bool
-			if opt.Policy == BestResponse {
-				m, old, newCost, improves = sess.BestSwap(v, opt.Objective)
-			} else {
-				m, old, newCost, improves = sess.FirstImproving(v, opt.Objective)
-			}
-			if improves {
-				applyAndRecord(sess, m, old, newCost, opt, res)
-				movedThisSweep = true
-			}
+// runSweeping drives the two deterministic round-robin policies through
+// the shared convergence loop.
+func runSweeping(inst game.Instance, opt Options, res *Result) {
+	n := inst.Graph().N()
+	_, sweeps, converged := game.RoundRobin(n, opt.MaxMoves, func(v int) bool {
+		var m core.Move
+		var old, newCost int64
+		var improves bool
+		if opt.Policy == BestResponse {
+			m, old, newCost, improves = inst.BestMove(v, opt.Objective)
+		} else {
+			m, old, newCost, improves = inst.FirstImproving(v, opt.Objective)
 		}
-		if !movedThisSweep {
-			res.Converged = true
-			return
+		if !improves {
+			return false
 		}
-	}
+		applyAndRecord(inst, m, old, newCost, opt, res)
+		return true
+	})
+	res.Sweeps, res.Converged = sweeps, converged
 }
 
-func runRandom(sess *core.Session, opt Options, res *Result) {
+func runRandom(inst game.Instance, opt Options, res *Result) {
 	rng := rand.New(rand.NewSource(opt.Seed))
-	view := sess.View()
-	n := view.N()
-	patience := opt.PatienceFactor * view.M()
+	n := inst.Graph().N()
+	patience := opt.PatienceFactor * inst.Graph().M()
 	if patience < 50 {
 		patience = 50
 	}
@@ -208,7 +240,7 @@ func runRandom(sess *core.Session, opt Options, res *Result) {
 	gen := uint64(1)
 	cost := func(v int) int64 {
 		if curGen[v] != gen {
-			curCost[v] = sess.Cost(v, opt.Objective)
+			curCost[v] = inst.Cost(v, opt.Objective)
 			curGen[v] = gen
 		}
 		return curCost[v]
@@ -217,175 +249,30 @@ func runRandom(sess *core.Session, opt Options, res *Result) {
 	for res.Moves < opt.MaxMoves {
 		if failStreak >= patience {
 			// Certification sweep: exhaustively search for any improving
-			// swap over the live snapshot; none ⇒ certified equilibrium.
+			// move; none ⇒ certified equilibrium of the model.
 			res.Sweeps++
-			m, old, newCost, found := sess.FindImprovement(opt.Objective)
+			m, old, newCost, found := inst.FindImprovement(opt.Objective)
 			if !found {
 				res.Converged = true
 				return
 			}
-			applyAndRecord(sess, m, old, newCost, opt, res)
+			applyAndRecord(inst, m, old, newCost, opt, res)
 			gen++
 			failStreak = 0
 			continue
 		}
-		v := rng.Intn(n)
-		if view.Degree(v) == 0 {
+		m, ok := inst.Sample(rng)
+		if !ok {
 			failStreak++
 			continue
 		}
-		nbs := view.Neighbors(v)
-		w := int(nbs[rng.Intn(len(nbs))])
-		wp := rng.Intn(n)
-		if wp == v || wp == w {
-			failStreak++
-			continue
-		}
-		cur := cost(v)
-		m := core.Move{V: v, Drop: w, Add: wp}
-		if c := sess.PriceMove(m, opt.Objective); c < cur {
-			applyAndRecord(sess, m, cur, c, opt, res)
+		cur := cost(m.V)
+		if c := inst.PriceMove(m, opt.Objective); c < cur {
+			applyAndRecord(inst, m, cur, c, opt, res)
 			gen++
 			failStreak = 0
 		} else {
 			failStreak++
 		}
 	}
-}
-
-// NaiveRun is the pre-session dynamics loop, kept as the differential-test
-// oracle: every best-swap and first-improvement scan re-freezes the graph
-// (core.BestSwapParallel / core.PriceSwaps), random probes are priced by
-// apply-BFS-revert on the map graph (core.EvaluateMove), and certification
-// sweeps re-freeze per vertex. Run must reproduce its trajectories
-// move-for-move for every policy, objective, seed, and worker count.
-func NaiveRun(g *graph.Graph, opt Options) (*Result, error) {
-	if err := validate(g, &opt); err != nil {
-		return nil, err
-	}
-	res := &Result{}
-	switch opt.Policy {
-	case BestResponse, FirstImprovement:
-		naiveSweeping(g, opt, res)
-	case RandomImproving:
-		naiveRandom(g, opt, res)
-	}
-	return res, nil
-}
-
-// naiveApplyAndRecord applies m directly to the map graph.
-func naiveApplyAndRecord(g *graph.Graph, m core.Move, oldCost, newCost int64, opt Options, res *Result) {
-	core.ApplyMove(g, m)
-	res.Moves++
-	if opt.Trace {
-		res.Trace = append(res.Trace, TraceEntry{
-			Move: m, OldCost: oldCost, NewCost: newCost,
-			SocialCost: core.SocialCost(g, opt.Objective),
-			MoveRank:   res.Moves,
-		})
-	}
-}
-
-func naiveSweeping(g *graph.Graph, opt Options, res *Result) {
-	n := g.N()
-	for res.Moves < opt.MaxMoves {
-		res.Sweeps++
-		movedThisSweep := false
-		for v := 0; v < n && res.Moves < opt.MaxMoves; v++ {
-			if opt.Policy == BestResponse {
-				m, newCost, improves := core.BestSwapParallel(g, v, opt.Objective, opt.Workers)
-				if improves {
-					old := core.Cost(g, v, opt.Objective)
-					naiveApplyAndRecord(g, m, old, newCost, opt, res)
-					movedThisSweep = true
-				}
-				continue
-			}
-			// FirstImprovement: apply the first improving swap in scan order.
-			cur := core.Cost(g, v, opt.Objective)
-			var chosen *core.Move
-			var chosenCost int64
-			core.PriceSwaps(g, v, opt.Objective, func(m core.Move, c int64) bool {
-				if c < cur {
-					mm := m
-					chosen, chosenCost = &mm, c
-					return false
-				}
-				return true
-			})
-			if chosen != nil {
-				naiveApplyAndRecord(g, *chosen, cur, chosenCost, opt, res)
-				movedThisSweep = true
-			}
-		}
-		if !movedThisSweep {
-			res.Converged = true
-			return
-		}
-	}
-}
-
-func naiveRandom(g *graph.Graph, opt Options, res *Result) {
-	rng := rand.New(rand.NewSource(opt.Seed))
-	n := g.N()
-	patience := opt.PatienceFactor * g.M()
-	if patience < 50 {
-		patience = 50
-	}
-	failStreak := 0
-	for res.Moves < opt.MaxMoves {
-		if failStreak >= patience {
-			res.Sweeps++
-			m, old, newCost, found := naiveFindAnyImprovement(g, opt.Objective)
-			if !found {
-				res.Converged = true
-				return
-			}
-			naiveApplyAndRecord(g, m, old, newCost, opt, res)
-			failStreak = 0
-			continue
-		}
-		v := rng.Intn(n)
-		if g.Degree(v) == 0 {
-			failStreak++
-			continue
-		}
-		nbs := g.Neighbors(v)
-		w := nbs[rng.Intn(len(nbs))]
-		wp := rng.Intn(n)
-		if wp == v || wp == w {
-			failStreak++
-			continue
-		}
-		cur := core.Cost(g, v, opt.Objective)
-		m := core.Move{V: v, Drop: w, Add: wp}
-		if c := core.EvaluateMove(g, m, opt.Objective); c < cur {
-			naiveApplyAndRecord(g, m, cur, c, opt, res)
-			failStreak = 0
-		} else {
-			failStreak++
-		}
-	}
-}
-
-// naiveFindAnyImprovement scans all vertices for an improving swap,
-// re-freezing per vertex.
-func naiveFindAnyImprovement(g *graph.Graph, obj core.Objective) (core.Move, int64, int64, bool) {
-	for v := 0; v < g.N(); v++ {
-		cur := core.Cost(g, v, obj)
-		var chosen *core.Move
-		var chosenCost int64
-		core.PriceSwaps(g, v, obj, func(m core.Move, c int64) bool {
-			if c < cur {
-				mm := m
-				chosen, chosenCost = &mm, c
-				return false
-			}
-			return true
-		})
-		if chosen != nil {
-			return *chosen, cur, chosenCost, true
-		}
-	}
-	return core.Move{}, 0, 0, false
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/game"
 	"repro/internal/graph"
 	"repro/internal/treegen"
 )
@@ -72,6 +73,88 @@ func TestRunAgreesWithNaiveRunAllPolicies(t *testing.T) {
 			}
 		}
 	}
+}
+
+func TestRunAgreesWithNaiveRunAllModels(t *testing.T) {
+	// The model-generic driver must stay bit-identical between the fast
+	// (session-backed) and naive (re-freeze / apply-measure-revert)
+	// instance flavors for the non-swap models too. Interests dynamics may
+	// legally fail to converge (the model can lack equilibria), so the
+	// comparison is over capped trajectories.
+	rng := rand.New(rand.NewSource(54))
+	n := 20
+	base := diffInstance(rng, n, 5)
+	models := []struct {
+		name  string
+		model game.Model
+	}{
+		{"greedy", game.Greedy{EdgeCost: 2}},
+		{"interests", game.RandomInterests(n, 0.4, rng)},
+	}
+	for _, mc := range models {
+		for _, obj := range []core.Objective{core.Sum, core.Max} {
+			for _, pol := range []Policy{BestResponse, FirstImprovement, RandomImproving} {
+				gSess := base.Clone()
+				gNaive := base.Clone()
+				opt := Options{
+					Objective: obj, Policy: pol, Model: mc.model,
+					Seed: 11, MaxMoves: 300, Trace: true,
+				}
+				rs, err1 := Run(gSess, opt)
+				rn, err2 := NaiveRun(gNaive, opt)
+				if err1 != nil || err2 != nil {
+					t.Fatal(err1, err2)
+				}
+				label := mc.name + "/" + pol.String() + "/" + obj.String()
+				requireSameRun(t, label, rs, rn, gSess, gNaive)
+			}
+		}
+	}
+}
+
+func TestGreedyAndInterestsReachCertifiedEquilibria(t *testing.T) {
+	// The acceptance path: each new model runs end-to-end through
+	// dynamics.Run to convergence and the final graph certifies on a fresh
+	// instance of the model.
+	rng := rand.New(rand.NewSource(55))
+	n := 16
+	base := diffInstance(rng, n, 4)
+	models := []game.Model{
+		game.Greedy{EdgeCost: 2},
+		// A sparse interest structure that admits equilibria: each vertex
+		// cares about its cyclic successor.
+		cyclicInterests(n),
+	}
+	for _, model := range models {
+		for _, pol := range []Policy{BestResponse, RandomImproving} {
+			g := base.Clone()
+			res, err := Run(g, Options{
+				Objective: core.Sum, Policy: pol, Model: model, Seed: 3,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Converged {
+				t.Fatalf("%s/%v: did not converge", model.Name(), pol)
+			}
+			stable, viol, err := model.New(g, 2).CheckStable(core.Sum)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !stable {
+				t.Fatalf("%s/%v: converged graph fails certification: %v", model.Name(), pol, viol)
+			}
+		}
+	}
+}
+
+// cyclicInterests gives vertex v the single interest (v+1) mod n.
+func cyclicInterests(n int) game.Model {
+	sets := make([][]int32, n)
+	for v := range sets {
+		sets[v] = []int32{int32((v + 1) % n)}
+	}
+	return game.NewInterests(sets)
 }
 
 func TestBestResponseTrajectoryWorkerInvariant(t *testing.T) {

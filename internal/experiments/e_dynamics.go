@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dynamics"
+	"repro/internal/game"
 	"repro/internal/games"
 	"repro/internal/graph"
 	"repro/internal/stats"
@@ -60,8 +61,11 @@ func runE4(cfg Config) ([]*stats.Table, error) {
 				} else {
 					g = randomConnectedGraph(rng, n, n/4)
 				}
+				// Run the basic game through the deviation-model layer
+				// explicitly (game.Swap is also the default model).
 				res, err := dynamics.Run(g, dynamics.Options{
 					Objective: core.Sum, Policy: dynamics.FirstImprovement,
+					Model:    game.Swap{},
 					MaxMoves: 20000,
 				})
 				if err != nil {

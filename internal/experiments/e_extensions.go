@@ -8,6 +8,7 @@ import (
 	"repro/internal/constructions"
 	"repro/internal/core"
 	"repro/internal/dynamics"
+	"repro/internal/game"
 	"repro/internal/games"
 	"repro/internal/graph"
 	"repro/internal/iso"
@@ -41,6 +42,12 @@ func init() {
 		Artifact: "Theorems 1 & 4 (isomorphism classes)",
 		Title:    "Equilibrium trees up to isomorphism: one sum family, two max families",
 		Run:      runE14,
+	})
+	register(Experiment{
+		ID:       "E17",
+		Artifact: "Deviation-model extensions (Kawald–Lenzner; Cord-Landwehr et al.)",
+		Title:    "One start, three deviation models: swap vs greedy add/delete/swap vs communication interests",
+		Run:      runE17,
 	})
 }
 
@@ -181,6 +188,59 @@ func runE13(cfg Config) ([]*stats.Table, error) {
 		sep := pairs.AlmostFraction - (1 - prof.AlmostEpsilon)
 		tab.Add(c.name, c.g.N(), diam, pairs.AlmostFraction,
 			prof.AlmostEpsilon, sep)
+	}
+	return []*stats.Table{tab}, nil
+}
+
+// runE17 drives one random tree through every deviation model of the game
+// layer: the paper's swap game, greedy add/delete/swap at two edge costs,
+// and communication interests at two densities. Each run goes through
+// dynamics.Run's model-generic driver and is re-certified by a fresh
+// instance of the model — the end-to-end path the CLI's -model flag uses.
+// The swap and greedy rows converge; the interests rows may exhaust the
+// budget instead, reproducing the headline phenomenon of Cord-Landwehr et
+// al. that interest-restricted swap games can lack equilibria entirely
+// (improving moves may disconnect uninterested agents and cycle forever —
+// visible here as a non-converged row with InfCost social cost).
+func runE17(cfg Config) ([]*stats.Table, error) {
+	n := 24
+	if cfg.Quick {
+		n = 14
+	}
+	type entry struct {
+		label string
+		model game.Model
+	}
+	irng := rand.New(rand.NewSource(cfg.Seed + 1))
+	cases := []entry{
+		{"swap", game.Swap{}},
+		{"greedy α=1", game.Greedy{EdgeCost: 1}},
+		{"greedy α=4", game.Greedy{EdgeCost: 4}},
+		{"interests p=0.3", game.RandomInterests(n, 0.3, irng)},
+		{"interests p=0.7", game.RandomInterests(n, 0.7, irng)},
+	}
+	tab := stats.NewTable(
+		fmt.Sprintf("Move dynamics across deviation models from one random tree (n=%d, first-improvement, sum)", n),
+		"model", "converged", "moves", "sweeps", "final m", "final diameter",
+		"social cost", "certified stable")
+	for _, c := range cases {
+		rng := rand.New(rand.NewSource(cfg.Seed)) // same start for every model
+		g := treegen.RandomTree(n, rng)
+		res, err := dynamics.Run(g, dynamics.Options{
+			Objective: core.Sum, Policy: dynamics.FirstImprovement,
+			Model: c.model, Workers: cfg.Workers, MaxMoves: 2000,
+		})
+		if err != nil {
+			return nil, err
+		}
+		inst := c.model.New(g, cfg.Workers)
+		stable, _, err := inst.CheckStable(core.Sum)
+		if err != nil {
+			return nil, err
+		}
+		diam, _ := g.Diameter()
+		tab.Add(c.label, boolMark(res.Converged), res.Moves, res.Sweeps,
+			g.M(), diam, inst.SocialCost(core.Sum), boolMark(stable))
 	}
 	return []*stats.Table{tab}, nil
 }

@@ -1,0 +1,143 @@
+package game_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/game"
+	"repro/internal/graph"
+)
+
+func TestGreedyFastMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for trial := 0; trial < 5; trial++ {
+		base := randomConnected(rng, 5+rng.Intn(9), rng.Intn(5))
+		for _, edgeCost := range []int64{0, 1, 3} {
+			for _, obj := range []game.Objective{game.Sum, game.Max} {
+				driveDifferential(t, "greedy", game.Greedy{EdgeCost: edgeCost}, base, obj, 1)
+			}
+		}
+	}
+}
+
+func TestGreedySampleParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	g := randomConnected(rng, 15, 6)
+	model := game.Greedy{EdgeCost: 2}
+	fast := model.New(g.Clone(), 1)
+	naive := model.Naive(g.Clone(), 1)
+	ra := rand.New(rand.NewSource(4))
+	rb := rand.New(rand.NewSource(4))
+	sawKind := map[game.Kind]bool{}
+	for i := 0; i < 600; i++ {
+		ma, oka := fast.Sample(ra)
+		mb, okb := naive.Sample(rb)
+		if oka != okb || ma != mb {
+			t.Fatalf("probe %d: fast (%v,%v), naive (%v,%v)", i, ma, oka, mb, okb)
+		}
+		if oka {
+			sawKind[ma.Kind] = true
+		}
+	}
+	for _, k := range []game.Kind{game.KindSwap, game.KindAdd, game.KindDelete} {
+		if !sawKind[k] {
+			t.Errorf("600 probes never sampled kind %v", k)
+		}
+	}
+}
+
+func TestGreedyPriceMoveMatchesOracle(t *testing.T) {
+	// Fast patched-row pricing of all three kinds must match the naive
+	// apply-measure-revert accounting (usage + maintenance delta).
+	rng := rand.New(rand.NewSource(83))
+	g := randomConnected(rng, 12, 4)
+	model := game.Greedy{EdgeCost: 2}
+	fast := model.New(g.Clone(), 1)
+	naive := model.Naive(g.Clone(), 1)
+	probe := rand.New(rand.NewSource(6))
+	for i := 0; i < 400; i++ {
+		m, ok := fast.Sample(probe)
+		if !ok {
+			continue
+		}
+		for _, obj := range []game.Objective{game.Sum, game.Max} {
+			if got, want := fast.PriceMove(m, obj), naive.PriceMove(m, obj); got != want {
+				t.Fatalf("probe %d obj=%v: move %v fast %d, naive %d", i, obj, m, got, want)
+			}
+		}
+	}
+}
+
+func TestGreedyApplyUndoRestores(t *testing.T) {
+	rng := rand.New(rand.NewSource(84))
+	base := randomConnected(rng, 10, 3)
+	model := game.Greedy{EdgeCost: 1}
+	g := base.Clone()
+	inst := model.New(g, 1)
+	var undos []func()
+	probe := rand.New(rand.NewSource(2))
+	for len(undos) < 6 {
+		m, ok := inst.Sample(probe)
+		if !ok {
+			continue
+		}
+		undos = append(undos, inst.Apply(m))
+	}
+	for i := len(undos) - 1; i >= 0; i-- {
+		undos[i]()
+	}
+	if !g.Equal(base) {
+		t.Fatal("undo chain did not restore the graph")
+	}
+	// The live snapshot must be restored too: pricing still matches naive.
+	requireSameScan(t, "greedy-after-undo", inst, model.Naive(base.Clone(), 1), game.Sum)
+}
+
+func TestGreedyEdgeCostRegimes(t *testing.T) {
+	// EdgeCost 0: adding any vertex at distance >= 2 strictly improves, so
+	// a path is unstable toward density. Large EdgeCost: every add is
+	// losing; the greedy equilibrium keeps few edges.
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+
+	free := game.Greedy{EdgeCost: 0}.New(g.Clone(), 1)
+	m, _, _, ok := free.BestMove(0, game.Sum)
+	if !ok || m.Kind != game.KindAdd {
+		t.Fatalf("EdgeCost 0 best move of path endpoint = (%v,%v), want an add", m, ok)
+	}
+
+	costly := game.Greedy{EdgeCost: 1000}.New(g.Clone(), 1)
+	if m, _, _, ok := costly.BestMove(0, game.Sum); ok && m.Kind == game.KindAdd {
+		t.Fatalf("EdgeCost 1000 still wants to buy: %v", m)
+	}
+}
+
+func TestGreedyStableStateCertifies(t *testing.T) {
+	// Drive best-response rounds through RoundRobin until convergence; the
+	// final state must certify on both instance flavors.
+	rng := rand.New(rand.NewSource(85))
+	for _, edgeCost := range []int64{1, 4} {
+		g := randomConnected(rng, 12, 3)
+		model := game.Greedy{EdgeCost: edgeCost}
+		inst := model.New(g, 1)
+		_, _, converged := game.RoundRobin(g.N(), 5000, func(v int) bool {
+			m, _, _, ok := inst.BestMove(v, game.Sum)
+			if !ok {
+				return false
+			}
+			inst.Apply(m)
+			return true
+		})
+		if !converged {
+			t.Fatalf("edgeCost %d: greedy best response did not converge", edgeCost)
+		}
+		for _, flavor := range []game.Instance{inst, model.Naive(g, 1)} {
+			stable, viol, err := flavor.CheckStable(game.Sum)
+			if err != nil || !stable {
+				t.Fatalf("edgeCost %d: final state not stable: %v %v", edgeCost, viol, err)
+			}
+		}
+	}
+}

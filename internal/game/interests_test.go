@@ -1,0 +1,131 @@
+package game_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/game"
+	"repro/internal/graph"
+)
+
+func TestInterestsFastMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 5; trial++ {
+		n := 5 + rng.Intn(10)
+		base := randomConnected(rng, n, rng.Intn(5))
+		model := game.RandomInterests(n, 0.2+rng.Float64()*0.6, rng)
+		for _, obj := range []game.Objective{game.Sum, game.Max} {
+			driveDifferential(t, "interests", model, base, obj, 1)
+		}
+	}
+}
+
+func TestUniformInterestsMatchesSwap(t *testing.T) {
+	// With every vertex interested in every other, the interests model
+	// degenerates to the basic swap game: same costs, same best-move
+	// prices, same stability verdicts (moves themselves may differ on
+	// cost ties because the two models break them differently).
+	rng := rand.New(rand.NewSource(92))
+	for trial := 0; trial < 6; trial++ {
+		n := 5 + rng.Intn(10)
+		g := randomConnected(rng, n, rng.Intn(5))
+		ints := game.UniformInterests(n).New(g.Clone(), 1)
+		swap := game.Swap{}.New(g.Clone(), 1)
+		for _, obj := range []game.Objective{game.Sum, game.Max} {
+			for v := 0; v < n; v++ {
+				if got, want := ints.Cost(v, obj), swap.Cost(v, obj); got != want {
+					t.Fatalf("trial %d obj=%v: Cost(%d) interests %d, swap %d", trial, obj, v, got, want)
+				}
+				_, io, in, iok := ints.BestMove(v, obj)
+				_, so, sn, sok := swap.BestMove(v, obj)
+				if iok != sok || io != so || in != sn {
+					t.Fatalf("trial %d obj=%v v=%d: BestMove interests (%d,%d,%v), swap (%d,%d,%v)",
+						trial, obj, v, io, in, iok, so, sn, sok)
+				}
+			}
+			is, _, _ := ints.CheckStable(obj)
+			ss, _, _ := swap.CheckStable(obj)
+			if is != ss {
+				t.Fatalf("trial %d obj=%v: stability interests %v, swap %v", trial, obj, is, ss)
+			}
+		}
+	}
+}
+
+func TestInterestsPriceMoveMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	n := 13
+	g := randomConnected(rng, n, 4)
+	model := game.RandomInterests(n, 0.4, rng)
+	fast := model.New(g.Clone(), 1)
+	naive := model.Naive(g.Clone(), 1)
+	probe := rand.New(rand.NewSource(8))
+	for i := 0; i < 400; i++ {
+		m, ok := fast.Sample(probe)
+		if !ok {
+			continue
+		}
+		for _, obj := range []game.Objective{game.Sum, game.Max} {
+			if got, want := fast.PriceMove(m, obj), naive.PriceMove(m, obj); got != want {
+				t.Fatalf("probe %d obj=%v: move %v fast %d, naive %d", i, obj, m, got, want)
+			}
+		}
+	}
+}
+
+func TestInterestsEmptySetAgentIsInert(t *testing.T) {
+	// A vertex with an empty interest set has cost 0 and never moves.
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	sets := [][]int32{{}, {0, 2, 3}, {1}, {1}}
+	inst := game.NewInterests(sets).New(g, 1)
+	if c := inst.Cost(0, game.Sum); c != 0 {
+		t.Fatalf("empty-set cost = %d, want 0", c)
+	}
+	if m, _, _, ok := inst.BestMove(0, game.Sum); ok {
+		t.Fatalf("empty-set agent found move %v", m)
+	}
+}
+
+func TestInterestsToleratesDisconnection(t *testing.T) {
+	// Agents are indifferent to vertices outside their interest sets, so
+	// pricing and stability checks must work on disconnected graphs (an
+	// improving move may legally strand uninterested vertices).
+	g := graph.New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 4)
+	sets := [][]int32{{1}, {0}, {3}, {2}, {3}}
+	model := game.NewInterests(sets)
+	for _, inst := range []game.Instance{model.New(g.Clone(), 1), model.Naive(g.Clone(), 1)} {
+		stable, viol, err := inst.CheckStable(game.Sum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !stable {
+			t.Fatalf("components serving all interests reported unstable: %v", viol)
+		}
+		if sc := inst.SocialCost(game.Sum); sc != 5 {
+			t.Fatalf("social cost = %d, want 5", sc)
+		}
+	}
+	// Strand an interested target: cost goes to InfCost.
+	h := g.Clone()
+	h.RemoveEdge(0, 1)
+	if c := model.New(h, 1).Cost(0, game.Sum); c != game.InfCost {
+		t.Fatalf("stranded interest cost = %d, want InfCost", c)
+	}
+}
+
+func TestNewInterestsNormalizes(t *testing.T) {
+	m := game.NewInterests([][]int32{{3, 1, 1, 0, 3}, {1}})
+	sets := m.Sets()
+	if got := sets[0]; len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("normalized set = %v, want [1 3]", got)
+	}
+	if len(sets[1]) != 0 {
+		t.Fatalf("self-interest survived normalization: %v", sets[1])
+	}
+}

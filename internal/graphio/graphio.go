@@ -162,6 +162,94 @@ func FromGraph6(s string) (*graph.Graph, error) {
 	return g, nil
 }
 
+// WriteInterests writes per-vertex interest sets (the communication-
+// interests game's input) in the text format:
+//
+//	n
+//	v u1 u2 ...    (one line per vertex with a non-empty set, sorted)
+//
+// Lines starting with '#' are comments on input and are never produced on
+// output.
+func WriteInterests(w io.Writer, sets [][]int32) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d\n", len(sets)); err != nil {
+		return err
+	}
+	for v, set := range sets {
+		if len(set) == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(bw, "%d", v); err != nil {
+			return err
+		}
+		sorted := append([]int32(nil), set...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for _, u := range sorted {
+			if _, err := fmt.Fprintf(bw, " %d", u); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadInterests parses the WriteInterests format: a vertex-count header,
+// then one line per vertex listing its interest targets. Vertices without
+// a line get an empty set; repeated lines for a vertex merge. Blank lines
+// and lines beginning with '#' are ignored. Targets are validated against
+// the header's vertex count; self-interest and duplicates are tolerated
+// (the game layer normalizes them away).
+func ReadInterests(r io.Reader) ([][]int32, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	var sets [][]int32
+	n := -1
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if n < 0 {
+			if len(fields) != 1 {
+				return nil, fmt.Errorf("graphio: bad interests header %q", line)
+			}
+			if _, err := fmt.Sscanf(fields[0], "%d", &n); err != nil || n < 0 {
+				return nil, fmt.Errorf("graphio: bad interests header %q", line)
+			}
+			sets = make([][]int32, n)
+			continue
+		}
+		var v int
+		if _, err := fmt.Sscanf(fields[0], "%d", &v); err != nil {
+			return nil, fmt.Errorf("graphio: bad interests line %q: %v", line, err)
+		}
+		if v < 0 || v >= n {
+			return nil, fmt.Errorf("graphio: interests vertex %d out of range for n=%d", v, n)
+		}
+		for _, f := range fields[1:] {
+			var u int
+			if _, err := fmt.Sscanf(f, "%d", &u); err != nil {
+				return nil, fmt.Errorf("graphio: bad interests line %q: %v", line, err)
+			}
+			if u < 0 || u >= n {
+				return nil, fmt.Errorf("graphio: interest target %d out of range for n=%d", u, n)
+			}
+			sets[v] = append(sets[v], int32(u))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("graphio: empty interests input")
+	}
+	return sets, nil
+}
+
 // ToDOT renders g as an undirected Graphviz graph. labels may be nil; when
 // provided it supplies display names per vertex.
 func ToDOT(g *graph.Graph, name string, labels map[int]string) string {

@@ -163,3 +163,71 @@ func TestToDOT(t *testing.T) {
 		t.Error("nil labels still produced label attributes")
 	}
 }
+
+func TestInterestsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 10; trial++ {
+		n := 1 + rng.Intn(20)
+		sets := make([][]int32, n)
+		for v := range sets {
+			for u := 0; u < n; u++ {
+				if u != v && rng.Float64() < 0.3 {
+					sets[v] = append(sets[v], int32(u))
+				}
+			}
+		}
+		var sb strings.Builder
+		if err := WriteInterests(&sb, sets); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadInterests(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("trial %d: %v\ninput:\n%s", trial, err, sb.String())
+		}
+		if len(got) != n {
+			t.Fatalf("trial %d: round-trip n=%d, want %d", trial, len(got), n)
+		}
+		for v := range sets {
+			if len(got[v]) != len(sets[v]) {
+				t.Fatalf("trial %d vertex %d: %v, want %v", trial, v, got[v], sets[v])
+			}
+			for i := range sets[v] {
+				if got[v][i] != sets[v][i] {
+					t.Fatalf("trial %d vertex %d: %v, want %v", trial, v, got[v], sets[v])
+				}
+			}
+		}
+	}
+}
+
+func TestReadInterestsMergesAndComments(t *testing.T) {
+	in := "# communication interests\n4\n\n0 1 2\n0 3\n2 0\n"
+	sets, err := ReadInterests(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 4 {
+		t.Fatalf("n = %d, want 4", len(sets))
+	}
+	if got := sets[0]; len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("merged set of 0 = %v, want [1 2 3]", got)
+	}
+	if len(sets[1]) != 0 || len(sets[3]) != 0 {
+		t.Fatal("unlisted vertices should have empty sets")
+	}
+}
+
+func TestReadInterestsErrors(t *testing.T) {
+	for name, in := range map[string]string{
+		"empty":        "",
+		"bad header":   "x\n",
+		"two headers":  "3 4\n",
+		"vertex range": "3\n5 1\n",
+		"target range": "3\n1 7\n",
+		"negative":     "3\n1 -2\n",
+	} {
+		if _, err := ReadInterests(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: ReadInterests(%q) accepted bad input", name, in)
+		}
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/game"
 	"repro/internal/games"
 	"repro/internal/graph"
 	"repro/internal/par"
@@ -87,23 +88,13 @@ type State struct {
 	// OwnerSwapStable (<= 0 means par.DefaultWorkers). Results are
 	// identical for every worker count.
 	Workers int
-
-	eng        *pricing.Engine
-	engWorkers int
 }
 
-// engine returns the state's swap-pricing engine, rebuilt when the worker
-// count changes.
+// engine returns the process-wide shared swap-pricing engine for the
+// state's worker count (its pooled scratch is shared with every other
+// caller at the same parallelism).
 func (s *State) engine() *pricing.Engine {
-	w := s.Workers
-	if w <= 0 {
-		w = par.DefaultWorkers
-	}
-	if s.eng == nil || s.engWorkers != w {
-		s.eng = pricing.New(w)
-		s.engWorkers = w
-	}
-	return s.eng
+	return pricing.Shared(s.Workers)
 }
 
 // pricingObj maps the state's objective onto the pricing engine's.
@@ -420,7 +411,9 @@ type Options struct {
 // in place. The whole trajectory holds one incremental pricing session:
 // every applied buy, delete, or swap patches the live CSR snapshot in
 // O(deg) instead of re-freezing the graph per player turn, and every
-// best-response scan prices against it.
+// best-response scan prices against it. The convergence loop is the
+// deviation-model layer's shared round-robin driver (game.RoundRobin),
+// the same loop the sweeping policies of internal/dynamics run on.
 func Run(s *State, opt Options) (*Result, error) {
 	if s.G.N() < 2 {
 		return nil, errors.New("nash: graph needs at least 2 vertices")
@@ -435,28 +428,26 @@ func Run(s *State, opt Options) (*Result, error) {
 		defer func() { s.Workers = prev }()
 	}
 	sess := s.engine().NewSession(s.G)
-	res := &Result{}
-	for res.Moves < maxMoves {
-		res.Sweeps++
-		moved := false
-		for v := 0; v < s.G.N() && res.Moves < maxMoves; v++ {
-			m, _, found := s.bestResponseOn(sess.View(), v)
-			if !found {
-				continue
-			}
-			if err := s.Apply(m); err != nil {
-				return nil, err
-			}
-			mirrorMove(sess, m)
-			res.Moves++
-			moved = true
+	var applyErr error
+	moves, sweeps, converged := game.RoundRobin(s.G.N(), maxMoves, func(v int) bool {
+		if applyErr != nil {
+			return false
 		}
-		if !moved {
-			res.Converged = true
-			return res, nil
+		m, _, found := s.bestResponseOn(sess.View(), v)
+		if !found {
+			return false
 		}
+		if err := s.Apply(m); err != nil {
+			applyErr = err
+			return false
+		}
+		mirrorMove(sess, m)
+		return true
+	})
+	if applyErr != nil {
+		return nil, applyErr
 	}
-	return res, nil
+	return &Result{Converged: converged, Moves: moves, Sweeps: sweeps}, nil
 }
 
 // mirrorMove patches the live session snapshot with a move already

@@ -99,6 +99,29 @@ func New(workers int) *Engine {
 // Workers returns the engine's effective worker count.
 func (e *Engine) Workers() int { return e.workers }
 
+var (
+	sharedMu  sync.Mutex
+	sharedByW = map[int]*Engine{}
+)
+
+// Shared returns the process-wide engine for a worker count (<= 0 means
+// par.DefaultWorkers), so scratch pools survive across calls and every
+// caller at the same parallelism — one-shot scans, sessions, checkers —
+// shares one pool instead of growing its own.
+func Shared(workers int) *Engine {
+	if workers <= 0 {
+		workers = par.DefaultWorkers
+	}
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	e, ok := sharedByW[workers]
+	if !ok {
+		e = New(workers)
+		sharedByW[workers] = e
+	}
+	return e
+}
+
 func (e *Engine) getScratch(n int) *scratch {
 	if s, ok := e.pool.Get().(*scratch); ok && len(s.dist) == n {
 		return s
@@ -143,9 +166,18 @@ func (e *Engine) NewScan(f Snapshot, v int) *Scan {
 	return e.NewScanDrops(f, v, f.Neighbors(v))
 }
 
+// scanParThreshold is the dropped-edge count past which scan construction
+// shards its per-drop BFS rows across the engine's workers: below it the
+// spawn overhead outweighs the row work, above it (high-degree deviators —
+// hubs, star centers) the construction would otherwise be the serial
+// bottleneck of an otherwise sharded per-agent scan.
+const scanParThreshold = 16
+
 // NewScanDrops prepares pricing state for deviator v restricted to the given
 // dropped-edge endpoints (e.g. the owned edges in the α-game). drops must be
-// neighbors of v, in ascending order; the slice is not retained.
+// neighbors of v, in ascending order; the slice is not retained. The
+// dropped-edge rows are independent BFS passes and are sharded across the
+// engine's workers for high-degree deviators.
 func (e *Engine) NewScanDrops(f Snapshot, v int, drops []int32) *Scan {
 	n := f.N()
 	s := &Scan{
@@ -158,12 +190,21 @@ func (e *Engine) NewScanDrops(f Snapshot, v int, drops []int32) *Scan {
 	}
 	sc := e.getScratch(n)
 	f.BFSInto(v, s.cur, sc.queue)
-	for i, w := range s.drops {
-		row := make([]int32, n)
-		f.BFSSkipEdge(v, v, int(w), row, sc.queue)
-		s.dropRows[i] = row
-	}
 	e.putScratch(sc)
+	fill := func(lo, hi int) {
+		sc := e.getScratch(n)
+		defer e.putScratch(sc)
+		for i := lo; i < hi; i++ {
+			row := make([]int32, n)
+			f.BFSSkipEdge(v, v, int(s.drops[i]), row, sc.queue)
+			s.dropRows[i] = row
+		}
+	}
+	if e.workers > 1 && len(s.drops) >= scanParThreshold {
+		par.ForChunked(e.workers, len(s.drops), fill)
+	} else {
+		fill(0, len(s.drops))
+	}
 	return s
 }
 
@@ -226,6 +267,29 @@ func (s *Scan) ForEach(obj Objective, skipAdjacent bool, fn func(dropIdx, add in
 			if !fn(i, add, Patched(s.dropRows[i], sc.dist, obj)) {
 				return
 			}
+		}
+	}
+}
+
+// ForEachAdd runs one BFS of G−v per candidate endpoint — add ascending,
+// skipping the deviator and, when skipAdjacent, its current neighbors — and
+// hands the caller the endpoint's distance row d_{G−v}(add,·) to price
+// arbitrary functionals against the scan's dropped-edge rows (e.g. the
+// interest-restricted costs of the communication-interests game). The row
+// is scratch storage, valid only during the callback. fn returning false
+// stops the enumeration.
+func (s *Scan) ForEachAdd(skipAdjacent bool, fn func(add int, dw []int32) bool) {
+	s.checkFresh()
+	n := s.f.N()
+	sc := s.e.getScratch(n)
+	defer s.e.putScratch(sc)
+	for add := 0; add < n; add++ {
+		if add == s.v || (skipAdjacent && s.f.HasEdge(s.v, add)) {
+			continue
+		}
+		s.f.BFSSkipVertex(add, s.v, sc.dist, sc.queue)
+		if !fn(add, sc.dist) {
+			return
 		}
 	}
 }
@@ -394,6 +458,66 @@ func patchedSum(dv, dw []int32) int64 {
 		default:
 			sum += int64(a)
 		}
+	}
+	return sum
+}
+
+// UsageSubset prices a BFS row restricted to the given target vertices
+// (the interest-set cost of the communication-interests game): the sum or
+// maximum of row[x] over x in subset, or InfCost when some target is
+// unreachable. An empty subset prices to 0.
+func UsageSubset(row []int32, subset []int32, obj Objective) int64 {
+	var sum, ecc int64
+	for _, x := range subset {
+		d := row[x]
+		if d == graph.Unreachable {
+			return InfCost
+		}
+		if obj == Max {
+			if int64(d) > ecc {
+				ecc = int64(d)
+			}
+		} else {
+			sum += int64(d)
+		}
+	}
+	if obj == Max {
+		return ecc
+	}
+	return sum
+}
+
+// PatchedSubset prices the one-edge patch min(dv[x], 1+dw[x]) restricted
+// to the given target vertices, under the same row conventions as Patched.
+// An empty subset prices to 0.
+func PatchedSubset(dv, dw []int32, subset []int32, obj Objective) int64 {
+	var sum, ecc int64
+	for _, x := range subset {
+		a, b := dv[x], dw[x]
+		var d int64
+		switch {
+		case a == graph.Unreachable && b == graph.Unreachable:
+			return InfCost
+		case a == graph.Unreachable:
+			d = int64(b) + 1
+		case b == graph.Unreachable:
+			d = int64(a)
+		default:
+			d = int64(a)
+			if alt := int64(b) + 1; alt < d {
+				d = alt
+			}
+		}
+		if obj == Max {
+			if d > ecc {
+				ecc = d
+			}
+		} else {
+			sum += d
+		}
+	}
+	if obj == Max {
+		return ecc
 	}
 	return sum
 }
