@@ -19,17 +19,21 @@ race:
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
-# Bounded fuzz of the incremental pricing session's swap mutation path and
-# the greedy model's add/delete/swap apply/undo path.
+# Bounded fuzz of the incremental pricing session's swap mutation path, the
+# greedy model's add/delete/swap apply/undo path, and the budget model's
+# feasibility-guarded swap apply/undo path.
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzApplySwap -fuzztime=30s ./internal/pricing
 	$(GO) test -run=NONE -fuzz=FuzzGreedyApply -fuzztime=30s ./internal/game
+	$(GO) test -run=NONE -fuzz=FuzzBudgetApply -fuzztime=30s ./internal/game
 
 # End-to-end CLI smoke of every deviation model (mirrors the CI step).
 smoke:
 	$(GO) run ./cmd/bncg dynamics -n 24 -model swap -policy first -workers 2
 	$(GO) run ./cmd/bncg dynamics -n 24 -model greedy -edgecost 3 -policy best -workers 2
 	$(GO) run ./cmd/bncg dynamics -n 24 -model interests -policy random -seed 3 -workers 2
+	$(GO) run ./cmd/bncg dynamics -n 24 -model budget -budget 3 -policy best -workers 2
+	$(GO) run ./cmd/bncg dynamics -n 24 -model 2nb -policy first -seed 2 -workers 2
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

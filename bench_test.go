@@ -55,6 +55,9 @@ func BenchmarkE13PairUniform(b *testing.B)  { benchExperiment(b, "E13") }
 func BenchmarkE14IsoClasses(b *testing.B)   { benchExperiment(b, "E14") }
 func BenchmarkE15Proofs(b *testing.B)       { benchExperiment(b, "E15") }
 func BenchmarkE16Conjecture14(b *testing.B) { benchExperiment(b, "E16") }
+func BenchmarkE17ModelZoo(b *testing.B)     { benchExperiment(b, "E17") }
+func BenchmarkE18BudgetSweep(b *testing.B)  { benchExperiment(b, "E18") }
+func BenchmarkE19CrossModel(b *testing.B)   { benchExperiment(b, "E19") }
 
 // Substrate micro-benchmarks.
 
@@ -351,6 +354,47 @@ func BenchmarkDynamicsGreedyBestResponse64(b *testing.B) {
 func BenchmarkDynamicsInterestsFirstImprovement64(b *testing.B) {
 	irng := rand.New(rand.NewSource(3))
 	benchModelDynamics(b, game.RandomInterests(64, 0.3, irng), dynamics.FirstImprovement)
+}
+
+func BenchmarkDynamicsBudgetBestResponse64(b *testing.B) {
+	benchModelDynamics(b, game.Budget{K: 3}, dynamics.BestResponse)
+}
+
+func BenchmarkDynamicsTwoNeighborhood64(b *testing.B) {
+	benchModelDynamics(b, game.TwoNeighborhood{}, dynamics.BestResponse)
+}
+
+// Sharded Interests scan ablation: the interest-aware certification sweep
+// on a 256-vertex star (a stable position, so the sweep is a full
+// no-violation pass over every agent) with dense and sparse interest sets,
+// sequential vs all-core sharding. The dense case is the lever's target —
+// the Θ(|I(v)|) per-candidate reduction rides on every per-endpoint BFS —
+// and the sparse case pins the no-regression bar. ROADMAP.md records the
+// measured numbers.
+
+func benchInterestsCheck(b *testing.B, p float64, workers int) {
+	n := 256
+	irng := rand.New(rand.NewSource(11))
+	model := game.RandomInterests(n, p, irng)
+	inst := model.New(Star(n), workers)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stable, viol, err := inst.CheckStable(core.Sum)
+		if err != nil || !stable {
+			b.Fatal("star rejected:", viol, err)
+		}
+	}
+}
+
+func BenchmarkCheckInterestsDense256(b *testing.B)  { benchInterestsCheck(b, 0.9, 0) }
+func BenchmarkCheckInterestsSparse256(b *testing.B) { benchInterestsCheck(b, 0.05, 0) }
+
+func BenchmarkCheckInterestsDense256Sequential(b *testing.B) {
+	benchInterestsCheck(b, 0.9, 1)
+}
+
+func BenchmarkCheckInterestsSparse256Sequential(b *testing.B) {
+	benchInterestsCheck(b, 0.05, 1)
 }
 
 func BenchmarkSwapPriceMoveWarmCache(b *testing.B) {

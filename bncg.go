@@ -105,6 +105,14 @@ var (
 	// UniformInterestsModel is the full-interest degenerate case that
 	// coincides with the basic swap game.
 	UniformInterestsModel = game.UniformInterests
+	// BudgetModel builds the bounded-budget model: every vertex maintains
+	// at most k edges, so re-points must target a vertex with spare budget
+	// (Ehsani et al.). With k ≥ n−1 it coincides with the basic swap game.
+	BudgetModel = func(k int) GameModel { return game.Budget{K: k} }
+	// TwoNeighborhoodModel is the 2-neighborhood maximization model
+	// (de la Haye et al.): swaps that grow |N₂(v)|, priced from adjacency
+	// alone; the Sum/Max objective is ignored.
+	TwoNeighborhoodModel = game.TwoNeighborhood{}
 )
 
 // NewGraph returns an empty graph on n vertices.
@@ -250,7 +258,7 @@ var (
 	Isomorphic = iso.Isomorphic
 )
 
-// Experiments returns the registered paper experiments (E1–E16).
+// Experiments returns the registered paper experiments (E1–E19).
 func Experiments() []Experiment { return experiments.All() }
 
 // ExperimentByID looks up one experiment (e.g. "E5").

@@ -3,15 +3,17 @@
 //	bncg construct  -family torus -k 5 -format edgelist|graph6|dot [-o file]
 //	bncg check      -in graph.txt [-format edgelist|graph6] [-obj sum|max]
 //	bncg dynamics   -n 40 -init tree|chords [-obj sum|max] [-policy best|first|random]
-//	                [-model swap|greedy|interests] [-edgecost 2] [-interests file] [-seed 1]
+//	                [-model swap|greedy|interests|budget|2nb] [-edgecost 2]
+//	                [-interests file] [-budget 3] [-seed 1]
 //	bncg experiments [-id E5] [-quick] [-seed 1]
 //
 // `construct` emits one of the paper's graphs, `check` runs every
 // equilibrium and stability predicate on an input graph, `dynamics` runs
 // move dynamics from a random start under the selected deviation model
-// (the basic game's swap, greedy add/delete/swap, or communication
-// interests) and certifies the result, and `experiments` regenerates the
-// paper's tables (see EXPERIMENTS.md).
+// (the basic game's swap, greedy add/delete/swap, communication
+// interests, bounded edge budgets, or 2-neighborhood maximization) and
+// certifies the result, and `experiments` regenerates the paper's tables
+// (see EXPERIMENTS.md).
 package main
 
 import (
@@ -66,8 +68,9 @@ commands:
   construct    build one of the paper's graphs (star, doublestar, fig3,
                repaired, torus, multitorus, cycle, path, complete, hypercube)
   check        run equilibrium + stability predicates on a graph file
-  dynamics     run swap dynamics from a random start and certify the result
-  experiments  regenerate the paper's tables (E1..E16)
+  dynamics     run move dynamics (swap|greedy|interests|budget|2nb) from a
+               random start and certify the result
+  experiments  regenerate the paper's tables (E1..E19)
   proofs       construct the Theorem 1 / Lemma 2 improving moves for a graph
 
 run 'bncg <command> -h' for flags`)
@@ -220,15 +223,22 @@ func cmdCheck(args []string) error {
 	return nil
 }
 
-// buildModel resolves the -model / -edgecost / -interests flags into a
-// deviation model. Interest sets load from a graphio.ReadInterests file;
-// with no file, random sets are drawn from the run's seed (p = 0.3).
-func buildModel(name string, n int, edgeCost int64, interestsPath string, seed int64) (game.Model, error) {
+// buildModel resolves the -model / -edgecost / -interests / -budget flags
+// into a deviation model. Interest sets load from a graphio.ReadInterests
+// file; with no file, random sets are drawn from the run's seed (p = 0.3).
+func buildModel(name string, n int, edgeCost int64, interestsPath string, budget int, seed int64) (game.Model, error) {
 	switch name {
 	case "swap":
 		return game.Swap{}, nil
 	case "greedy":
 		return game.Greedy{EdgeCost: edgeCost}, nil
+	case "budget":
+		if budget < 1 {
+			return nil, fmt.Errorf("budget model needs -budget >= 1, got %d", budget)
+		}
+		return game.Budget{K: budget}, nil
+	case "2nb", "twonb":
+		return game.TwoNeighborhood{}, nil
 	case "interests":
 		if interestsPath == "" {
 			rng := rand.New(rand.NewSource(seed ^ 0x1e7e5e57)) // decouple from the start-graph draw
@@ -258,9 +268,10 @@ func cmdDynamics(args []string) error {
 	initKind := fs.String("init", "tree", "tree|chords (tree plus n/4 chords)")
 	obj := fs.String("obj", "sum", "sum|max")
 	policy := fs.String("policy", "best", "best|first|random")
-	model := fs.String("model", "swap", "deviation model: swap|greedy|interests")
+	model := fs.String("model", "swap", "deviation model: swap|greedy|interests|budget|2nb")
 	edgeCost := fs.Int64("edgecost", game.DefaultEdgeCost, "greedy model: per-incident-edge maintenance price")
 	interests := fs.String("interests", "", "interests model: interest-set file (graphio format); empty = random sets (p=0.3) from the seed")
+	budget := fs.Int("budget", game.DefaultBudget, "budget model: uniform per-vertex edge budget k (re-points must target a vertex with deg < k)")
 	seed := fs.Int64("seed", 1, "random seed")
 	workers := fs.Int("workers", 0, "pricing workers for every policy, including the random policy's certification sweeps (0 = all cores; trajectories are identical for any count)")
 	trace := fs.Bool("trace", false, "print every applied move")
@@ -292,7 +303,7 @@ func cmdDynamics(args []string) error {
 	default:
 		return fmt.Errorf("unknown policy %q", *policy)
 	}
-	mdl, err := buildModel(*model, *n, *edgeCost, *interests, *seed)
+	mdl, err := buildModel(*model, *n, *edgeCost, *interests, *budget, *seed)
 	if err != nil {
 		return err
 	}

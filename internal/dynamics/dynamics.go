@@ -9,8 +9,11 @@
 //
 // The deviation model is pluggable (Options.Model, a game.Model): the
 // default Swap model is the source paper's basic game, Greedy adds
-// single-edge buy/delete moves with edge-cost accounting, and Interests
-// restricts each agent's cost to its communication-interest set. The
+// single-edge buy/delete moves with edge-cost accounting, Interests
+// restricts each agent's cost to its communication-interest set, Budget
+// caps how many edges a vertex may maintain (re-points must target a
+// vertex with spare budget), and TwoNeighborhood swaps to maximize
+// |N₂(v)| instead of minimizing a distance cost. The
 // driver is generic in the model; every trajectory runs inside one
 // incremental pricing instance (model.New): the starting graph is thawed
 // into a mutable CSR once, each applied move patches the snapshot in

@@ -1,11 +1,13 @@
 package dynamics
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
 	"repro/internal/constructions"
 	"repro/internal/core"
+	"repro/internal/game"
 	"repro/internal/graph"
 	"repro/internal/treegen"
 )
@@ -248,6 +250,173 @@ func TestRandomImprovingGoldenTrace(t *testing.T) {
 			t.Fatalf("move %d: got %v %d→%d, want %v %d→%d",
 				i+1, e.Move, e.OldCost, e.NewCost, want.m, want.old, want.new)
 		}
+	}
+}
+
+// goldenEntry renders one trace entry compactly, with InfCost spelled
+// "inf" (interest-restricted agents legally pass through disconnected
+// positions).
+func goldenEntry(e TraceEntry) string {
+	fmtCost := func(c int64) string {
+		if c >= core.InfCost {
+			return "inf"
+		}
+		return fmt.Sprint(c)
+	}
+	return fmt.Sprintf("%v %s→%s", e.Move, fmtCost(e.OldCost), fmtCost(e.NewCost))
+}
+
+// requireGoldenTrace pins a fixed-seed trajectory move-for-move.
+func requireGoldenTrace(t *testing.T, label string, res *Result, golden []string) {
+	t.Helper()
+	if res.Moves != len(golden) || len(res.Trace) != len(golden) {
+		t.Fatalf("%s: moves=%d trace=%d, want %d", label, res.Moves, len(res.Trace), len(golden))
+	}
+	for i, want := range golden {
+		if got := goldenEntry(res.Trace[i]); got != want {
+			t.Fatalf("%s move %d: got %q, want %q", label, i+1, got, want)
+		}
+	}
+}
+
+func TestGreedyGoldenTrace(t *testing.T) {
+	// Fixed-seed pin of the greedy random-improving trajectory on Path(12)
+	// with EdgeCost 2 — the PR 3 models had no counterpart of the swap
+	// golden trace, so changes to greedy probe pricing, rng consumption, or
+	// the three-kind enumeration now show up as a move-for-move diff here.
+	g := constructions.Path(12)
+	res, err := Run(g, Options{
+		Objective: core.Sum, Policy: RandomImproving,
+		Model: game.Greedy{EdgeCost: 2}, Seed: 99, Trace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Sweeps != 2 {
+		t.Fatalf("converged=%v sweeps=%d, want true, 2", res.Converged, res.Sweeps)
+	}
+	golden := []string{
+		"6: 7→9 40→36",
+		"4: +0 38→36",
+		"7: +5 50→33",
+		"3: +5 37→32",
+		"0: 1→6 37→32",
+		"3: +6 32→30",
+		"0: 4→1 32→30",
+		"1: +8 36→30",
+		"10: +8 33→31",
+		"3: 2→1 30→29",
+		"4: +11 33→29",
+		"10: +4 29→28",
+		"0: +3 29→28",
+		"11: 10→9 30→29",
+		"1: -0 27→26",
+		"2: 1→6 32→29",
+		"0: 6→8 28→26",
+		"9: -10 26→25",
+		"2: +4 31→28",
+		"11: +8 27→25",
+		"2: +1 28→27",
+		"8: -11 28→27",
+		"11: +8 27→25",
+		"8: -11 28→27",
+		"0: +4 26→25",
+		"3: -0 27→26",
+		"11: +8 26→25",
+		"6: 9→8 28→26",
+		"2: +8 27→26",
+		"11: -9 25→24",
+		"6: -2 26→25",
+		"8: -2 30→29",
+		"3: 6→9 27→26",
+		"2: +5 27→26",
+		"5: -2 27→26",
+		"6: 5→4 25→24",
+		"2: +8 26→25",
+		"2: -1 25→24",
+	}
+	requireGoldenTrace(t, "greedy", res, golden)
+	if last := res.Trace[len(res.Trace)-1].SocialCost; last != 302 {
+		t.Fatalf("final social cost %d, want 302", last)
+	}
+	if g.M() != 19 {
+		t.Fatalf("final m=%d, want 19", g.M())
+	}
+}
+
+func TestInterestsGoldenTrace(t *testing.T) {
+	// Fixed-seed pin of the interests random-improving trajectory on
+	// Path(12) with p=0.25 random interest sets. The run legally passes
+	// through (and converges in) positions where some agents are
+	// disconnected from uninterested parts of the graph — the "inf" cost
+	// entries and the InfCost final social cost are part of the pin.
+	irng := rand.New(rand.NewSource(17))
+	model := game.RandomInterests(12, 0.25, irng)
+	g := constructions.Path(12)
+	res, err := Run(g, Options{
+		Objective: core.Sum, Policy: RandomImproving,
+		Model: model, Seed: 2, Trace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Sweeps != 1 {
+		t.Fatalf("converged=%v sweeps=%d, want true, 1", res.Converged, res.Sweeps)
+	}
+	golden := []string{
+		"10: 9→0 24→22",
+		"8: 7→2 18→11",
+		"0: 1→3 19→13",
+		"11: 10→0 16→13",
+		"7: 6→4 7→5",
+		"5: 6→9 13→11",
+		"1: 2→4 5→3",
+		"8: 2→6 inf→11",
+		"11: 0→8 13→10",
+		"11: 8→5 10→6",
+		"0: 3→5 13→9",
+		"7: 4→8 3→2",
+		"10: 0→5 13→10",
+		"2: 3→9 5→2",
+		"8: 7→0 9→7",
+		"2: 9→8 2→1",
+		"3: 4→0 12→10",
+		"5: 9→3 8→7",
+		"9: 8→4 13→11",
+		"6: 8→11 5→4",
+		"8: 0→5 13→11",
+		"8: 2→11 11→10",
+		"6: 11→1 4→3",
+		"3: 5→4 9→8",
+		"11: 5→9 7→6",
+		"11: 8→1 6→5",
+		"6: 1→4 3→2",
+		"6: 4→9 2→1",
+		"9: 4→5 7→6",
+		"3: 0→11 9→8",
+		"8: 5→9 10→9",
+		"4: 3→7 inf→7",
+		"7: 4→5 3→2",
+		"11: 3→5 4→3",
+		"4: 1→9 8→7",
+		"9: 11→10 5→4",
+		"7: 5→9 2→1",
+		"4: 5→0 7→6",
+		"0: 5→9 8→7",
+	}
+	requireGoldenTrace(t, "interests", res, golden)
+	// The certified equilibrium strands at least one uninterested agent:
+	// the final social cost saturates to InfCost while the position still
+	// certifies stable under the model.
+	if last := res.Trace[len(res.Trace)-1].SocialCost; last != core.InfCost {
+		t.Fatalf("final social cost %d, want InfCost", last)
+	}
+	if g.M() != 11 {
+		t.Fatalf("final m=%d, want 11", g.M())
+	}
+	stable, viol, err := model.New(g, 1).CheckStable(core.Sum)
+	if err != nil || !stable {
+		t.Fatalf("golden equilibrium fails certification: %v %v", viol, err)
 	}
 }
 

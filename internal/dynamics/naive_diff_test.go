@@ -48,72 +48,69 @@ func requireSameRun(t *testing.T, label string, got, want *Result, gg, wg *graph
 	}
 }
 
-func TestRunAgreesWithNaiveRunAllPolicies(t *testing.T) {
-	rng := rand.New(rand.NewSource(51))
-	sizes := []struct{ n, chords int }{{8, 2}, {17, 5}, {33, 8}, {64, 16}}
-	for _, sz := range sizes {
-		base := diffInstance(rng, sz.n, sz.chords)
-		for _, obj := range []core.Objective{core.Sum, core.Max} {
-			for _, pol := range []Policy{BestResponse, FirstImprovement, RandomImproving} {
-				for _, workers := range []int{1, 3} {
-					gSess := base.Clone()
-					gNaive := base.Clone()
-					opt := Options{
-						Objective: obj, Policy: pol, Workers: workers,
-						Seed: 7, Trace: true,
-					}
-					rs, err1 := Run(gSess, opt)
-					rn, err2 := NaiveRun(gNaive, opt)
-					if err1 != nil || err2 != nil {
-						t.Fatal(err1, err2)
-					}
-					label := pol.String() + "/" + obj.String()
-					requireSameRun(t, label, rs, rn, gSess, gNaive)
-				}
-			}
-		}
-	}
-}
-
+// TestRunAgreesWithNaiveRunAllModels is the model-generic trajectory
+// differential: one table covering every deviation model of the roster ×
+// all three policies × both objectives × several instance sizes × worker
+// counts, comparing Run against NaiveRun move-for-move. Per-model instance
+// sizes reflect the oracle's cost (the naive greedy and interests scans
+// are the slowest); the capped MaxMoves keeps possibly-cycling models
+// (interests, 2-neighborhood) deterministic either way. New models join
+// the suite by adding one table row.
 func TestRunAgreesWithNaiveRunAllModels(t *testing.T) {
-	// The model-generic driver must stay bit-identical between the fast
-	// (session-backed) and naive (re-freeze / apply-measure-revert)
-	// instance flavors for the non-swap models too. Interests dynamics may
-	// legally fail to converge (the model can lack equilibria), so the
-	// comparison is over capped trajectories.
-	rng := rand.New(rand.NewSource(54))
-	n := 20
-	base := diffInstance(rng, n, 5)
-	models := []struct {
+	type sz struct{ n, chords int }
+	cases := []struct {
 		name  string
-		model game.Model
+		build func(n int, rng *rand.Rand) game.Model
+		sizes []sz
+		// maxMoves caps possibly-cycling models; 0 (the driver default of
+		// 10000) lets converging models run to their certified equilibria so
+		// the comparison always covers the full trajectory.
+		maxMoves int
 	}{
-		{"greedy", game.Greedy{EdgeCost: 2}},
-		{"interests", game.RandomInterests(n, 0.4, rng)},
+		{"swap", func(int, *rand.Rand) game.Model { return nil }, // nil = default Swap
+			[]sz{{8, 2}, {17, 5}, {33, 8}, {64, 16}}, 0},
+		{"budget", func(int, *rand.Rand) game.Model { return game.Budget{K: 3} },
+			[]sz{{8, 2}, {17, 5}, {64, 16}}, 0},
+		{"2nb", func(int, *rand.Rand) game.Model { return game.TwoNeighborhood{} },
+			[]sz{{8, 2}, {20, 5}, {48, 10}}, 600},
+		{"greedy", func(int, *rand.Rand) game.Model { return game.Greedy{EdgeCost: 2} },
+			[]sz{{8, 2}, {20, 5}}, 0},
+		{"interests", func(n int, rng *rand.Rand) game.Model { return game.RandomInterests(n, 0.4, rng) },
+			[]sz{{8, 2}, {20, 5}}, 300},
 	}
-	for _, mc := range models {
-		for _, obj := range []core.Objective{core.Sum, core.Max} {
-			for _, pol := range []Policy{BestResponse, FirstImprovement, RandomImproving} {
-				gSess := base.Clone()
-				gNaive := base.Clone()
-				opt := Options{
-					Objective: obj, Policy: pol, Model: mc.model,
-					Seed: 11, MaxMoves: 300, Trace: true,
+	for _, mc := range cases {
+		mc := mc
+		t.Run(mc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(51))
+			for _, size := range mc.sizes {
+				base := diffInstance(rng, size.n, size.chords)
+				model := mc.build(size.n, rng)
+				for _, obj := range []core.Objective{core.Sum, core.Max} {
+					for _, pol := range []Policy{BestResponse, FirstImprovement, RandomImproving} {
+						for _, workers := range []int{1, 3} {
+							gSess := base.Clone()
+							gNaive := base.Clone()
+							opt := Options{
+								Objective: obj, Policy: pol, Model: model, Workers: workers,
+								Seed: 7, MaxMoves: mc.maxMoves, Trace: true,
+							}
+							rs, err1 := Run(gSess, opt)
+							rn, err2 := NaiveRun(gNaive, opt)
+							if err1 != nil || err2 != nil {
+								t.Fatal(err1, err2)
+							}
+							label := mc.name + "/" + pol.String() + "/" + obj.String()
+							requireSameRun(t, label, rs, rn, gSess, gNaive)
+						}
+					}
 				}
-				rs, err1 := Run(gSess, opt)
-				rn, err2 := NaiveRun(gNaive, opt)
-				if err1 != nil || err2 != nil {
-					t.Fatal(err1, err2)
-				}
-				label := mc.name + "/" + pol.String() + "/" + obj.String()
-				requireSameRun(t, label, rs, rn, gSess, gNaive)
 			}
-		}
+		})
 	}
 }
 
-func TestGreedyAndInterestsReachCertifiedEquilibria(t *testing.T) {
-	// The acceptance path: each new model runs end-to-end through
+func TestModelsReachCertifiedEquilibria(t *testing.T) {
+	// The acceptance path: each non-swap model runs end-to-end through
 	// dynamics.Run to convergence and the final graph certifies on a fresh
 	// instance of the model.
 	rng := rand.New(rand.NewSource(55))
@@ -121,6 +118,8 @@ func TestGreedyAndInterestsReachCertifiedEquilibria(t *testing.T) {
 	base := diffInstance(rng, n, 4)
 	models := []game.Model{
 		game.Greedy{EdgeCost: 2},
+		game.Budget{K: 3},
+		game.TwoNeighborhood{},
 		// A sparse interest structure that admits equilibria: each vertex
 		// cares about its cyclic successor.
 		cyclicInterests(n),

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/constructions"
+	"repro/internal/core"
+	"repro/internal/dynamics"
+	"repro/internal/game"
+	"repro/internal/graph"
+	"repro/internal/stats"
+	"repro/internal/treegen"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "E18",
+		Artifact: "Bounded-budget extension (Ehsani et al., arXiv:1111.0554)",
+		Title:    "Budget sweep: equilibrium diameter vs per-vertex edge budget k on paths and trees",
+		Run:      runE18,
+	})
+	register(Experiment{
+		ID:       "E19",
+		Artifact: "Deviation-model extensions (incl. de la Haye et al., arXiv:2502.06561)",
+		Title:    "Cross-model equilibrium structure: one start, five deviation models",
+		Run:      runE19,
+	})
+}
+
+// runE18 sweeps the bounded-budget model's uniform budget k over path and
+// random-tree starts: sum best-response dynamics, final structure, and
+// certification. The headline is the budget/diameter trade-off of the
+// bounded-budget literature — the unbudgeted game collapses trees to the
+// diameter-2 star, but the star needs a degree-(n−1) hub, so as k shrinks
+// the reachable equilibria get deeper (and at k = 2 a path freezes
+// entirely: every interior target is full).
+func runE18(cfg Config) ([]*stats.Table, error) {
+	n := 24
+	if cfg.Quick {
+		n = 14
+	}
+	budgets := []int{2, 3, 4, 6, n - 1}
+	if cfg.Quick {
+		budgets = []int{2, 3, n - 1}
+	}
+	starts := []struct {
+		name string
+		mk   func() *graph.Graph
+	}{
+		{"path", func() *graph.Graph { return constructions.Path(n) }},
+		{"tree", func() *graph.Graph {
+			rng := rand.New(rand.NewSource(cfg.Seed))
+			return treegen.RandomTree(n, rng)
+		}},
+	}
+	tab := stats.NewTable(
+		fmt.Sprintf("Bounded-budget sum best response (n=%d): smaller budgets force deeper equilibria", n),
+		"start", "k", "converged", "moves", "final diameter", "max degree",
+		"social cost", "certified stable")
+	for _, st := range starts {
+		for _, k := range budgets {
+			g := st.mk()
+			model := game.Budget{K: k}
+			res, err := dynamics.Run(g, dynamics.Options{
+				Objective: core.Sum, Policy: dynamics.BestResponse,
+				Model: model, Workers: cfg.Workers, MaxMoves: 4000,
+			})
+			if err != nil {
+				return nil, err
+			}
+			inst := model.New(g, cfg.Workers)
+			stable, _, err := inst.CheckStable(core.Sum)
+			if err != nil {
+				return nil, err
+			}
+			diam, _ := g.Diameter()
+			tab.Add(st.name, k, boolMark(res.Converged), res.Moves, diam,
+				g.MaxDegree(), inst.SocialCost(core.Sum), boolMark(stable))
+		}
+	}
+	return []*stats.Table{tab}, nil
+}
+
+// runE19 drives one random tree through every deviation model of the game
+// layer under sum best response and tabulates the structure the models
+// select: the swap game collapses to the star, the budget game stops at a
+// bounded-degree tree, the greedy game trades edges against distance, the
+// interests game serves its interest sets (possibly disconnecting the
+// rest — an InfCost social cost with a certified-stable verdict is legal),
+// and the 2-neighborhood game maximizes |N₂| with no distance pressure
+// beyond two hops. Every converged row is re-certified by a fresh instance
+// of its model.
+func runE19(cfg Config) ([]*stats.Table, error) {
+	n := 24
+	if cfg.Quick {
+		n = 14
+	}
+	irng := rand.New(rand.NewSource(cfg.Seed + 1))
+	cases := []struct {
+		label string
+		model game.Model
+	}{
+		{"swap", game.Swap{}},
+		{"greedy α=2", game.Greedy{EdgeCost: 2}},
+		{"interests p=0.3", game.RandomInterests(n, 0.3, irng)},
+		{"budget k=3", game.Budget{K: 3}},
+		{"2-neighborhood", game.TwoNeighborhood{}},
+	}
+	tab := stats.NewTable(
+		fmt.Sprintf("Equilibrium structure across all five deviation models (n=%d, best-response, sum)", n),
+		"model", "converged", "moves", "final m", "diameter", "max deg",
+		"social cost", "certified stable")
+	for _, c := range cases {
+		rng := rand.New(rand.NewSource(cfg.Seed)) // same start for every model
+		g := treegen.RandomTree(n, rng)
+		res, err := dynamics.Run(g, dynamics.Options{
+			Objective: core.Sum, Policy: dynamics.BestResponse,
+			Model: c.model, Workers: cfg.Workers, MaxMoves: 2000,
+		})
+		if err != nil {
+			return nil, err
+		}
+		inst := c.model.New(g, cfg.Workers)
+		stable, _, err := inst.CheckStable(core.Sum)
+		if err != nil {
+			return nil, err
+		}
+		diam, connected := g.Diameter()
+		diamCell := fmt.Sprint(diam)
+		if !connected {
+			diamCell = "∞"
+		}
+		tab.Add(c.label, boolMark(res.Converged), res.Moves, g.M(), diamCell,
+			g.MaxDegree(), inst.SocialCost(core.Sum), boolMark(stable))
+	}
+	return []*stats.Table{tab}, nil
+}

@@ -1,0 +1,168 @@
+package game_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/constructions"
+	"repro/internal/game"
+)
+
+// The budget fast-vs-naive differential, sample-parity, and probe-pricing
+// suites live in the model-generic tables in models_test.go, and the
+// K ≥ n−1 ≡ swap degeneration in metamorphic_test.go; the tests here cover
+// the feasibility rule itself.
+
+func TestBudgetScansRespectFeasibility(t *testing.T) {
+	// No scan entry point may ever return a move that re-points an edge
+	// onto a vertex already at its budget.
+	rng := rand.New(rand.NewSource(111))
+	for trial := 0; trial < 6; trial++ {
+		n := 8 + rng.Intn(12)
+		g := randomConnected(rng, n, rng.Intn(8))
+		k := 2 + rng.Intn(2)
+		for _, inst := range []game.Instance{
+			game.Budget{K: k}.New(g.Clone(), 2),
+			game.Budget{K: k}.Naive(g.Clone(), 2),
+		} {
+			gg := inst.Graph()
+			for v := 0; v < n; v++ {
+				for _, obj := range []game.Objective{game.Sum, game.Max} {
+					if m, _, _, ok := inst.BestMove(v, obj); ok {
+						if !gg.HasEdge(m.V, m.Add) && gg.Degree(m.Add) >= k {
+							t.Fatalf("trial %d: BestMove(%d) targets full vertex: %v (deg %d, k %d)",
+								trial, v, m, gg.Degree(m.Add), k)
+						}
+					}
+					if m, _, _, ok := inst.FirstImproving(v, obj); ok {
+						if !gg.HasEdge(m.V, m.Add) && gg.Degree(m.Add) >= k {
+							t.Fatalf("trial %d: FirstImproving(%d) targets full vertex: %v", trial, v, m)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBudgetDegreeInvariant(t *testing.T) {
+	// Along any trajectory deg(u) ≤ max(deg₀(u), K): vertices at or over
+	// budget never receive edges.
+	rng := rand.New(rand.NewSource(112))
+	n := 20
+	g := randomConnected(rng, n, 6)
+	k := 3
+	bound := make([]int, n)
+	for v := 0; v < n; v++ {
+		bound[v] = g.Degree(v)
+		if bound[v] < k {
+			bound[v] = k
+		}
+	}
+	inst := game.Budget{K: k}.New(g, 1)
+	_, _, converged := game.RoundRobin(n, 2000, func(v int) bool {
+		m, _, _, ok := inst.BestMove(v, game.Sum)
+		if !ok {
+			return false
+		}
+		inst.Apply(m)
+		for u := 0; u < n; u++ {
+			if g.Degree(u) > bound[u] {
+				t.Fatalf("after %v: deg(%d) = %d exceeds max(deg0, k) = %d", m, u, g.Degree(u), bound[u])
+			}
+		}
+		return true
+	})
+	if !converged {
+		t.Fatal("budget best response did not converge")
+	}
+	if stable, viol, err := (game.Budget{K: k}).New(g, 1).CheckStable(game.Sum); err != nil || !stable {
+		t.Fatalf("converged graph fails certification: %v %v", viol, err)
+	}
+}
+
+func TestBudgetTwoFreezesPath(t *testing.T) {
+	// Contrast pin for the feasibility rule: Path(12) is NOT a swap
+	// equilibrium (an endpoint improves by re-pointing into the middle),
+	// but with K = 2 every interior vertex is a full target and the only
+	// feasible endpoint re-point just mirrors the path at equal cost — the
+	// budget freezes the dynamics entirely.
+	g := constructions.Path(12)
+	if stable, _, err := (game.Swap{}).New(g.Clone(), 1).CheckStable(game.Sum); err != nil || stable {
+		t.Fatalf("Path(12) unexpectedly swap-stable (err %v)", err)
+	}
+	for _, inst := range []game.Instance{
+		game.Budget{K: 2}.New(g.Clone(), 1),
+		game.Budget{K: 2}.Naive(g.Clone(), 1),
+	} {
+		stable, viol, err := inst.CheckStable(game.Sum)
+		if err != nil || !stable {
+			t.Fatalf("Path(12) not budget-2 stable: %v %v", viol, err)
+		}
+	}
+}
+
+func TestBudgetBoundedDegreeEquilibrium(t *testing.T) {
+	// With K = 3 the sum star (hub degree n−1) is unreachable from a path:
+	// best response converges to a bounded-degree equilibrium whose
+	// diameter must exceed the unbudgeted equilibrium's 2 — the
+	// budget/diameter trade-off E18 sweeps.
+	n := 16
+	g := constructions.Path(n)
+	inst := game.Budget{K: 3}.New(g, 1)
+	moves, _, converged := game.RoundRobin(n, 2000, func(v int) bool {
+		m, _, _, ok := inst.BestMove(v, game.Sum)
+		if !ok {
+			return false
+		}
+		inst.Apply(m)
+		return true
+	})
+	if !converged {
+		t.Fatal("budget-3 dynamics on a path did not converge")
+	}
+	if moves == 0 {
+		t.Fatal("Path(16) should not be budget-3 stable")
+	}
+	if g.MaxDegree() > 3 {
+		t.Fatalf("equilibrium max degree %d exceeds budget 3", g.MaxDegree())
+	}
+	diam, connected := g.Diameter()
+	if !connected || diam <= 2 {
+		t.Fatalf("budget-3 equilibrium diameter %d (connected=%v), want > 2", diam, connected)
+	}
+	if stable, viol, err := (game.Budget{K: 3}).New(g, 1).CheckStable(game.Sum); err != nil || !stable {
+		t.Fatalf("final graph fails budget-3 certification: %v %v", viol, err)
+	}
+}
+
+func TestBudgetApplyPanicsOverBudget(t *testing.T) {
+	// Applying a move that re-points onto a full vertex must panic rather
+	// than silently break the degree invariant.
+	g := constructions.Path(5) // vertex 2 has degree 2
+	inst := game.Budget{K: 2}.New(g, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-budget Apply did not panic")
+		}
+	}()
+	inst.Apply(game.Move{V: 0, Drop: 1, Add: 2})
+}
+
+func TestBudgetSampleRejectsInfeasible(t *testing.T) {
+	// Star center neighbors are full at K = 1, so every fresh re-point is
+	// rejected as a wasted probe; only degenerate draws (add == an existing
+	// neighbor) survive.
+	g := constructions.Star(8)
+	inst := game.Budget{K: 1}.New(g, 1)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 300; i++ {
+		m, ok := inst.Sample(rng)
+		if !ok {
+			continue
+		}
+		if !g.HasEdge(m.V, m.Add) && g.Degree(m.Add) >= 1 {
+			t.Fatalf("probe %d: sampled infeasible move %v", i, m)
+		}
+	}
+}

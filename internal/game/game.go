@@ -27,9 +27,11 @@
 // trajectory driven through a fast instance must reproduce the naive
 // instance move-for-move; internal/dynamics pins that for every model.
 //
-// The three shipped models are Swap (the paper's game — bit-identical to
-// the pre-refactor swap-only stack), Greedy, and Interests. Future
-// variants (bounded budget, 2-neighborhood swaps) plug in here.
+// The five shipped models are Swap (the paper's game — bit-identical to
+// the pre-refactor swap-only stack), Greedy, Interests, Budget (bounded
+// per-vertex edge budgets, Ehsani et al.), and TwoNeighborhood
+// (2-neighborhood maximization, de la Haye et al.). Further variants plug
+// in here.
 package game
 
 import (

@@ -130,9 +130,13 @@ func (m Interests) Naive(g *graph.Graph, workers int) Instance {
 
 // interestsSession prices interest-restricted swaps over a live pricing
 // session: per-agent scans reuse the engine's dropped-edge rows and one
-// BFS per candidate endpoint (Scan.ForEachAdd), reduced over I(v). The
-// enumeration is the basic game's add-major order; ties keep the
-// enumeration-first candidate.
+// BFS per candidate endpoint, reduced over I(v). The enumeration is the
+// basic game's add-major order; ties keep the enumeration-first candidate.
+// Candidate endpoints are sharded across the session's workers *inside*
+// each vertex (scanAddMajor), the way swapScan shards the basic game's
+// checker: with dense interest sets the per-candidate Θ(|I(v)|) reduction
+// rides on top of every per-endpoint BFS, and both now split across cores
+// while staying bit-identical to the sequential scan.
 type interestsSession struct {
 	g       *graph.Graph
 	ps      *pricing.Session
@@ -181,22 +185,24 @@ func (s *interestsSession) scanMoves(v int, obj Objective, firstOnly bool) (best
 	scan := s.ps.NewScan(v)
 	defer scan.Close()
 	cur := pricing.UsageSubset(scan.CurrentRow(), set, po)
-	bestCost := cur
-	drops := scan.Drops()
-	scan.ForEachAdd(false, func(add int, dw []int32) bool {
-		for i := range drops {
-			c := pricing.PatchedSubset(scan.DropRow(i), dw, set, po)
-			if c < bestCost {
-				bestCost, ok = c, true
-				best = Move{V: v, Drop: int(drops[i]), Add: add}
-				if firstOnly {
-					return false
-				}
-			}
-		}
-		return true
-	})
-	return best, cur, bestCost, ok
+	view := s.ps.View()
+	// Adds onto existing neighbors realize pure deletions, and a deletion
+	// never shortens any distance, so such candidates can never price
+	// strictly below cur: skipping them drops the endpoint's BFS and its
+	// whole per-drop reduction without changing any scan outcome (the naive
+	// oracle still enumerates them, so the differential suite pins this).
+	// On hub-heavy positions this removes the hub's entire O(n·deg·|I|)
+	// scan.
+	cand, found := scanAddMajor(s.eng, view, scan, s.workers,
+		func(add int) bool { return view.HasEdge(v, add) },
+		func(i int, dw []int32, threshold int64) (int64, bool) {
+			return pricing.PatchedSubsetBelow(scan.DropRow(i), dw, set, po, threshold)
+		},
+		cur, firstOnly)
+	if !found {
+		return best, cur, cur, false
+	}
+	return Move{V: v, Drop: int(scan.Drops()[cand.dropIdx]), Add: cand.add}, cur, cand.cost, true
 }
 
 func (s *interestsSession) PriceMove(m Move, obj Objective) int64 {

@@ -8,17 +8,9 @@ import (
 	"repro/internal/graph"
 )
 
-func TestInterestsFastMatchesNaive(t *testing.T) {
-	rng := rand.New(rand.NewSource(91))
-	for trial := 0; trial < 5; trial++ {
-		n := 5 + rng.Intn(10)
-		base := randomConnected(rng, n, rng.Intn(5))
-		model := game.RandomInterests(n, 0.2+rng.Float64()*0.6, rng)
-		for _, obj := range []game.Objective{game.Sum, game.Max} {
-			driveDifferential(t, "interests", model, base, obj, 1)
-		}
-	}
-}
+// The interests fast-vs-naive differential and probe-pricing suites moved
+// to the model-generic tables in models_test.go; the tests here cover
+// interest-set semantics only.
 
 func TestUniformInterestsMatchesSwap(t *testing.T) {
 	// With every vertex interested in every other, the interests model
@@ -47,27 +39,6 @@ func TestUniformInterestsMatchesSwap(t *testing.T) {
 			ss, _, _ := swap.CheckStable(obj)
 			if is != ss {
 				t.Fatalf("trial %d obj=%v: stability interests %v, swap %v", trial, obj, is, ss)
-			}
-		}
-	}
-}
-
-func TestInterestsPriceMoveMatchesOracle(t *testing.T) {
-	rng := rand.New(rand.NewSource(93))
-	n := 13
-	g := randomConnected(rng, n, 4)
-	model := game.RandomInterests(n, 0.4, rng)
-	fast := model.New(g.Clone(), 1)
-	naive := model.Naive(g.Clone(), 1)
-	probe := rand.New(rand.NewSource(8))
-	for i := 0; i < 400; i++ {
-		m, ok := fast.Sample(probe)
-		if !ok {
-			continue
-		}
-		for _, obj := range []game.Objective{game.Sum, game.Max} {
-			if got, want := fast.PriceMove(m, obj), naive.PriceMove(m, obj); got != want {
-				t.Fatalf("probe %d obj=%v: move %v fast %d, naive %d", i, obj, m, got, want)
 			}
 		}
 	}

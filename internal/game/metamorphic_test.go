@@ -1,0 +1,120 @@
+package game_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/game"
+	"repro/internal/graph"
+)
+
+// permuteGraph relabels g by perm: edge uv becomes perm[u]–perm[v].
+func permuteGraph(g *graph.Graph, perm []int) *graph.Graph {
+	h := graph.New(g.N())
+	for _, e := range g.Edges() {
+		h.AddEdge(perm[e.U], perm[e.V])
+	}
+	return h
+}
+
+// permuteModel relabels a model's per-vertex configuration alongside the
+// graph; label-free models pass through unchanged.
+func permuteModel(m game.Model, perm []int) game.Model {
+	ints, ok := m.(game.Interests)
+	if !ok {
+		return m
+	}
+	sets := ints.Sets()
+	out := make([][]int32, len(sets))
+	for v, set := range sets {
+		ps := make([]int32, len(set))
+		for i, u := range set {
+			ps[i] = int32(perm[u])
+		}
+		out[perm[v]] = ps
+	}
+	return game.NewInterests(out)
+}
+
+// TestRelabelingInvariance is the metamorphic pin that no model's pricing
+// depends on vertex labels: relabel the graph (and the model's per-vertex
+// configuration) by a random permutation, and per-agent costs, best-move
+// prices, social cost, and the certified-equilibrium verdict must all be
+// permutation-equivariant. Witness moves and first-improvement picks may
+// legitimately differ — enumeration order follows labels — so only
+// label-free quantities are compared.
+func TestRelabelingInvariance(t *testing.T) {
+	for _, mc := range modelTable() {
+		mc := mc
+		t.Run(mc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(101))
+			for trial := 0; trial < 4; trial++ {
+				n := 6 + rng.Intn(10)
+				g := randomConnected(rng, n, rng.Intn(5))
+				model := mc.build(n, rng)
+				perm := rng.Perm(n)
+				gp := permuteGraph(g, perm)
+				mp := permuteModel(model, perm)
+				inst := model.New(g, 1)
+				instP := mp.New(gp, 1)
+				for _, obj := range []game.Objective{game.Sum, game.Max} {
+					for v := 0; v < n; v++ {
+						if got, want := instP.Cost(perm[v], obj), inst.Cost(v, obj); got != want {
+							t.Fatalf("trial %d obj=%v: Cost(π(%d)) = %d, Cost(%d) = %d",
+								trial, obj, v, got, v, want)
+						}
+						_, po, pn, pok := instP.BestMove(perm[v], obj)
+						_, o, nn, ok := inst.BestMove(v, obj)
+						if pok != ok || po != o || pn != nn {
+							t.Fatalf("trial %d obj=%v v=%d: BestMove permuted (%d,%d,%v), original (%d,%d,%v)",
+								trial, obj, v, po, pn, pok, o, nn, ok)
+						}
+					}
+					if got, want := instP.SocialCost(obj), inst.SocialCost(obj); got != want {
+						t.Fatalf("trial %d obj=%v: SocialCost permuted %d, original %d", trial, obj, got, want)
+					}
+					ps, _, perr := instP.CheckStable(obj)
+					s, _, err := inst.CheckStable(obj)
+					if ps != s || (perr == nil) != (err == nil) {
+						t.Fatalf("trial %d obj=%v: CheckStable permuted (%v,%v), original (%v,%v)",
+							trial, obj, ps, perr, s, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestUniformBudgetMatchesSwap pins the bounded-budget degeneration: with
+// K ≥ n−1 ≥ deg(u) for every vertex no feasibility rule ever binds, and
+// the budget model coincides with the basic swap game — same costs, same
+// best-move prices, same stability verdicts (moves themselves may differ
+// on cost ties because the two models break them differently). It mirrors
+// the uniform-interests ≡ swap test.
+func TestUniformBudgetMatchesSwap(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	for trial := 0; trial < 6; trial++ {
+		n := 5 + rng.Intn(10)
+		g := randomConnected(rng, n, rng.Intn(5))
+		bud := game.Budget{K: n - 1}.New(g.Clone(), 1)
+		swap := game.Swap{}.New(g.Clone(), 1)
+		for _, obj := range []game.Objective{game.Sum, game.Max} {
+			for v := 0; v < n; v++ {
+				if got, want := bud.Cost(v, obj), swap.Cost(v, obj); got != want {
+					t.Fatalf("trial %d obj=%v: Cost(%d) budget %d, swap %d", trial, obj, v, got, want)
+				}
+				_, bo, bn, bok := bud.BestMove(v, obj)
+				_, so, sn, sok := swap.BestMove(v, obj)
+				if bok != sok || bo != so || bn != sn {
+					t.Fatalf("trial %d obj=%v v=%d: BestMove budget (%d,%d,%v), swap (%d,%d,%v)",
+						trial, obj, v, bo, bn, bok, so, sn, sok)
+				}
+			}
+			bs, _, _ := bud.CheckStable(obj)
+			ss, _, _ := swap.CheckStable(obj)
+			if bs != ss {
+				t.Fatalf("trial %d obj=%v: stability budget %v, swap %v", trial, obj, bs, ss)
+			}
+		}
+	}
+}

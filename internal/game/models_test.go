@@ -1,0 +1,246 @@
+package game_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/game"
+	"repro/internal/graph"
+	"repro/internal/treegen"
+)
+
+// randomConnected builds a random tree plus chords.
+func randomConnected(rng *rand.Rand, n, chords int) *graph.Graph {
+	g := treegen.RandomTree(n, rng)
+	for i := 0; i < chords; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// requireSameScan compares a fast and a naive instance on every pricing
+// entry point for every agent, then applies one move on both and repeats —
+// the per-call contract behind the trajectory-level differential tests in
+// internal/dynamics.
+func requireSameScan(t *testing.T, label string, fast, naive game.Instance, obj game.Objective) {
+	t.Helper()
+	n := fast.Graph().N()
+	for v := 0; v < n; v++ {
+		if got, want := fast.Cost(v, obj), naive.Cost(v, obj); got != want {
+			t.Fatalf("%s: Cost(%d) fast %d, naive %d", label, v, got, want)
+		}
+		fm, fo, fn, fok := fast.BestMove(v, obj)
+		nm, no, nn, nok := naive.BestMove(v, obj)
+		if fok != nok || fo != no || fn != nn || (fok && fm != nm) {
+			t.Fatalf("%s: BestMove(%d) fast (%v,%d,%d,%v), naive (%v,%d,%d,%v)",
+				label, v, fm, fo, fn, fok, nm, no, nn, nok)
+		}
+		fm, fo, fn, fok = fast.FirstImproving(v, obj)
+		nm, no, nn, nok = naive.FirstImproving(v, obj)
+		if fok != nok || fo != no || fn != nn || (fok && fm != nm) {
+			t.Fatalf("%s: FirstImproving(%d) fast (%v,%d,%d,%v), naive (%v,%d,%d,%v)",
+				label, v, fm, fo, fn, fok, nm, no, nn, nok)
+		}
+	}
+	if got, want := fast.SocialCost(obj), naive.SocialCost(obj); got != want {
+		t.Fatalf("%s: SocialCost fast %d, naive %d", label, got, want)
+	}
+	fm, fo, fn, fok := fast.FindImprovement(obj)
+	nm, no, nn, nok := naive.FindImprovement(obj)
+	if fok != nok || (fok && (fm != nm || fo != no || fn != nn)) {
+		t.Fatalf("%s: FindImprovement fast (%v,%d,%d,%v), naive (%v,%d,%d,%v)",
+			label, fm, fo, fn, fok, nm, no, nn, nok)
+	}
+	fs, _, ferr := fast.CheckStable(obj)
+	ns, _, nerr := naive.CheckStable(obj)
+	if fs != ns || (ferr == nil) != (nerr == nil) {
+		t.Fatalf("%s: CheckStable fast (%v,%v), naive (%v,%v)", label, fs, ferr, ns, nerr)
+	}
+}
+
+// driveDifferential runs requireSameScan, then applies a few improving
+// moves through both instances and re-checks after each.
+func driveDifferential(t *testing.T, label string, model game.Model, base *graph.Graph, obj game.Objective, workers int) {
+	t.Helper()
+	gFast := base.Clone()
+	gNaive := base.Clone()
+	fast := model.New(gFast, workers)
+	naive := model.Naive(gNaive, workers)
+	requireSameScan(t, label, fast, naive, obj)
+	for step := 0; step < 4; step++ {
+		m, _, newCost, ok := fast.FindImprovement(obj)
+		if !ok {
+			break
+		}
+		fast.Apply(m)
+		naive.Apply(m)
+		if !gFast.Equal(gNaive) {
+			t.Fatalf("%s step %d: graphs diverge after %v", label, step, m)
+		}
+		// The applied move must realize its priced cost on the live state.
+		if got := fast.Cost(m.V, obj); got != newCost {
+			t.Fatalf("%s step %d: move %v priced %d, realizes %d", label, step, m, newCost, got)
+		}
+		requireSameScan(t, label, fast, naive, obj)
+	}
+}
+
+// modelCase is one row of the model-generic differential table: a factory
+// so per-instance configuration (budgets, edge costs, interest sets) can
+// vary with the trial.
+type modelCase struct {
+	name  string
+	build func(n int, rng *rand.Rand) game.Model
+	// maxExtra bounds the random size increment on top of the 5-vertex
+	// floor; naive oracles differ widely in cost, so expensive models run
+	// slightly smaller instances.
+	maxExtra int
+	trials   int
+}
+
+// modelTable is the five-model roster every model-generic suite iterates.
+// New deviation models join the harness by adding one row here.
+func modelTable() []modelCase {
+	return []modelCase{
+		{"swap", func(int, *rand.Rand) game.Model { return game.Swap{} }, 12, 6},
+		{"budget", func(_ int, rng *rand.Rand) game.Model {
+			return game.Budget{K: 2 + rng.Intn(3)}
+		}, 12, 5},
+		{"2nb", func(int, *rand.Rand) game.Model { return game.TwoNeighborhood{} }, 12, 5},
+		{"greedy", func(_ int, rng *rand.Rand) game.Model {
+			return game.Greedy{EdgeCost: []int64{0, 1, 3}[rng.Intn(3)]}
+		}, 9, 5},
+		{"interests", func(n int, rng *rand.Rand) game.Model {
+			return game.RandomInterests(n, 0.2+rng.Float64()*0.6, rng)
+		}, 10, 5},
+	}
+}
+
+// TestModelsFastMatchesNaive is the model-generic fast-vs-naive per-call
+// differential: every model of the roster, both objectives, several worker
+// counts, random instances with improving moves applied in between. It
+// replaces the per-model differential copies the first three models used
+// to carry.
+func TestModelsFastMatchesNaive(t *testing.T) {
+	for _, mc := range modelTable() {
+		mc := mc
+		t.Run(mc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(71))
+			for trial := 0; trial < mc.trials; trial++ {
+				n := 5 + rng.Intn(mc.maxExtra)
+				base := randomConnected(rng, n, rng.Intn(6))
+				model := mc.build(n, rng)
+				for _, obj := range []game.Objective{game.Sum, game.Max} {
+					for _, workers := range []int{1, 3} {
+						driveDifferential(t, mc.name, model, base, obj, workers)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestModelsScanWorkerInvariant pins that every model's sharded per-agent
+// scan stays bit-identical to its workers == 1 scan — same moves, same
+// costs, same witnesses — for any worker count (the scanAddMajor merge is
+// deterministic by construction; this is the cross-model regression net
+// for it). An extra dense-interests row exercises the dense-set lever at
+// |I(v)| ≈ 0.9·n, where the thresholded reduction's abort points differ
+// between chunks.
+func TestModelsScanWorkerInvariant(t *testing.T) {
+	cases := append(modelTable(), modelCase{
+		"interests-dense", func(n int, rng *rand.Rand) game.Model {
+			return game.RandomInterests(n, 0.9, rng)
+		}, 0, 0,
+	})
+	for _, mc := range cases {
+		mc := mc
+		t.Run(mc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(94))
+			n := 32
+			g := randomConnected(rng, n, 14)
+			model := mc.build(n, rng)
+			ref := model.New(g.Clone(), 1)
+			for _, workers := range []int{2, 4, 8} {
+				inst := model.New(g.Clone(), workers)
+				for _, obj := range []game.Objective{game.Sum, game.Max} {
+					for v := 0; v < n; v++ {
+						rm, ro, rn2, rok := ref.BestMove(v, obj)
+						im, io, in, iok := inst.BestMove(v, obj)
+						if rok != iok || rm != im || ro != io || rn2 != in {
+							t.Fatalf("workers=%d obj=%v: BestMove(%d) sequential (%v,%d,%d,%v), sharded (%v,%d,%d,%v)",
+								workers, obj, v, rm, ro, rn2, rok, im, io, in, iok)
+						}
+						rm, ro, rn2, rok = ref.FirstImproving(v, obj)
+						im, io, in, iok = inst.FirstImproving(v, obj)
+						if rok != iok || rm != im || ro != io || rn2 != in {
+							t.Fatalf("workers=%d obj=%v: FirstImproving(%d) diverges", workers, obj, v)
+						}
+					}
+					rm, ro, rn2, rok := ref.FindImprovement(obj)
+					im, io, in, iok := inst.FindImprovement(obj)
+					if rok != iok || rm != im || ro != io || rn2 != in {
+						t.Fatalf("workers=%d obj=%v: FindImprovement diverges", workers, obj)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestModelsSampleParity pins that fast and naive instances consume rng
+// identically and draw the same probes for every model — the
+// random-improving policy's reproducibility rests on this.
+func TestModelsSampleParity(t *testing.T) {
+	for _, mc := range modelTable() {
+		mc := mc
+		t.Run(mc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(72))
+			n := 17
+			g := randomConnected(rng, n, 5)
+			model := mc.build(n, rng)
+			fast := model.New(g.Clone(), 1)
+			naive := model.Naive(g.Clone(), 1)
+			ra := rand.New(rand.NewSource(9))
+			rb := rand.New(rand.NewSource(9))
+			for i := 0; i < 500; i++ {
+				ma, oka := fast.Sample(ra)
+				mb, okb := naive.Sample(rb)
+				if oka != okb || ma != mb {
+					t.Fatalf("probe %d: fast (%v,%v), naive (%v,%v)", i, ma, oka, mb, okb)
+				}
+			}
+		})
+	}
+}
+
+// TestModelsPriceMoveMatchesOracle pins the single-probe pricing path of
+// every model against its naive oracle on sampled candidates.
+func TestModelsPriceMoveMatchesOracle(t *testing.T) {
+	for _, mc := range modelTable() {
+		mc := mc
+		t.Run(mc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(83))
+			n := 13
+			g := randomConnected(rng, n, 4)
+			model := mc.build(n, rng)
+			fast := model.New(g.Clone(), 1)
+			naive := model.Naive(g.Clone(), 1)
+			probe := rand.New(rand.NewSource(6))
+			for i := 0; i < 400; i++ {
+				m, ok := fast.Sample(probe)
+				if !ok {
+					continue
+				}
+				for _, obj := range []game.Objective{game.Sum, game.Max} {
+					if got, want := fast.PriceMove(m, obj), naive.PriceMove(m, obj); got != want {
+						t.Fatalf("probe %d obj=%v: move %v fast %d, naive %d", i, obj, m, got, want)
+					}
+				}
+			}
+		})
+	}
+}

@@ -5,119 +5,12 @@ import (
 	"testing"
 
 	"repro/internal/game"
-	"repro/internal/graph"
-	"repro/internal/treegen"
 )
 
-// randomConnected builds a random tree plus chords.
-func randomConnected(rng *rand.Rand, n, chords int) *graph.Graph {
-	g := treegen.RandomTree(n, rng)
-	for i := 0; i < chords; i++ {
-		u, v := rng.Intn(n), rng.Intn(n)
-		if u != v {
-			g.AddEdge(u, v)
-		}
-	}
-	return g
-}
-
-// requireSameScan compares a fast and a naive instance on every pricing
-// entry point for every agent, then applies one move on both and repeats —
-// the per-call contract behind the trajectory-level differential tests in
-// internal/dynamics.
-func requireSameScan(t *testing.T, label string, fast, naive game.Instance, obj game.Objective) {
-	t.Helper()
-	n := fast.Graph().N()
-	for v := 0; v < n; v++ {
-		if got, want := fast.Cost(v, obj), naive.Cost(v, obj); got != want {
-			t.Fatalf("%s: Cost(%d) fast %d, naive %d", label, v, got, want)
-		}
-		fm, fo, fn, fok := fast.BestMove(v, obj)
-		nm, no, nn, nok := naive.BestMove(v, obj)
-		if fok != nok || fo != no || fn != nn || (fok && fm != nm) {
-			t.Fatalf("%s: BestMove(%d) fast (%v,%d,%d,%v), naive (%v,%d,%d,%v)",
-				label, v, fm, fo, fn, fok, nm, no, nn, nok)
-		}
-		fm, fo, fn, fok = fast.FirstImproving(v, obj)
-		nm, no, nn, nok = naive.FirstImproving(v, obj)
-		if fok != nok || fo != no || fn != nn || (fok && fm != nm) {
-			t.Fatalf("%s: FirstImproving(%d) fast (%v,%d,%d,%v), naive (%v,%d,%d,%v)",
-				label, v, fm, fo, fn, fok, nm, no, nn, nok)
-		}
-	}
-	if got, want := fast.SocialCost(obj), naive.SocialCost(obj); got != want {
-		t.Fatalf("%s: SocialCost fast %d, naive %d", label, got, want)
-	}
-	fm, fo, fn, fok := fast.FindImprovement(obj)
-	nm, no, nn, nok := naive.FindImprovement(obj)
-	if fok != nok || (fok && (fm != nm || fo != no || fn != nn)) {
-		t.Fatalf("%s: FindImprovement fast (%v,%d,%d,%v), naive (%v,%d,%d,%v)",
-			label, fm, fo, fn, fok, nm, no, nn, nok)
-	}
-	fs, _, ferr := fast.CheckStable(obj)
-	ns, _, nerr := naive.CheckStable(obj)
-	if fs != ns || (ferr == nil) != (nerr == nil) {
-		t.Fatalf("%s: CheckStable fast (%v,%v), naive (%v,%v)", label, fs, ferr, ns, nerr)
-	}
-}
-
-// driveDifferential runs requireSameScan, then applies a few improving
-// moves through both instances and re-checks after each.
-func driveDifferential(t *testing.T, label string, model game.Model, base *graph.Graph, obj game.Objective, workers int) {
-	t.Helper()
-	gFast := base.Clone()
-	gNaive := base.Clone()
-	fast := model.New(gFast, workers)
-	naive := model.Naive(gNaive, workers)
-	requireSameScan(t, label, fast, naive, obj)
-	for step := 0; step < 4; step++ {
-		m, _, newCost, ok := fast.FindImprovement(obj)
-		if !ok {
-			break
-		}
-		fast.Apply(m)
-		naive.Apply(m)
-		if !gFast.Equal(gNaive) {
-			t.Fatalf("%s step %d: graphs diverge after %v", label, step, m)
-		}
-		// The applied move must realize its priced cost on the live state.
-		if got := fast.Cost(m.V, obj); got != newCost {
-			t.Fatalf("%s step %d: move %v priced %d, realizes %d", label, step, m, newCost, got)
-		}
-		requireSameScan(t, label, fast, naive, obj)
-	}
-}
-
-func TestSwapFastMatchesNaive(t *testing.T) {
-	rng := rand.New(rand.NewSource(71))
-	for trial := 0; trial < 6; trial++ {
-		base := randomConnected(rng, 5+rng.Intn(12), rng.Intn(6))
-		for _, obj := range []game.Objective{game.Sum, game.Max} {
-			for _, workers := range []int{1, 3} {
-				driveDifferential(t, "swap", game.Swap{}, base, obj, workers)
-			}
-		}
-	}
-}
-
-func TestSwapSampleParity(t *testing.T) {
-	// Fast and naive instances must consume rng identically and draw the
-	// same probes — the random-improving policy's reproducibility rests on
-	// this.
-	rng := rand.New(rand.NewSource(72))
-	g := randomConnected(rng, 17, 5)
-	fast := game.Swap{}.New(g.Clone(), 1)
-	naive := game.Swap{}.Naive(g.Clone(), 1)
-	ra := rand.New(rand.NewSource(9))
-	rb := rand.New(rand.NewSource(9))
-	for i := 0; i < 500; i++ {
-		ma, oka := fast.Sample(ra)
-		mb, okb := naive.Sample(rb)
-		if oka != okb || ma != mb {
-			t.Fatalf("probe %d: fast (%v,%v), naive (%v,%v)", i, ma, oka, mb, okb)
-		}
-	}
-}
+// The swap-specific tests below cover the probe-row cache and the shared
+// RoundRobin driver; the fast-vs-naive differential, sample-parity, and
+// probe-pricing suites that used to live here are now the model-generic
+// tables in models_test.go.
 
 func TestSwapPriceMoveCacheStaysCorrect(t *testing.T) {
 	// PriceMove memoizes BFS rows within a mutation generation; repeated

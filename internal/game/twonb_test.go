@@ -1,0 +1,124 @@
+package game_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/constructions"
+	"repro/internal/game"
+	"repro/internal/graph"
+)
+
+// The 2-neighborhood fast-vs-naive differential, sample-parity, and
+// probe-pricing suites live in the model-generic tables in models_test.go;
+// the tests here pin the objective itself.
+
+func TestTwoNBKnownCosts(t *testing.T) {
+	// cost(v) = n − 1 − |N₂(v)|.
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		v    int
+		want int64
+	}{
+		{"path endpoint", constructions.Path(6), 0, 3},     // sees 1, 2
+		{"path interior", constructions.Path(6), 2, 1},     // sees 0,1,3,4
+		{"star center", constructions.Star(9), 0, 0},       // sees everyone
+		{"star leaf", constructions.Star(9), 1, 0},         // center at 1, leaves at 2
+		{"cycle", constructions.Cycle(7), 3, 2},            // sees 4 of 6
+		{"triangle", constructions.Complete(3), 0, 0},      // complete graph
+		{"K5 vertex", constructions.Complete(5), 2, 0},     // all at distance 1
+		{"long path middle", constructions.Path(11), 5, 6}, // sees 3,4,6,7
+	}
+	for _, c := range cases {
+		for _, inst := range []game.Instance{
+			game.TwoNeighborhood{}.New(c.g.Clone(), 1),
+			game.TwoNeighborhood{}.Naive(c.g.Clone(), 1),
+		} {
+			if got := inst.Cost(c.v, game.Sum); got != c.want {
+				t.Errorf("%s: Cost(%d) = %d, want %d", c.name, c.v, got, c.want)
+			}
+		}
+	}
+}
+
+func TestTwoNBObjectiveIgnored(t *testing.T) {
+	// The model has a single objective: Sum and Max price identically.
+	rng := rand.New(rand.NewSource(121))
+	g := randomConnected(rng, 14, 4)
+	inst := game.TwoNeighborhood{}.New(g, 1)
+	for v := 0; v < g.N(); v++ {
+		if a, b := inst.Cost(v, game.Sum), inst.Cost(v, game.Max); a != b {
+			t.Fatalf("Cost(%d) differs across objectives: %d vs %d", v, a, b)
+		}
+		ms, os, ns, oks := inst.BestMove(v, game.Sum)
+		mm, om, nm, okm := inst.BestMove(v, game.Max)
+		if oks != okm || ms != mm || os != om || ns != nm {
+			t.Fatalf("BestMove(%d) differs across objectives", v)
+		}
+	}
+}
+
+func TestTwoNBImprovingMoveGrowsNeighborhood(t *testing.T) {
+	// A path endpoint grows its 2-neighborhood by re-pointing into the
+	// middle; the priced cost must realize on the live state.
+	g := constructions.Path(8)
+	inst := game.TwoNeighborhood{}.New(g, 1)
+	m, old, newCost, ok := inst.BestMove(0, game.Sum)
+	if !ok || newCost >= old {
+		t.Fatalf("path endpoint found no improving 2-neighborhood swap: (%v,%d,%d,%v)", m, old, newCost, ok)
+	}
+	inst.Apply(m)
+	if got := inst.Cost(0, game.Sum); got != newCost {
+		t.Fatalf("move %v priced %d, realizes %d", m, newCost, got)
+	}
+}
+
+func TestTwoNBToleratesDisconnection(t *testing.T) {
+	// Vertices beyond distance two count the same at distance three or ∞,
+	// so pricing and stability checks must work on disconnected graphs.
+	g := graph.New(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 4)
+	g.AddEdge(4, 5)
+	fast := game.TwoNeighborhood{}.New(g.Clone(), 1)
+	naive := game.TwoNeighborhood{}.Naive(g.Clone(), 1)
+	for v := 0; v < 6; v++ {
+		f, n := fast.Cost(v, game.Sum), naive.Cost(v, game.Sum)
+		if f != n {
+			t.Fatalf("Cost(%d) fast %d, naive %d", v, f, n)
+		}
+		if f != 3 { // each vertex sees its own 3-path only
+			t.Fatalf("Cost(%d) = %d, want 3", v, f)
+		}
+	}
+	fs, _, ferr := fast.CheckStable(game.Sum)
+	ns, _, nerr := naive.CheckStable(game.Sum)
+	if fs != ns || ferr != nil || nerr != nil {
+		t.Fatalf("disconnected CheckStable: fast (%v,%v), naive (%v,%v)", fs, ferr, ns, nerr)
+	}
+}
+
+func TestTwoNBApplyUndoRestores(t *testing.T) {
+	rng := rand.New(rand.NewSource(122))
+	base := randomConnected(rng, 12, 4)
+	g := base.Clone()
+	inst := game.TwoNeighborhood{}.New(g, 1)
+	var undos []func()
+	probe := rand.New(rand.NewSource(2))
+	for len(undos) < 6 {
+		m, ok := inst.Sample(probe)
+		if !ok || !g.HasEdge(m.V, m.Drop) {
+			continue
+		}
+		undos = append(undos, inst.Apply(m))
+	}
+	for i := len(undos) - 1; i >= 0; i-- {
+		undos[i]()
+	}
+	if !g.Equal(base) {
+		t.Fatal("undo chain did not restore the graph")
+	}
+	requireSameScan(t, "2nb-after-undo", inst, game.TwoNeighborhood{}.Naive(base.Clone(), 1), game.Sum)
+}
