@@ -20,12 +20,16 @@ bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
 # Bounded fuzz of the incremental pricing session's swap mutation path, the
-# greedy model's add/delete/swap apply/undo path, and the budget model's
-# feasibility-guarded swap apply/undo path.
+# greedy model's add/delete/swap apply/undo path, the budget model's
+# feasibility-guarded swap apply/undo path, the unified scan engine's
+# witnesses against the naive sequential enumeration, and the batched
+# cross-agent sweep against the per-agent sweep.
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzApplySwap -fuzztime=30s ./internal/pricing
 	$(GO) test -run=NONE -fuzz=FuzzGreedyApply -fuzztime=30s ./internal/game
 	$(GO) test -run=NONE -fuzz=FuzzBudgetApply -fuzztime=30s ./internal/game
+	$(GO) test -run=NONE -fuzz=FuzzScanEngine -fuzztime=30s ./internal/game
+	$(GO) test -run=NONE -fuzz=FuzzBatchedSweep -fuzztime=30s ./internal/game
 
 # End-to-end CLI smoke of every deviation model (mirrors the CI step).
 smoke:

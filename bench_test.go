@@ -124,6 +124,21 @@ func BenchmarkCheckSumStar(b *testing.B) {
 	}
 }
 
+// BenchmarkCheckSumStarBatched is CheckSumStar through the batched
+// cross-agent sweep: the n shared endpoint rows filter every leaf's
+// candidate scan down to zero exact verifications on a stable star, so the
+// pass costs Θ(n + m) BFS instead of Θ(n²). Same verdict and witness as
+// CheckSum (pinned by TestCheckSwapBatchedMatchesCheckSwap).
+func BenchmarkCheckSumStarBatched(b *testing.B) {
+	g := Star(128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ok, _, err := core.CheckSumBatched(g, 0); !ok || err != nil {
+			b.Fatal("star rejected")
+		}
+	}
+}
+
 func BenchmarkCheckMaxTorusSequential(b *testing.B) {
 	g := NewTorus(4).Graph()
 	b.ResetTimer()
@@ -388,6 +403,31 @@ func benchInterestsCheck(b *testing.B, p float64, workers int) {
 
 func BenchmarkCheckInterestsDense256(b *testing.B)  { benchInterestsCheck(b, 0.9, 0) }
 func BenchmarkCheckInterestsSparse256(b *testing.B) { benchInterestsCheck(b, 0.05, 0) }
+
+// benchInterestsCheckBatched runs the same full stable-position sweep
+// through the batched cross-agent pass: endpoint rows are computed once
+// and every per-leaf candidate scan reduces against them first, paying an
+// exact deviator-excluded BFS only for flagged candidates.
+func benchInterestsCheckBatched(b *testing.B, p float64, workers int) {
+	n := 256
+	irng := rand.New(rand.NewSource(11))
+	model := game.RandomInterests(n, p, irng)
+	inst := model.New(Star(n), workers).(game.BatchedSweeper)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, ok := inst.FindImprovementBatched(core.Sum); ok {
+			b.Fatal("star rejected")
+		}
+	}
+}
+
+func BenchmarkCheckInterestsDense256Batched(b *testing.B) {
+	benchInterestsCheckBatched(b, 0.9, 0)
+}
+
+func BenchmarkCheckInterestsSparse256Batched(b *testing.B) {
+	benchInterestsCheckBatched(b, 0.05, 0)
+}
 
 func BenchmarkCheckInterestsDense256Sequential(b *testing.B) {
 	benchInterestsCheck(b, 0.9, 1)

@@ -139,6 +139,26 @@ func CheckSwapStable(g *Graph, obj Objective, workers int) (bool, *Violation, er
 	return core.CheckSwapStable(g, obj, workers)
 }
 
+// CheckSumBatched is CheckSum via the batched cross-agent sweep: candidate
+// endpoint BFS rows are computed once and reused across agents as sound
+// lower-bound filters (O(n²) transient memory, far fewer BFS). Verdict and
+// witness are bit-identical to CheckSum.
+func CheckSumBatched(g *Graph, workers int) (bool, *Violation, error) {
+	return core.CheckSumBatched(g, workers)
+}
+
+// CheckMaxBatched is CheckMax via the batched cross-agent sweep; verdict
+// and witness are bit-identical to CheckMax.
+func CheckMaxBatched(g *Graph, workers int) (bool, *Violation, error) {
+	return core.CheckMaxBatched(g, workers)
+}
+
+// CheckSwapStableBatched is CheckSwapStable via the batched cross-agent
+// sweep; verdict and witness are bit-identical.
+func CheckSwapStableBatched(g *Graph, obj Objective, workers int) (bool, *Violation, error) {
+	return core.CheckSwapStableBatched(g, obj, workers)
+}
+
 // IsInsertionStable reports whether no single edge insertion decreases an
 // endpoint's local diameter.
 func IsInsertionStable(g *Graph, workers int) (bool, *Violation, error) {

@@ -173,6 +173,7 @@ func cmdCheck(args []string) error {
 	in := fs.String("in", "", "input graph file (required)")
 	format := fs.String("format", "edgelist", "edgelist|graph6")
 	workers := fs.Int("workers", 0, "parallel workers (0 = all cores)")
+	batched := fs.Bool("batched", false, "equilibrium checks via the batched cross-agent sweep (same verdicts/witnesses; reuses endpoint BFS rows across agents, O(n²) transient memory)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -208,9 +209,13 @@ func cmdCheck(args []string) error {
 			fmt.Printf("%-22s no   (%v)\n", name, viol)
 		}
 	}
-	ok, viol, err := core.CheckSum(g, *workers)
+	checkSum, checkMax := core.CheckSum, core.CheckMax
+	if *batched {
+		checkSum, checkMax = core.CheckSumBatched, core.CheckMaxBatched
+	}
+	ok, viol, err := checkSum(g, *workers)
 	report("sum equilibrium", ok, viol, err)
-	ok, viol, err = core.CheckMax(g, *workers)
+	ok, viol, err = checkMax(g, *workers)
 	report("max equilibrium", ok, viol, err)
 	ok, viol, err = core.IsInsertionStable(g, *workers)
 	report("insertion-stable", ok, viol, err)
@@ -274,6 +279,7 @@ func cmdDynamics(args []string) error {
 	budget := fs.Int("budget", game.DefaultBudget, "budget model: uniform per-vertex edge budget k (re-points must target a vertex with deg < k)")
 	seed := fs.Int64("seed", 1, "random seed")
 	workers := fs.Int("workers", 0, "pricing workers for every policy, including the random policy's certification sweeps (0 = all cores; trajectories are identical for any count)")
+	batched := fs.Bool("batched", false, "certification sweeps via the batched cross-agent pass where the model supports it (identical trajectories; trades O(n²) transient memory for fewer BFS)")
 	trace := fs.Bool("trace", false, "print every applied move")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -312,6 +318,7 @@ func cmdDynamics(args []string) error {
 	res, err := bncg.RunDynamics(g, dynamics.Options{
 		Objective: objective, Policy: pol, Model: mdl,
 		Workers: *workers, Seed: *seed, Trace: *trace,
+		BatchedSweeps: *batched,
 	})
 	if err != nil {
 		return err

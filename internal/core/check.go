@@ -127,6 +127,38 @@ func CheckSwapEquilibrium(g *graph.Graph, obj Objective, workers int) (bool, *Vi
 	return CheckSwapStable(g, obj, workers)
 }
 
+// CheckSumBatched is CheckSum computed via the batched cross-agent sweep:
+// every candidate endpoint's full-graph BFS row is computed once and
+// reused across deviators as a sound lower-bound filter, with exact
+// verification only for flagged candidates. Verdict and witness are
+// bit-identical to CheckSum; the pass trades O(n²) transient memory for
+// an O(n²) → O(n + m + #flagged) drop in BFS count.
+func CheckSumBatched(g *graph.Graph, workers int) (bool, *Violation, error) {
+	return game.CheckSwapBatched(g, Sum, workers, true)
+}
+
+// CheckMaxBatched is CheckMax via the batched cross-agent sweep; the
+// deletion-criticality half still runs per agent from the scan's
+// dropped-edge rows. Verdict and witness match CheckMax exactly.
+func CheckMaxBatched(g *graph.Graph, workers int) (bool, *Violation, error) {
+	return game.CheckSwapBatched(g, Max, workers, true)
+}
+
+// CheckBatched dispatches to CheckSumBatched or CheckMaxBatched.
+func CheckBatched(g *graph.Graph, obj Objective, workers int) (bool, *Violation, error) {
+	if obj == Sum {
+		return CheckSumBatched(g, workers)
+	}
+	return CheckMaxBatched(g, workers)
+}
+
+// CheckSwapStableBatched is CheckSwapStable via the batched cross-agent
+// sweep (no deletion-criticality condition). Verdict and witness match
+// CheckSwapStable exactly.
+func CheckSwapStableBatched(g *graph.Graph, obj Objective, workers int) (bool, *Violation, error) {
+	return game.CheckSwapBatched(g, obj, workers, false)
+}
+
 // LocalDiameterSpread returns max_v ecc(v) − min_v ecc(v). Lemma 2 of the
 // paper proves the spread is at most 1 in any max equilibrium.
 func LocalDiameterSpread(g *graph.Graph) (int, error) {

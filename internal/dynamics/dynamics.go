@@ -97,6 +97,14 @@ type Options struct {
 	// trigger a certification sweep (default 20, multiplied by the
 	// starting edge count).
 	PatienceFactor int
+	// BatchedSweeps routes certification sweeps through the model's
+	// batched cross-agent pass when it has one (game.BatchedSweeper):
+	// candidate-endpoint BFS rows are computed once per sweep and reused
+	// across deviators as lower-bound filters, trading O(n²) transient
+	// memory for far fewer BFS passes. Sweep results are bit-identical
+	// either way, so trajectories do not depend on this flag; models
+	// without a batched pass fall back silently.
+	BatchedSweeps bool
 	// Trace records every applied move when true.
 	Trace bool
 }
@@ -252,9 +260,18 @@ func runRandom(inst game.Instance, opt Options, res *Result) {
 	for res.Moves < opt.MaxMoves {
 		if failStreak >= patience {
 			// Certification sweep: exhaustively search for any improving
-			// move; none ⇒ certified equilibrium of the model.
+			// move; none ⇒ certified equilibrium of the model. The batched
+			// pass returns the identical witness, so the trajectory does
+			// not depend on the option.
 			res.Sweeps++
-			m, old, newCost, found := inst.FindImprovement(opt.Objective)
+			var m core.Move
+			var old, newCost int64
+			var found bool
+			if opt.BatchedSweeps {
+				m, old, newCost, found = game.FindImprovementBatched(inst, opt.Objective)
+			} else {
+				m, old, newCost, found = inst.FindImprovement(opt.Objective)
+			}
 			if !found {
 				res.Converged = true
 				return

@@ -1,0 +1,255 @@
+package game
+
+import (
+	"repro/internal/graph"
+	"repro/internal/par"
+	"repro/internal/pricing"
+	"repro/internal/scan"
+)
+
+// This file implements the batched cross-agent certification sweep: a
+// whole-graph pass that reuses candidate-endpoint BFS rows across
+// deviators instead of recomputing them per agent.
+//
+// The per-agent sweep pays one BFS of G−v per candidate endpoint per
+// deviator — Θ(n) BFS per agent, Θ(n²) for a full certification. The
+// batched pass instead computes every full-graph row d_G(w,·) once (n BFS,
+// n² int32 of memory — the memory-for-time trade) and observes that
+// d_G(w,x) ≤ d_{G−v}(w,x) pointwise, so the patched cost
+//
+//	Σ_x (or max_x) min(d_{G−vw}(v,x), 1 + d_G(w',x))
+//
+// is a sound lower bound on the exact post-swap cost: a candidate whose
+// bound already prices at or above the admission threshold can be
+// discarded without paying its exact G−v BFS, and only flagged candidates
+// (those whose shortest paths to some target may run through the deviator)
+// are verified exactly. In and near equilibrium — the regime certification
+// sweeps live in — almost nothing is flagged, and a full pass costs
+// n + 2m + #verified BFS instead of n². The enumeration order, admission
+// threshold, and exactness of every returned witness are unchanged, so the
+// batched sweep returns bit-identically the same verdict and (lowest-agent,
+// enumeration-first) witness as the per-agent FindImprovement.
+
+// batchRows computes the full-graph BFS row d_G(w,·) for every vertex,
+// sharded across workers. need filters endpoints whose row no deviator
+// will ever read (nil computes all): the budget model skips every
+// over-budget endpoint deviator-independently, so their rows stay nil.
+// Rows are fresh allocations sized n; the result holds up to n² int32.
+func batchRows(eng *pricing.Engine, view pricing.Snapshot, workers int, need func(w int) bool) [][]int32 {
+	n := view.N()
+	rows := make([][]int32, n)
+	par.ForChunked(workers, n, func(lo, hi int) {
+		_, queue, release := eng.Scratch(n)
+		defer release()
+		for w := lo; w < hi; w++ {
+			if need != nil && !need(w) {
+				continue
+			}
+			row := make([]int32, n)
+			view.BFSInto(w, row, queue)
+			rows[w] = row
+		}
+	})
+	return rows
+}
+
+// scanAddMajorBatched is scanAddMajor's first-improving mode with the
+// shared-row filter in front: each candidate is first priced against the
+// endpoint's full-graph row (a lower bound on its exact cost — deleting
+// the deviator can only lengthen the endpoint's distances), and only
+// candidates whose bound passes the admission threshold pay the exact
+// d_{G−v}(add,·) BFS, computed at most once per endpoint and shared across
+// its dropped edges. price must be monotone in its row argument (all the
+// Patched*Below reducers are), which makes the filter sound; exactness of
+// the returned candidate is untouched, so the result is bit-identical to
+// scanAddMajor's for any worker count.
+func scanAddMajorBatched(eng *pricing.Engine, view pricing.Snapshot, ps *pricing.Scan,
+	workers int, rows [][]int32, skipAdd func(add int) bool,
+	price func(dropIdx int, dw []int32, threshold int64) (int64, bool),
+	cur int64) (scan.Cand, bool) {
+	v := ps.V()
+	drops := ps.Drops()
+	if len(drops) == 0 {
+		return scan.Cand{}, false
+	}
+	spec := scan.Spec{
+		Workers:   workers,
+		N:         view.N(),
+		Threshold: cur,
+		Order:     scan.ByEnumeration,
+		Skip: func(add int) bool {
+			return add == v || (skipAdd != nil && skipAdd(add))
+		},
+	}
+	pricer := func(ws bfsRow, add int, threshold func() int64, yield func(int, int64) bool) {
+		exact := false
+		for i := range drops {
+			if _, maybe := price(i, rows[add], threshold()); !maybe {
+				continue
+			}
+			if !exact {
+				view.BFSSkipVertex(add, v, ws.dist, ws.queue)
+				exact = true
+			}
+			if c, below := price(i, ws.dist, threshold()); below {
+				if !yield(i, c) {
+					return
+				}
+			}
+		}
+	}
+	return scan.First(spec, scratchState(eng, view.N()), pricer)
+}
+
+// BatchedSweeper is the optional Instance capability for batched
+// whole-graph certification. Implementations must return bit-identically
+// the same result as their FindImprovement; the difference is purely
+// performance (endpoint-row reuse across deviators) bought with O(n²)
+// transient memory.
+type BatchedSweeper interface {
+	// FindImprovementBatched is FindImprovement computed via the batched
+	// cross-agent pass: same contract, same witness, same costs.
+	FindImprovementBatched(obj Objective) (m Move, oldCost, newCost int64, ok bool)
+}
+
+// FindImprovementBatched runs the batched certification sweep when the
+// instance supports it and falls back to the per-agent FindImprovement
+// otherwise (naive oracles, BFS-free models). Callers can therefore
+// request batching unconditionally.
+func FindImprovementBatched(inst Instance, obj Objective) (Move, int64, int64, bool) {
+	if b, ok := inst.(BatchedSweeper); ok {
+		return b.FindImprovementBatched(obj)
+	}
+	return inst.FindImprovement(obj)
+}
+
+// batchedFindImprovement is the one batched certification sweep the
+// session models share: shared rows once (restricted to endpoints some
+// deviator can use), then agents ascending, each agent's filtered
+// first-improving scan configured by the model through vertex — which
+// returns the agent's current cost, its endpoint filter, and its
+// thresholded price reduction over the scan's dropped-edge rows.
+func batchedFindImprovement(eng *pricing.Engine, ps *pricing.Session, workers int,
+	needRow func(add int) bool,
+	vertex func(v int, sc *pricing.Scan) (cur int64, skipAdd func(add int) bool,
+		price func(dropIdx int, dw []int32, threshold int64) (int64, bool)),
+) (Move, int64, int64, bool) {
+	view := ps.View()
+	rows := batchRows(eng, view, workers, needRow)
+	n := ps.N()
+	for v := 0; v < n; v++ {
+		sc := ps.NewScan(v)
+		cur, skipAdd, price := vertex(v, sc)
+		cand, ok := scanAddMajorBatched(eng, view, sc, workers, rows, skipAdd, price, cur)
+		if ok {
+			m := Move{V: v, Drop: int(sc.Drops()[cand.DropIdx]), Add: cand.Add}
+			sc.Close()
+			return m, cur, cand.Cost, true
+		}
+		sc.Close()
+	}
+	return Move{}, 0, 0, false
+}
+
+// FindImprovementBatched is the swap model's batched certification sweep:
+// agents ascending, each agent's candidate scan filtered through the
+// shared full-graph rows. It returns exactly FindImprovement's result.
+func (s *SwapSession) FindImprovementBatched(obj Objective) (Move, int64, int64, bool) {
+	po := pobj(obj)
+	view := s.ps.View()
+	return batchedFindImprovement(s.eng, s.ps, s.workers, nil,
+		func(v int, sc *pricing.Scan) (int64, func(int) bool, func(int, []int32, int64) (int64, bool)) {
+			return sc.CurrentUsage(po),
+				func(add int) bool { return view.HasEdge(v, add) },
+				func(i int, dw []int32, threshold int64) (int64, bool) {
+					return pricing.PatchedBelow(sc.DropRow(i), dw, po, threshold)
+				}
+		})
+}
+
+// FindImprovementBatched is the interests model's batched certification
+// sweep; the interest-restricted reductions run against the shared rows
+// first, exact rows only for flagged candidates.
+func (s *interestsSession) FindImprovementBatched(obj Objective) (Move, int64, int64, bool) {
+	po := pobj(obj)
+	view := s.ps.View()
+	return batchedFindImprovement(s.eng, s.ps, s.workers, nil,
+		func(v int, sc *pricing.Scan) (int64, func(int) bool, func(int, []int32, int64) (int64, bool)) {
+			set := s.model.set(v)
+			return pricing.UsageSubset(sc.CurrentRow(), set, po),
+				func(add int) bool { return view.HasEdge(v, add) },
+				func(i int, dw []int32, threshold int64) (int64, bool) {
+					return pricing.PatchedSubsetBelow(sc.DropRow(i), dw, set, po, threshold)
+				}
+		})
+}
+
+// FindImprovementBatched is the budget model's batched certification
+// sweep. Over-budget endpoints are infeasible for every deviator (an add
+// onto an existing neighbor is skipped regardless), so their shared rows
+// are never computed at all; the per-agent filter then only adds the
+// adjacency half.
+func (s *budgetSession) FindImprovementBatched(obj Objective) (Move, int64, int64, bool) {
+	po := pobj(obj)
+	view := s.ps.View()
+	return batchedFindImprovement(s.eng, s.ps, s.workers,
+		func(add int) bool { return view.Degree(add) < s.k },
+		func(v int, sc *pricing.Scan) (int64, func(int) bool, func(int, []int32, int64) (int64, bool)) {
+			return sc.CurrentUsage(po),
+				func(add int) bool {
+					return view.HasEdge(v, add) || view.Degree(add) >= s.k
+				},
+				func(i int, dw []int32, threshold int64) (int64, bool) {
+					return pricing.PatchedBelow(sc.DropRow(i), dw, po, threshold)
+				}
+		})
+}
+
+// CheckSwapBatched is CheckSwap computed via the batched cross-agent pass:
+// same verdict, same deterministic witness (deletion-criticality checks
+// still run per agent from the scan's dropped-edge rows; only the
+// candidate-endpoint BFS reuse changes). One frozen snapshot, n shared
+// rows, exact verification for flagged candidates only.
+func CheckSwapBatched(g *graph.Graph, obj Objective, workers int, deletionCritical bool) (bool, *Violation, error) {
+	n := g.N()
+	if n <= 1 {
+		return true, nil, nil
+	}
+	if !g.IsConnected() {
+		return false, nil, ErrDisconnected
+	}
+	workers = normWorkers(workers)
+	eng := pricing.Shared(workers)
+	f := g.Freeze()
+	rows := batchRows(eng, f, workers, nil)
+	po := pobj(obj)
+	for v := 0; v < n; v++ {
+		sc := eng.NewScan(f, v)
+		cur := sc.CurrentUsage(po)
+		if obj == Max && deletionCritical {
+			if viol := deletionViolation(sc, v, cur); viol != nil {
+				sc.Close()
+				return false, viol, nil
+			}
+		}
+		cand, ok := scanAddMajorBatched(eng, f, sc, workers, rows,
+			func(add int) bool { return f.HasEdge(v, add) },
+			func(i int, dw []int32, threshold int64) (int64, bool) {
+				return pricing.PatchedBelow(sc.DropRow(i), dw, po, threshold)
+			},
+			cur)
+		if ok {
+			viol := &Violation{
+				Kind:    SwapImproves,
+				Move:    Move{V: v, Drop: int(sc.Drops()[cand.DropIdx]), Add: cand.Add},
+				Agent:   v,
+				OldCost: cur,
+				NewCost: cand.Cost,
+			}
+			sc.Close()
+			return false, viol, nil
+		}
+		sc.Close()
+	}
+	return true, nil, nil
+}

@@ -1,0 +1,158 @@
+package game_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/constructions"
+	"repro/internal/game"
+	"repro/internal/graph"
+	"repro/internal/treegen"
+)
+
+// batchedModels are the models with a batched cross-agent sweep (the
+// BFS-priced swap-move models); greedy and 2nb fall back to the per-agent
+// sweep through game.FindImprovementBatched.
+func batchedModels(n int, rng *rand.Rand) []game.Model {
+	return []game.Model{
+		game.Swap{},
+		game.RandomInterests(n, 0.6, rng),
+		game.Budget{K: 3},
+	}
+}
+
+// requireSameSweep drives both instances through up to four improvement
+// steps, comparing the batched sweep against the per-agent sweep — same
+// verdict, same (lowest-agent, enumeration-first) witness, same costs —
+// after every applied move.
+func requireSameSweep(t *testing.T, label string, model game.Model, base *graph.Graph, obj game.Objective, workers int) {
+	t.Helper()
+	gB := base.Clone()
+	gS := base.Clone()
+	batched := model.New(gB, workers)
+	seq := model.New(gS, workers)
+	if _, ok := batched.(game.BatchedSweeper); !ok {
+		t.Fatalf("%s: instance does not implement BatchedSweeper", label)
+	}
+	for step := 0; step < 4; step++ {
+		bm, bo, bn, bok := game.FindImprovementBatched(batched, obj)
+		sm, so, sn, sok := seq.FindImprovement(obj)
+		if bok != sok || (bok && (bm != sm || bo != so || bn != sn)) {
+			t.Fatalf("%s step %d: batched (%v,%d,%d,%v), per-agent (%v,%d,%d,%v)",
+				label, step, bm, bo, bn, bok, sm, so, sn, sok)
+		}
+		if !bok {
+			return
+		}
+		batched.Apply(bm)
+		seq.Apply(sm)
+	}
+}
+
+// TestBatchedSweepMatchesPerAgent is the batched-certification
+// differential: same verdict and same violation witness as the per-agent
+// FindImprovement on the paper's named families and random trees, n ≤ 96.
+func TestBatchedSweepMatchesPerAgent(t *testing.T) {
+	rng := rand.New(rand.NewSource(271))
+	graphs := map[string]*graph.Graph{
+		"path17":  constructions.Path(17),
+		"star33":  constructions.Star(33),
+		"torus32": constructions.NewTorus(4).Graph(),
+		"tree96":  treegen.RandomTree(96, rng),
+		"tree48c": randomConnected(rng, 48, 10),
+	}
+	for gname, g := range graphs {
+		for _, model := range batchedModels(g.N(), rng) {
+			for _, obj := range []game.Objective{game.Sum, game.Max} {
+				for _, workers := range []int{1, 3} {
+					requireSameSweep(t, gname+"/"+model.Name(), model, g, obj, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestCheckSwapBatchedMatchesCheckSwap pins the one-shot batched checker —
+// including the deletion-criticality half of the max condition — against
+// the per-agent checker, verdict and witness.
+func TestCheckSwapBatchedMatchesCheckSwap(t *testing.T) {
+	rng := rand.New(rand.NewSource(137))
+	graphs := []*graph.Graph{
+		constructions.Path(24),
+		constructions.Star(40),
+		constructions.NewTorus(4).Graph(),
+		treegen.RandomTree(64, rng),
+		randomConnected(rng, 40, 12),
+	}
+	for i, g := range graphs {
+		for _, obj := range []game.Objective{game.Sum, game.Max} {
+			for _, critical := range []bool{false, true} {
+				for _, workers := range []int{1, 4} {
+					sok, sviol, serr := game.CheckSwap(g, obj, workers, critical)
+					bok, bviol, berr := game.CheckSwapBatched(g, obj, workers, critical)
+					if sok != bok || (serr == nil) != (berr == nil) {
+						t.Fatalf("graph %d obj=%v critical=%v workers=%d: verdict per-agent (%v,%v), batched (%v,%v)",
+							i, obj, critical, workers, sok, serr, bok, berr)
+					}
+					if (sviol == nil) != (bviol == nil) {
+						t.Fatalf("graph %d obj=%v critical=%v: witness presence differs", i, obj, critical)
+					}
+					if sviol != nil && *sviol != *bviol {
+						t.Fatalf("graph %d obj=%v critical=%v: witness per-agent %+v, batched %+v",
+							i, obj, critical, sviol, bviol)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchedSweepDisconnectedTolerant pins that the interests batched
+// sweep matches the per-agent sweep on a disconnected position (the
+// interests game legally cuts off uninterested parts; the shared
+// full-graph rows then carry Unreachable entries, which the lower-bound
+// filter must treat as infinite exactly like the exact rows do).
+func TestBatchedSweepDisconnectedTolerant(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	// Two components: a path 0..8 and a triangle 9-10-11.
+	g := graph.New(12)
+	for v := 1; v < 9; v++ {
+		g.AddEdge(v-1, v)
+	}
+	g.AddEdge(9, 10)
+	g.AddEdge(10, 11)
+	g.AddEdge(9, 11)
+	model := game.RandomInterests(12, 0.4, rng)
+	for _, obj := range []game.Objective{game.Sum, game.Max} {
+		for _, workers := range []int{1, 3} {
+			requireSameSweep(t, "disconnected/interests", model, g, obj, workers)
+		}
+	}
+}
+
+// TestBatchedSweepAllocDelta pins the memory-for-time trade: at one worker
+// the batched sweep may allocate O(n) extra — the n shared full-graph rows
+// plus a constant number of closures per deviator — on top of the
+// per-agent sweep. The bound is 4n: a regression that re-derives the
+// shared rows per deviator costs Θ(n²) allocations (4096 here) and a
+// per-candidate allocation costs more still, so either trips it with a
+// wide margin while closure-count noise does not.
+func TestBatchedSweepAllocDelta(t *testing.T) {
+	n := 64
+	g := constructions.Star(n)
+	inst := game.Swap{}.New(g, 1).(*game.SwapSession)
+	seq := testing.AllocsPerRun(10, func() {
+		if _, _, _, ok := inst.FindImprovement(game.Sum); ok {
+			t.Fatal("star must be sum-stable")
+		}
+	})
+	batched := testing.AllocsPerRun(10, func() {
+		if _, _, _, ok := inst.FindImprovementBatched(game.Sum); ok {
+			t.Fatal("star must be sum-stable")
+		}
+	})
+	if delta := batched - seq; delta > float64(4*n) {
+		t.Fatalf("batched sweep allocates %.0f more than per-agent (seq %.0f, batched %.0f); want ≤ 4n = %d",
+			delta, seq, batched, 4*n)
+	}
+}

@@ -146,7 +146,7 @@ func (s *budgetSession) scanMoves(v int, obj Objective, firstOnly bool) (Move, i
 	if !found {
 		return Move{}, cur, cur, false
 	}
-	return Move{V: v, Drop: int(scan.Drops()[cand.dropIdx]), Add: cand.add}, cur, cand.cost, true
+	return Move{V: v, Drop: int(scan.Drops()[cand.DropIdx]), Add: cand.Add}, cur, cand.Cost, true
 }
 
 // PriceMove prices a single feasible candidate from two patched BFS rows
@@ -253,7 +253,7 @@ func (s *budgetNaive) scanMoves(v int, obj Objective, firstOnly bool) (Move, int
 	if !found {
 		return Move{}, cur, cur, false
 	}
-	return Move{V: v, Drop: int(scan.Drops()[cand.dropIdx]), Add: cand.add}, cur, cand.cost, true
+	return Move{V: v, Drop: int(scan.Drops()[cand.DropIdx]), Add: cand.Add}, cur, cand.Cost, true
 }
 
 func (s *budgetNaive) PriceMove(m Move, obj Objective) int64 { return Evaluate(s.g, m, obj) }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/pricing"
+	"repro/internal/scan"
 )
 
 // DefaultEdgeCost is the CLI default for the greedy model's per-edge
@@ -90,11 +91,12 @@ func sampleGreedy(rng *rand.Rand, n int, deg func(v int) int, nb func(v, i int) 
 
 // greedySession prices greedy moves over a live pricing session. Per-agent
 // scans enumerate adds (endpoints ascending), then deletions (dropped
-// edges ascending), then swaps (the engine's add-major order restricted to
-// fresh endpoints); ties keep the enumeration-first candidate, so results
-// are deterministic. Scans run sequentially per agent — the greedy model's
-// per-move BFS already shares one row per endpoint via the scan — while
-// the underlying session still pools scratch with the engine's workers.
+// edges ascending), then swaps (the add-major order restricted to fresh
+// endpoints); ties keep the enumeration-first candidate within a stage and
+// the earlier stage across stages, so results are deterministic. The add
+// and swap stages shard candidate endpoints across the session's workers
+// on the unified scan engine with thresholded (abort-early) reductions;
+// the merge is bit-identical to the sequential scan for any worker count.
 type greedySession struct {
 	g        *graph.Graph
 	ps       *pricing.Session
@@ -140,59 +142,87 @@ func (s *greedySession) FirstImproving(v int, obj Objective) (Move, int64, int64
 }
 
 // scanMoves enumerates all feasible moves of agent v in the model's
-// deterministic order, returning the minimum-cost strictly improving move
-// (or the first one when firstOnly).
+// deterministic order — adds (endpoints ascending), then deletions
+// (dropped edges ascending), then swaps (add-major over fresh endpoints) —
+// returning the minimum-cost strictly improving move (or the first one
+// when firstOnly). The add and swap stages run on the unified scan engine,
+// sharded across the session's workers; each stage's admission threshold
+// is the running best of the earlier stages, so cost ties resolve toward
+// the earlier stage and, within a stage, toward the enumeration-first
+// candidate — exactly the sequential loop's outcome for any worker count.
 func (s *greedySession) scanMoves(v int, obj Objective, firstOnly bool) (best Move, oldCost, newCost int64, ok bool) {
 	po := pobj(obj)
 	view := s.ps.View()
 	n := view.N()
-	scan := s.ps.NewScan(v)
-	defer scan.Close()
+	psc := s.ps.NewScan(v)
+	defer psc.Close()
 	deg := int64(view.Degree(v))
-	cur := s.edgeCost*deg + scan.CurrentUsage(po)
+	cur := s.edgeCost*deg + psc.CurrentUsage(po)
 	bestCost := cur
-	consider := func(m Move, c int64) bool {
-		if c < bestCost {
-			bestCost, best, ok = c, m, true
-			return !firstOnly
+	state := scratchState(s.eng, n)
+	skipKnown := func(add int) bool { return add == v || view.HasEdge(v, add) }
+	runStage := func(pricer scan.Pricer[bfsRow], toMove func(c scan.Cand) Move) bool {
+		spec := scan.Spec{
+			Workers:   s.workers,
+			N:         n,
+			Threshold: bestCost,
+			Order:     scan.ByEnumeration,
+			Skip:      skipKnown,
 		}
-		return true
+		var c scan.Cand
+		var found bool
+		if firstOnly {
+			c, found = scan.First(spec, state, pricer)
+		} else {
+			c, found = scan.Best(spec, state, pricer)
+		}
+		if found {
+			best, bestCost, ok = toMove(c), c.Cost, true
+		}
+		return found && firstOnly
 	}
 
 	// Adds: d_{G+vw}(v,·) = min(d_G(v,·), 1+d_G(w,·)), one BFS per fresh
-	// endpoint against the scan's current row.
-	addsDone := func() bool {
-		dist, queue, release := s.eng.Scratch(n)
-		defer release()
-		for w := 0; w < n; w++ {
-			if w == v || view.HasEdge(v, w) {
-				continue
-			}
-			view.BFSInto(w, dist, queue)
-			c := s.edgeCost*(deg+1) + pricing.Patched(scan.CurrentRow(), dist, po)
-			if !consider(Move{Kind: KindAdd, V: v, Add: w}, c) {
-				return false
-			}
+	// endpoint against the scan's current row, offset by the maintenance
+	// price of the extra edge.
+	addOffset := s.edgeCost * (deg + 1)
+	addPricer := func(ws bfsRow, add int, threshold func() int64, yield func(int, int64) bool) {
+		view.BFSInto(add, ws.dist, ws.queue)
+		if c, below := pricing.PatchedBelow(psc.CurrentRow(), ws.dist, po, threshold()-addOffset); below {
+			yield(0, addOffset+c)
 		}
-		return true
 	}
-	if !addsDone() {
+	if runStage(addPricer, func(c scan.Cand) Move { return Move{Kind: KindAdd, V: v, Add: c.Add} }) {
 		return best, cur, bestCost, true
 	}
 
-	// Deletions: the scan's dropped-edge rows price them for free.
-	for i, w := range scan.Drops() {
-		c := s.edgeCost*(deg-1) + scan.DeletionUsage(i, po)
-		if !consider(Move{Kind: KindDelete, V: v, Drop: int(w)}, c) {
-			return best, cur, bestCost, true
+	// Deletions: the scan's dropped-edge rows price them for free; no BFS
+	// to shard, so this stage stays a sequential strict-improvement fold.
+	for i, w := range psc.Drops() {
+		if c := s.edgeCost*(deg-1) + psc.DeletionUsage(i, po); c < bestCost {
+			best, bestCost, ok = Move{Kind: KindDelete, V: v, Drop: int(w)}, c, true
+			if firstOnly {
+				return best, cur, bestCost, true
+			}
 		}
 	}
 
-	// Swaps: engine enumeration restricted to fresh endpoints (the target
-	// edge must not exist; deletions were priced above).
-	drops := scan.Drops()
-	scan.ForEach(po, true, func(i, add int, c int64) bool {
-		return consider(Move{Kind: KindSwap, V: v, Drop: int(drops[i]), Add: add}, s.edgeCost*deg+c)
+	// Swaps: add-major over fresh endpoints (the target edge must not
+	// exist; deletions were priced above), against the dropped-edge rows.
+	swapOffset := s.edgeCost * deg
+	drops := psc.Drops()
+	swapPricer := func(ws bfsRow, add int, threshold func() int64, yield func(int, int64) bool) {
+		view.BFSSkipVertex(add, v, ws.dist, ws.queue)
+		for i := range drops {
+			if c, below := pricing.PatchedBelow(psc.DropRow(i), ws.dist, po, threshold()-swapOffset); below {
+				if !yield(i, swapOffset+c) {
+					return
+				}
+			}
+		}
+	}
+	runStage(swapPricer, func(c scan.Cand) Move {
+		return Move{Kind: KindSwap, V: v, Drop: int(drops[c.DropIdx]), Add: c.Add}
 	})
 	return best, cur, bestCost, ok
 }

@@ -202,7 +202,7 @@ func (s *interestsSession) scanMoves(v int, obj Objective, firstOnly bool) (best
 	if !found {
 		return best, cur, cur, false
 	}
-	return Move{V: v, Drop: int(scan.Drops()[cand.dropIdx]), Add: cand.add}, cur, cand.cost, true
+	return Move{V: v, Drop: int(scan.Drops()[cand.DropIdx]), Add: cand.Add}, cur, cand.Cost, true
 }
 
 func (s *interestsSession) PriceMove(m Move, obj Objective) int64 {

@@ -1,142 +1,73 @@
 package game
 
 import (
-	"sync"
-	"sync/atomic"
-
-	"repro/internal/par"
 	"repro/internal/pricing"
+	"repro/internal/scan"
 )
 
-// swapCand is one candidate of the add-major swap enumeration: the new
-// endpoint, the index of the dropped edge in the scan's ascending drop
-// list, and the deviator's priced post-move cost.
-type swapCand struct {
-	add     int
-	dropIdx int
-	cost    int64
+// bfsRow is the per-worker state the game layer's scans lend to the scan
+// engine: one pooled (dist, queue) BFS buffer pair from the pricing
+// engine's scratch pool.
+type bfsRow struct {
+	dist, queue []int32
+}
+
+// scratchState adapts the pricing engine's pooled scratch to the scan
+// engine's per-worker state factory.
+func scratchState(eng *pricing.Engine, n int) func() (bfsRow, func()) {
+	return func() (bfsRow, func()) {
+		dist, queue, release := eng.Scratch(n)
+		return bfsRow{dist: dist, queue: queue}, release
+	}
 }
 
 // scanAddMajor runs the add-major swap-candidate scan shared by the
-// Interests and Budget models: candidate endpoints ascending over all
-// vertices except the deviator (skipAdd filters endpoints before their BFS
-// is paid), and for each endpoint the scan's dropped edges ascending,
-// priced by the model-supplied thresholded reduction over the scan's
-// dropped-edge row and the endpoint's G−v row. price must return the exact
-// cost with below=true when the candidate prices strictly below the given
-// threshold, and may abort early (returning below=false) as soon as the
-// partial reduction proves it cannot — dense interest sets pay only as
-// much of their Θ(|I(v)|) reduction as each comparison needs. The winner
-// is the minimum (cost, add, dropIdx) strictly below cur — the
-// enumeration-first tie-break of the sequential loop these models used to
-// run — or, when firstOnly, the first improving candidate in enumeration
-// order.
-//
-// Candidate endpoints are sharded across workers the way swapScan shards
-// inside a vertex: each worker owns pooled BFS scratch, first-improvement
-// chunks past an already-found endpoint are pruned, and both merge orders
-// are total, so the result is bit-identical to the workers == 1 scan for
-// any worker count.
-func scanAddMajor(eng *pricing.Engine, view pricing.Snapshot, scan *pricing.Scan,
+// Interests and Budget models on the unified scan engine: candidate
+// endpoints ascending over all vertices except the deviator (skipAdd
+// filters endpoints before their BFS is paid), and for each endpoint the
+// scan's dropped edges ascending, priced by the model-supplied thresholded
+// reduction over the scan's dropped-edge row and the endpoint's G−v row.
+// price must return the exact cost with below=true when the candidate
+// prices strictly below the given threshold, and may abort early
+// (returning below=false) as soon as the partial reduction proves it
+// cannot — dense interest sets pay only as much of their Θ(|I(v)|)
+// reduction as each comparison needs. The winner is the minimum
+// (cost, add, dropIdx) strictly below cur — the scan engine's
+// ByEnumeration order, the enumeration-first tie-break of the sequential
+// loop these models used to run — or, when firstOnly, the first improving
+// candidate in enumeration order. Results are bit-identical to the
+// workers == 1 scan for any worker count (the engine's merge contract).
+func scanAddMajor(eng *pricing.Engine, view pricing.Snapshot, ps *pricing.Scan,
 	workers int, skipAdd func(add int) bool,
 	price func(dropIdx int, dw []int32, threshold int64) (int64, bool),
-	cur int64, firstOnly bool) (swapCand, bool) {
-	v := scan.V()
-	n := view.N()
-	drops := scan.Drops()
+	cur int64, firstOnly bool) (scan.Cand, bool) {
+	v := ps.V()
+	drops := ps.Drops()
 	if len(drops) == 0 {
-		return swapCand{}, false
+		return scan.Cand{}, false
 	}
-	var mu sync.Mutex
-	var best swapCand
-	found := false
-
-	if firstOnly {
-		// Smallest improving endpoint found so far; later chunks are pruned
-		// (the same early-exit structure as pricing.Scan.FirstImproving).
-		var bestAdd atomic.Int64
-		bestAdd.Store(int64(n))
-		par.ForChunked(workers, n, func(lo, hi int) {
-			if int64(lo) > bestAdd.Load() {
-				return
-			}
-			dw, qw, release := eng.Scratch(n)
-			defer release()
-			for add := lo; add < hi; add++ {
-				if int64(add) > bestAdd.Load() {
+	spec := scan.Spec{
+		Workers:   workers,
+		N:         view.N(),
+		Threshold: cur,
+		Order:     scan.ByEnumeration,
+		Skip: func(add int) bool {
+			return add == v || (skipAdd != nil && skipAdd(add))
+		},
+	}
+	pricer := func(ws bfsRow, add int, threshold func() int64, yield func(int, int64) bool) {
+		view.BFSSkipVertex(add, v, ws.dist, ws.queue)
+		for i := range drops {
+			if c, below := price(i, ws.dist, threshold()); below {
+				if !yield(i, c) {
 					return
 				}
-				if add == v || (skipAdd != nil && skipAdd(add)) {
-					continue
-				}
-				view.BFSSkipVertex(add, v, dw, qw)
-				for i := range drops {
-					c, below := price(i, dw, cur)
-					if !below {
-						continue
-					}
-					mu.Lock()
-					if !found || add < best.add {
-						best, found = swapCand{add: add, dropIdx: i, cost: c}, true
-						for {
-							seen := bestAdd.Load()
-							if int64(add) >= seen || bestAdd.CompareAndSwap(seen, int64(add)) {
-								break
-							}
-						}
-					}
-					mu.Unlock()
-					// Drops ascend, so the first improving drop of this
-					// endpoint is already the enumeration-first one.
-					break
-				}
-			}
-		})
-		return best, found
-	}
-
-	par.ForChunked(workers, n, func(lo, hi int) {
-		dw, qw, release := eng.Scratch(n)
-		defer release()
-		var local swapCand
-		haveLocal := false
-		for add := lo; add < hi; add++ {
-			if add == v || (skipAdd != nil && skipAdd(add)) {
-				continue
-			}
-			view.BFSSkipVertex(add, v, dw, qw)
-			for i := range drops {
-				// The chunk's running best tightens the abort threshold;
-				// within a chunk the enumeration ascends, so the strict <
-				// keeps the enumeration-first candidate on cost ties.
-				threshold := cur
-				if haveLocal && local.cost < threshold {
-					threshold = local.cost
-				}
-				if c, below := price(i, dw, threshold); below {
-					local, haveLocal = swapCand{add: add, dropIdx: i, cost: c}, true
-				}
 			}
 		}
-		if haveLocal {
-			mu.Lock()
-			if !found || local.less(best) {
-				best, found = local, true
-			}
-			mu.Unlock()
-		}
-	})
-	return best, found
-}
-
-// less orders candidates by (cost, add, dropIdx) — cost first, enumeration
-// position on ties — the total order the sharded best-move merge uses.
-func (c swapCand) less(o swapCand) bool {
-	if c.cost != o.cost {
-		return c.cost < o.cost
 	}
-	if c.add != o.add {
-		return c.add < o.add
+	state := scratchState(eng, view.N())
+	if firstOnly {
+		return scan.First(spec, state, pricer)
 	}
-	return c.dropIdx < o.dropIdx
+	return scan.Best(spec, state, pricer)
 }

@@ -1,0 +1,173 @@
+package game_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/game"
+	"repro/internal/graph"
+)
+
+// fuzzGraph builds a random connected graph (tree plus chords) from the
+// fuzzer-chosen size and seed.
+func fuzzGraph(nRaw uint8, seed int64) (*graph.Graph, *rand.Rand) {
+	n := 4 + int(nRaw)%20
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(v, rng.Intn(v))
+	}
+	for i := 0; i < n/3; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			g.AddEdge(u, v)
+		}
+	}
+	return g, rng
+}
+
+// fuzzModel resolves a fuzzer-chosen model configuration, drawing any
+// per-model parameters from the graph's rng so they replay with the seed.
+func fuzzModel(sel uint8, n int, rng *rand.Rand) game.Model {
+	switch sel % 5 {
+	case 0:
+		return game.Swap{}
+	case 1:
+		return game.Greedy{EdgeCost: int64(rng.Intn(4))}
+	case 2:
+		return game.RandomInterests(n, 0.2+rng.Float64()*0.7, rng)
+	case 3:
+		return game.Budget{K: 2 + rng.Intn(3)}
+	default:
+		return game.TwoNeighborhood{}
+	}
+}
+
+// FuzzScanEngine cross-checks the unified scan engine's per-agent
+// witnesses — FirstImproving and BestMove for every agent, plus the
+// certification sweep — against the naive O(candidates) sequential
+// enumeration of conformance_test.go, over fuzzer-chosen graphs, model
+// configurations, worker counts, and objectives.
+//
+// Run a short bounded hunt with:
+//
+//	go test -run=NONE -fuzz=FuzzScanEngine -fuzztime=30s ./internal/game
+func FuzzScanEngine(f *testing.F) {
+	f.Add(uint8(8), int64(1), uint8(0), uint8(1), false)
+	f.Add(uint8(12), int64(7), uint8(1), uint8(3), true)
+	f.Add(uint8(5), int64(42), uint8(2), uint8(8), false)
+	f.Add(uint8(16), int64(3), uint8(3), uint8(4), true)
+	f.Add(uint8(9), int64(11), uint8(4), uint8(2), false)
+	f.Fuzz(func(t *testing.T, nRaw uint8, seed int64, modelSel, workersRaw uint8, useMax bool) {
+		g, rng := fuzzGraph(nRaw, seed)
+		n := g.N()
+		model := fuzzModel(modelSel, n, rng)
+		workers := 1 + int(workersRaw)%8
+		obj := game.Sum
+		if useMax {
+			obj = game.Max
+		}
+		fast := model.New(g.Clone(), workers)
+		naive := model.Naive(g.Clone(), 1)
+
+		var wantSweep game.Move
+		var wantSweepCost int64
+		sweepFound := false
+		for v := 0; v < n; v++ {
+			cands := refEnumerate(model, naive, v, obj)
+			cur := naive.Cost(v, obj)
+
+			wm, wok := refFirst(cands, cur)
+			m, old, newCost, ok := fast.FirstImproving(v, obj)
+			if ok != wok || old != cur || (ok && (m != wm.m || newCost != wm.cost)) {
+				t.Fatalf("%s workers=%d obj=%v v=%d: FirstImproving (%v,%d,%d,%v), reference (%v,%d,%d,%v)",
+					model.Name(), workers, obj, v, m, old, newCost, ok, wm.m, cur, wm.cost, wok)
+			}
+			if wok && !sweepFound {
+				wantSweep, wantSweepCost, sweepFound = wm.m, wm.cost, true
+			}
+
+			wm, wok = refBest(model, cands, cur)
+			m, old, newCost, ok = fast.BestMove(v, obj)
+			if ok != wok || old != cur || (ok && (m != wm.m || newCost != wm.cost)) {
+				t.Fatalf("%s workers=%d obj=%v v=%d: BestMove (%v,%d,%d,%v), reference (%v,%d,%d,%v)",
+					model.Name(), workers, obj, v, m, old, newCost, ok, wm.m, cur, wm.cost, wok)
+			}
+		}
+
+		m, _, newCost, ok := fast.FindImprovement(obj)
+		if ok != sweepFound || (ok && (m != wantSweep || newCost != wantSweepCost)) {
+			t.Fatalf("%s workers=%d obj=%v: FindImprovement (%v,%d,%v), reference (%v,%d,%v)",
+				model.Name(), workers, obj, m, newCost, ok, wantSweep, wantSweepCost, sweepFound)
+		}
+	})
+}
+
+// FuzzBatchedSweep cross-checks the batched cross-agent certification
+// sweep — shared endpoint rows as lower-bound filters, exact verification
+// for flagged candidates — against the per-agent sweep on fuzzer-chosen
+// graphs and configurations of the three batched models, driving a few
+// improvement steps so near-equilibrium and mid-dynamics positions are
+// both hit. For the swap model the one-shot batched checker (with the
+// deletion-criticality condition) is compared too.
+//
+// Run a short bounded hunt with:
+//
+//	go test -run=NONE -fuzz=FuzzBatchedSweep -fuzztime=30s ./internal/game
+func FuzzBatchedSweep(f *testing.F) {
+	f.Add(uint8(8), int64(1), uint8(0), uint8(1), false)
+	f.Add(uint8(14), int64(5), uint8(1), uint8(3), true)
+	f.Add(uint8(20), int64(9), uint8(2), uint8(4), false)
+	f.Fuzz(func(t *testing.T, nRaw uint8, seed int64, modelSel, workersRaw uint8, useMax bool) {
+		g, rng := fuzzGraph(nRaw, seed)
+		n := g.N()
+		var model game.Model
+		switch modelSel % 3 {
+		case 0:
+			model = game.Swap{}
+		case 1:
+			model = game.RandomInterests(n, 0.2+rng.Float64()*0.7, rng)
+		default:
+			model = game.Budget{K: 2 + rng.Intn(3)}
+		}
+		workers := 1 + int(workersRaw)%8
+		obj := game.Sum
+		if useMax {
+			obj = game.Max
+		}
+
+		gB, gS := g.Clone(), g.Clone()
+		batched := model.New(gB, workers)
+		seq := model.New(gS, workers)
+		if _, ok := batched.(game.BatchedSweeper); !ok {
+			t.Fatalf("%s: no batched sweep", model.Name())
+		}
+		for step := 0; step < 4; step++ {
+			bm, bo, bn, bok := game.FindImprovementBatched(batched, obj)
+			sm, so, sn, sok := seq.FindImprovement(obj)
+			if bok != sok || (bok && (bm != sm || bo != so || bn != sn)) {
+				t.Fatalf("%s step %d: batched (%v,%d,%d,%v), per-agent (%v,%d,%d,%v)",
+					model.Name(), step, bm, bo, bn, bok, sm, so, sn, sok)
+			}
+			if !bok {
+				break
+			}
+			batched.Apply(bm)
+			seq.Apply(sm)
+		}
+
+		if _, isSwap := model.(game.Swap); isSwap && g.IsConnected() {
+			for _, critical := range []bool{false, true} {
+				sok, sviol, serr := game.CheckSwap(g, obj, workers, critical)
+				bok, bviol, berr := game.CheckSwapBatched(g, obj, workers, critical)
+				if sok != bok || (serr == nil) != (berr == nil) || (sviol == nil) != (bviol == nil) {
+					t.Fatalf("critical=%v: checker verdict per-agent (%v,%v,%v), batched (%v,%v,%v)",
+						critical, sok, sviol, serr, bok, bviol, berr)
+				}
+				if sviol != nil && *sviol != *bviol {
+					t.Fatalf("critical=%v: witness per-agent %+v, batched %+v", critical, sviol, bviol)
+				}
+			}
+		}
+	})
+}

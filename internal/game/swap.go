@@ -36,11 +36,16 @@ func (Swap) Naive(g *graph.Graph, workers int) Instance {
 // broken toward the lexicographically smallest (Drop, Add). The candidate
 // scan is sharded across workers; the result is identical for every count.
 func BestSwap(g *graph.Graph, v int, obj Objective, workers int) (best Move, newCost int64, improves bool) {
-	scan := pricing.Shared(workers).NewScan(g.Freeze(), v)
-	defer scan.Close()
-	cur := scan.CurrentUsage(pobj(obj))
+	sc := pricing.Shared(workers).NewScan(g.Freeze(), v)
+	defer sc.Close()
+	cur := sc.CurrentUsage(pobj(obj))
 	newCost = cur
-	if b, ok := scan.BestMove(pobj(obj), false); ok && b.Cost < cur {
+	// Adds onto existing neighbors realize pure deletions (and add == drop
+	// a no-op); a deletion never shortens a distance, so those candidates
+	// price >= cur and can never be the improving winner — skipping them
+	// drops their BFS without changing any reported result (the Naive*
+	// oracles keep enumerating them, pinning the skip).
+	if b, ok := sc.BestMove(pobj(obj), true); ok && b.Cost < cur {
 		return Move{V: v, Drop: b.Drop, Add: b.Add}, b.Cost, true
 	}
 	return best, newCost, false
@@ -97,35 +102,48 @@ func swapScan(view pricing.Snapshot, obj Objective, workers int, deletionCritica
 
 // swapScanVertex scans all moves of agent v, returning the first violation
 // in per-vertex order: deletion-criticality (when requested) before swaps,
-// swaps in the engine's add-major enumeration order.
+// swaps in the engine's add-major enumeration order. The swap scan skips
+// adds onto current neighbors (the deletion-skip): such candidates realize
+// pure deletions or no-ops, which never price strictly below cur, so the
+// witness is unchanged while hub-heavy agents (a star center is adjacent
+// to everyone) drop their whole endpoint-BFS scan.
 func swapScanVertex(eng *pricing.Engine, view pricing.Snapshot, v int, obj Objective, po pricing.Objective, deletionCritical bool) *Violation {
-	scan := eng.NewScan(view, v)
-	defer scan.Close()
-	cur := scan.CurrentUsage(po)
+	sc := eng.NewScan(view, v)
+	defer sc.Close()
+	cur := sc.CurrentUsage(po)
 
 	if obj == Max && deletionCritical {
-		// Deletion-criticality half of the max-equilibrium condition:
-		// deleting vw must strictly increase v's local diameter.
-		for i, w := range scan.Drops() {
-			if del := scan.DeletionUsage(i, pricing.Max); del <= cur {
-				return &Violation{
-					Kind:    DeletionSafe,
-					Edge:    graph.NewEdge(v, int(w)),
-					Agent:   v,
-					OldCost: cur,
-					NewCost: del,
-				}
-			}
+		if viol := deletionViolation(sc, v, cur); viol != nil {
+			return viol
 		}
 	}
 
-	if b, ok := scan.FirstImproving(po, false, cur); ok {
+	if b, ok := sc.FirstImproving(po, true, cur); ok {
 		return &Violation{
 			Kind:    SwapImproves,
 			Move:    Move{V: v, Drop: b.Drop, Add: b.Add},
 			Agent:   v,
 			OldCost: cur,
 			NewCost: b.Cost,
+		}
+	}
+	return nil
+}
+
+// deletionViolation checks the deletion-criticality half of the
+// max-equilibrium condition from the scan's dropped-edge rows: deleting vw
+// must strictly increase v's local diameter. Shared by the per-agent
+// checker and the batched whole-graph sweep.
+func deletionViolation(sc *pricing.Scan, v int, cur int64) *Violation {
+	for i, w := range sc.Drops() {
+		if del := sc.DeletionUsage(i, pricing.Max); del <= cur {
+			return &Violation{
+				Kind:    DeletionSafe,
+				Edge:    graph.NewEdge(v, int(w)),
+				Agent:   v,
+				OldCost: cur,
+				NewCost: del,
+			}
 		}
 	}
 	return nil
@@ -247,12 +265,14 @@ func (s *SwapSession) SocialCost(obj Objective) int64 {
 // BestMove returns agent v's cost-minimizing swap over the live snapshot,
 // with the same deterministic (cost, drop, add) tie-break as BestSwap,
 // plus v's current cost (read from the scan for free). The
-// candidate-endpoint scan is sharded across the session's workers.
+// candidate-endpoint scan is sharded across the session's workers and
+// skips adds onto current neighbors (pure deletions never price strictly
+// below cur, so the improving winner is unchanged).
 func (s *SwapSession) BestMove(v int, obj Objective) (best Move, oldCost, newCost int64, ok bool) {
-	scan := s.ps.NewScan(v)
-	defer scan.Close()
-	cur := scan.CurrentUsage(pobj(obj))
-	if b, found := scan.BestMove(pobj(obj), false); found && b.Cost < cur {
+	sc := s.ps.NewScan(v)
+	defer sc.Close()
+	cur := sc.CurrentUsage(pobj(obj))
+	if b, found := sc.BestMove(pobj(obj), true); found && b.Cost < cur {
 		return Move{V: v, Drop: b.Drop, Add: b.Add}, cur, b.Cost, true
 	}
 	return best, cur, cur, false
@@ -261,12 +281,15 @@ func (s *SwapSession) BestMove(v int, obj Objective) (best Move, oldCost, newCos
 // FirstImproving returns agent v's first improving swap in the engine's
 // add-major enumeration order — the first-improvement policy's move —
 // sharded across the session's workers with a deterministic merge, so the
-// result equals the sequential early-exit scan for any worker count.
+// result equals the sequential early-exit scan for any worker count. Like
+// BestMove it skips adds onto current neighbors; no such candidate can
+// price strictly below cur, so the first improving move is unchanged (the
+// naive oracle keeps enumerating everything, pinning the skip).
 func (s *SwapSession) FirstImproving(v int, obj Objective) (m Move, oldCost, newCost int64, ok bool) {
-	scan := s.ps.NewScan(v)
-	defer scan.Close()
-	cur := scan.CurrentUsage(pobj(obj))
-	if b, found := scan.FirstImproving(pobj(obj), false, cur); found {
+	sc := s.ps.NewScan(v)
+	defer sc.Close()
+	cur := sc.CurrentUsage(pobj(obj))
+	if b, found := sc.FirstImproving(pobj(obj), true, cur); found {
 		return Move{V: v, Drop: b.Drop, Add: b.Add}, cur, b.Cost, true
 	}
 	return m, cur, cur, false

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/pricing"
+	"repro/internal/scan"
 )
 
 // TwoNeighborhood is the 2-neighborhood maximization variant of the basic
@@ -173,23 +174,30 @@ func (s *twoNBSession) FirstImproving(v int, obj Objective) (Move, int64, int64,
 	return s.scanMoves(v, true)
 }
 
-// scanMoves walks the add-major enumeration, toggling one contribution in
-// and one out per candidate: O(deg(add) + vol(N(v))) per endpoint instead
-// of a BFS. Degenerate add == drop candidates are no-ops and skipped;
-// adds onto existing neighbors price as pure deletions (which never grow a
-// 2-neighborhood, but are enumerated for parity with the oracle).
+// scanMoves walks the add-major enumeration on the unified scan engine,
+// toggling one contribution in and one out per candidate:
+// O(deg(add) + vol(N(v))) per endpoint instead of a BFS. Degenerate
+// add == drop candidates are no-ops and skipped; adds onto existing
+// neighbors price as pure deletions (which never grow a 2-neighborhood,
+// but are enumerated for parity with the oracle). The engine runs at one
+// worker: the multiplicity counter is a single mutable structure, the
+// per-candidate work is adjacency-cheap, and per-chunk counter reloads
+// would cost more than they parallelize — the enumeration order, admission
+// threshold, and tie-break still come from the one shared protocol.
 func (s *twoNBSession) scanMoves(v int, firstOnly bool) (Move, int64, int64, bool) {
 	view := s.ps.View()
 	n := view.N()
 	nbs := s.loadBase(v, view)
 	cur := int64(n - 1 - s.covered)
-	var best swapCand
-	found := false
-scan:
-	for add := 0; add < n; add++ {
-		if add == v {
-			continue
-		}
+	spec := scan.Spec{
+		Workers:   1,
+		N:         n,
+		Threshold: cur,
+		Order:     scan.ByEnumeration,
+		Skip:      func(add int) bool { return add == v },
+	}
+	state := func() (struct{}, func()) { return struct{}{}, func() {} }
+	pricer := func(_ struct{}, add int, threshold func() int64, yield func(int, int64) bool) {
 		fresh := !view.HasEdge(v, add)
 		if fresh {
 			s.addContrib(v, add, view)
@@ -202,13 +210,9 @@ scan:
 			s.delContrib(v, drop, view)
 			c := int64(n - 1 - s.covered)
 			s.addContrib(v, drop, view)
-			if c < cur && (!found || c < best.cost) {
-				best, found = swapCand{add: add, dropIdx: i, cost: c}, true
-				if firstOnly {
-					if fresh {
-						s.delContrib(v, add, view)
-					}
-					break scan
+			if c < threshold() {
+				if !yield(i, c) {
+					break
 				}
 			}
 		}
@@ -216,11 +220,18 @@ scan:
 			s.delContrib(v, add, view)
 		}
 	}
+	var cand scan.Cand
+	var found bool
+	if firstOnly {
+		cand, found = scan.First(spec, state, pricer)
+	} else {
+		cand, found = scan.Best(spec, state, pricer)
+	}
 	s.unloadBase(v, nbs, view)
 	if !found {
 		return Move{}, cur, cur, false
 	}
-	return Move{V: v, Drop: int(nbs[best.dropIdx]), Add: best.add}, cur, best.cost, true
+	return Move{V: v, Drop: int(nbs[cand.DropIdx]), Add: cand.Add}, cur, cand.Cost, true
 }
 
 // PriceMove prices one candidate from the counter, with the same
@@ -310,21 +321,22 @@ func (s *twoNBNaive) scanMoves(v int, firstOnly bool) (Move, int64, int64, bool)
 	n := s.g.N()
 	cur := s.Cost(v, Sum)
 	nbs := s.g.Neighbors(v)
-	var best swapCand
+	var best Move
+	bestCost := cur
 	found := false
 	for add := 0; add < n; add++ {
 		if add == v {
 			continue
 		}
-		for i, w := range nbs {
+		for _, w := range nbs {
 			if w == add {
 				continue
 			}
-			c := s.PriceMove(Move{V: v, Drop: w, Add: add}, Sum)
-			if c < cur && (!found || c < best.cost) {
-				best, found = swapCand{add: add, dropIdx: i, cost: c}, true
+			m := Move{V: v, Drop: w, Add: add}
+			if c := s.PriceMove(m, Sum); c < bestCost {
+				best, bestCost, found = m, c, true
 				if firstOnly {
-					return Move{V: v, Drop: w, Add: add}, cur, c, true
+					return best, cur, bestCost, true
 				}
 			}
 		}
@@ -332,7 +344,7 @@ func (s *twoNBNaive) scanMoves(v int, firstOnly bool) (Move, int64, int64, bool)
 	if !found {
 		return Move{}, cur, cur, false
 	}
-	return Move{V: v, Drop: nbs[best.dropIdx], Add: best.add}, cur, best.cost, true
+	return best, cur, bestCost, true
 }
 
 func (s *twoNBNaive) PriceMove(m Move, _ Objective) int64 {

@@ -20,22 +20,22 @@
 // row in G and in each G−vw), and then prices all candidates for one
 // endpoint w' from a single BFS row of G−v, shared across every dropped
 // edge. Per-worker scratch (distance rows and queues) lives in pooled
-// buffers, and the best-move search shards candidate endpoints across
-// workers via internal/par with dynamic chunking; results are merged with a
-// total order on (cost, drop, add), so the outcome is deterministic for any
-// worker count.
+// buffers, and the best-move and first-improvement searches run on the
+// unified scan engine (internal/scan) with the ByDropFirst tie-break —
+// (cost, drop, add) — so the outcome is deterministic for any worker
+// count.
 //
-// The package depends only on internal/graph and internal/par so that both
-// the basic-game checkers (internal/core) and the α-game dynamics
-// (internal/nash) can share one engine.
+// The package depends only on internal/graph, internal/par, and
+// internal/scan so that both the basic-game checkers (internal/core) and
+// the α-game dynamics (internal/nash) can share one engine.
 package pricing
 
 import (
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/graph"
 	"repro/internal/par"
+	"repro/internal/scan"
 )
 
 // Objective selects which usage cost is priced.
@@ -271,29 +271,6 @@ func (s *Scan) ForEach(obj Objective, skipAdjacent bool, fn func(dropIdx, add in
 	}
 }
 
-// ForEachAdd runs one BFS of G−v per candidate endpoint — add ascending,
-// skipping the deviator and, when skipAdjacent, its current neighbors — and
-// hands the caller the endpoint's distance row d_{G−v}(add,·) to price
-// arbitrary functionals against the scan's dropped-edge rows (e.g. the
-// interest-restricted costs of the communication-interests game). The row
-// is scratch storage, valid only during the callback. fn returning false
-// stops the enumeration.
-func (s *Scan) ForEachAdd(skipAdjacent bool, fn func(add int, dw []int32) bool) {
-	s.checkFresh()
-	n := s.f.N()
-	sc := s.e.getScratch(n)
-	defer s.e.putScratch(sc)
-	for add := 0; add < n; add++ {
-		if add == s.v || (skipAdjacent && s.f.HasEdge(s.v, add)) {
-			continue
-		}
-		s.f.BFSSkipVertex(add, s.v, sc.dist, sc.queue)
-		if !fn(add, sc.dist) {
-			return
-		}
-	}
-}
-
 // Best is a priced swap candidate.
 type Best struct {
 	Drop int   // endpoint losing its edge to the deviator
@@ -301,18 +278,48 @@ type Best struct {
 	Cost int64 // deviator's usage cost after the swap
 }
 
-func (b Best) less(o Best) bool {
-	if b.Cost != o.Cost {
-		return b.Cost < o.Cost
+// spec assembles the scan-engine description of this Scan's candidate
+// universe: every vertex but the deviator (and, when skipAdjacent, its
+// current neighbors), the engine's workers, and the given admission bound
+// and tie-break order.
+func (s *Scan) spec(ord scan.Order, threshold int64, skipAdjacent bool) scan.Spec {
+	return scan.Spec{
+		Workers:   s.e.workers,
+		N:         s.f.N(),
+		Threshold: threshold,
+		Order:     ord,
+		Skip: func(add int) bool {
+			return add == s.v || (skipAdjacent && s.f.HasEdge(s.v, add))
+		},
 	}
-	if b.Drop != o.Drop {
-		return b.Drop < o.Drop
+}
+
+// state lends the engine's pooled BFS scratch to the scan engine as its
+// per-worker state.
+func (s *Scan) state() (*scratch, func()) {
+	sc := s.e.getScratch(s.f.N())
+	return sc, func() { s.e.putScratch(sc) }
+}
+
+// pricer builds the endpoint's G−v row once and yields every dropped edge
+// pricing strictly below the admission threshold; the thresholded reduction
+// aborts a Θ(n) sum as soon as it proves the candidate cannot qualify.
+func (s *Scan) pricer(obj Objective) scan.Pricer[*scratch] {
+	return func(sc *scratch, add int, threshold func() int64, yield func(int, int64) bool) {
+		s.f.BFSSkipVertex(add, s.v, sc.dist, sc.queue)
+		for i := range s.drops {
+			if cost, below := PatchedBelow(s.dropRows[i], sc.dist, obj, threshold()); below {
+				if !yield(i, cost) {
+					return
+				}
+			}
+		}
 	}
-	return b.Add < o.Add
 }
 
 // BestMove returns the minimum-cost candidate swap, with ties broken toward
-// the lexicographically smallest (Drop, Add). Candidate endpoints are
+// the lexicographically smallest (Drop, Add) — the scan engine's
+// ByDropFirst order over the ascending drop list. Candidate endpoints are
 // sharded across the engine's workers; the merge order is deterministic for
 // any worker count. ok is false when v has no candidate swaps.
 func (s *Scan) BestMove(obj Objective, skipAdjacent bool) (best Best, ok bool) {
@@ -320,89 +327,31 @@ func (s *Scan) BestMove(obj Objective, skipAdjacent bool) (best Best, ok bool) {
 	if len(s.drops) == 0 {
 		return Best{}, false
 	}
-	n := s.f.N()
-	var mu sync.Mutex
-	par.ForChunked(s.e.workers, n, func(lo, hi int) {
-		sc := s.e.getScratch(n)
-		defer s.e.putScratch(sc)
-		var local Best
-		found := false
-		for add := lo; add < hi; add++ {
-			if add == s.v || (skipAdjacent && s.f.HasEdge(s.v, add)) {
-				continue
-			}
-			s.f.BFSSkipVertex(add, s.v, sc.dist, sc.queue)
-			for i, w := range s.drops {
-				cand := Best{Drop: int(w), Add: add, Cost: Patched(s.dropRows[i], sc.dist, obj)}
-				if !found || cand.less(local) {
-					local, found = cand, true
-				}
-			}
-		}
-		if found {
-			mu.Lock()
-			if !ok || local.less(best) {
-				best, ok = local, true
-			}
-			mu.Unlock()
-		}
-	})
-	return best, ok
+	c, found := scan.Best(s.spec(scan.ByDropFirst, scan.NoThreshold, skipAdjacent), s.state, s.pricer(obj))
+	if !found {
+		return Best{}, false
+	}
+	return Best{Drop: int(s.drops[c.DropIdx]), Add: c.Add, Cost: c.Cost}, true
 }
 
 // FirstImproving returns the first candidate in the ForEach enumeration
 // order — add-major, dropped edges ascending within an endpoint — whose
 // cost is strictly below threshold. Candidate endpoints are sharded across
 // the engine's workers and chunks past an already-found endpoint are
-// pruned, so the result equals a sequential early-exit scan for any worker
-// count. It powers the first-improvement dynamics policy and the
-// random-improving certification sweep.
+// pruned (the scan engine's CAS protocol), so the result equals a
+// sequential early-exit scan for any worker count. It powers the
+// first-improvement dynamics policy and the random-improving certification
+// sweep.
 func (s *Scan) FirstImproving(obj Objective, skipAdjacent bool, threshold int64) (first Best, ok bool) {
 	s.checkFresh()
 	if len(s.drops) == 0 {
 		return Best{}, false
 	}
-	n := s.f.N()
-	var mu sync.Mutex
-	var bestAdd atomic.Int64 // smallest improving endpoint so far, prunes later chunks
-	bestAdd.Store(int64(n))
-	par.ForChunked(s.e.workers, n, func(lo, hi int) {
-		if int64(lo) > bestAdd.Load() {
-			return
-		}
-		sc := s.e.getScratch(n)
-		defer s.e.putScratch(sc)
-		for add := lo; add < hi; add++ {
-			if int64(add) > bestAdd.Load() {
-				return
-			}
-			if add == s.v || (skipAdjacent && s.f.HasEdge(s.v, add)) {
-				continue
-			}
-			s.f.BFSSkipVertex(add, s.v, sc.dist, sc.queue)
-			for i, w := range s.drops {
-				cost := Patched(s.dropRows[i], sc.dist, obj)
-				if cost >= threshold {
-					continue
-				}
-				mu.Lock()
-				if !ok || add < first.Add {
-					first, ok = Best{Drop: int(w), Add: add, Cost: cost}, true
-					for {
-						cur := bestAdd.Load()
-						if int64(add) >= cur || bestAdd.CompareAndSwap(cur, int64(add)) {
-							break
-						}
-					}
-				}
-				mu.Unlock()
-				// Drops are scanned ascending, so the first improving drop
-				// for this endpoint is already the enumeration-first one.
-				break
-			}
-		}
-	})
-	return first, ok
+	c, found := scan.First(s.spec(scan.ByEnumeration, threshold, skipAdjacent), s.state, s.pricer(obj))
+	if !found {
+		return Best{}, false
+	}
+	return Best{Drop: int(s.drops[c.DropIdx]), Add: c.Add, Cost: c.Cost}, true
 }
 
 // Usage prices a BFS row under obj: the row's sum (Sum) or maximum (Max),

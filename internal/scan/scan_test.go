@@ -1,0 +1,148 @@
+package scan_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/scan"
+)
+
+// table is a synthetic cost surface: costs[add][dropIdx], with skip marking
+// endpoints the spec filters out. It prices through the same thresholded
+// contract real pricers use (yield only strictly-below costs).
+type table struct {
+	costs [][]int64
+	skip  []bool
+}
+
+func randomTable(rng *rand.Rand, n, drops int) *table {
+	tb := &table{costs: make([][]int64, n), skip: make([]bool, n)}
+	for a := 0; a < n; a++ {
+		tb.costs[a] = make([]int64, drops)
+		for d := 0; d < drops; d++ {
+			// Small range forces many cost ties, stressing the tie-breaks.
+			tb.costs[a][d] = int64(rng.Intn(6))
+		}
+		tb.skip[a] = rng.Intn(5) == 0
+	}
+	return tb
+}
+
+func (tb *table) spec(workers int, ord scan.Order, threshold int64) scan.Spec {
+	return scan.Spec{
+		Workers:   workers,
+		N:         len(tb.costs),
+		Threshold: threshold,
+		Order:     ord,
+		Skip:      func(add int) bool { return tb.skip[add] },
+	}
+}
+
+func (tb *table) pricer() scan.Pricer[struct{}] {
+	return func(_ struct{}, add int, threshold func() int64, yield func(int, int64) bool) {
+		for d, c := range tb.costs[add] {
+			if c < threshold() {
+				if !yield(d, c) {
+					return
+				}
+			}
+		}
+	}
+}
+
+func noState() (struct{}, func()) { return struct{}{}, func() {} }
+
+// naiveFirst is the sequential reference: first (add, dropIdx) in add-major
+// order strictly below threshold.
+func (tb *table) naiveFirst(threshold int64) (scan.Cand, bool) {
+	for a := range tb.costs {
+		if tb.skip[a] {
+			continue
+		}
+		for d, c := range tb.costs[a] {
+			if c < threshold {
+				return scan.Cand{Add: a, DropIdx: d, Cost: c}, true
+			}
+		}
+	}
+	return scan.Cand{}, false
+}
+
+// naiveBest is the sequential reference: minimum under ord among candidates
+// strictly below threshold.
+func (tb *table) naiveBest(ord scan.Order, threshold int64) (scan.Cand, bool) {
+	var best scan.Cand
+	found := false
+	for a := range tb.costs {
+		if tb.skip[a] {
+			continue
+		}
+		for d, c := range tb.costs[a] {
+			if c >= threshold {
+				continue
+			}
+			cand := scan.Cand{Add: a, DropIdx: d, Cost: c}
+			if !found || cand.Less(best, ord) {
+				best, found = cand, true
+			}
+		}
+	}
+	return best, found
+}
+
+func TestFirstAndBestMatchSequentialReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(40)
+		drops := 1 + rng.Intn(4)
+		tb := randomTable(rng, n, drops)
+		for _, threshold := range []int64{0, 2, 4, scan.NoThreshold} {
+			for _, workers := range []int{1, 2, 4, 8} {
+				got, ok := scan.First(tb.spec(workers, scan.ByEnumeration, threshold), noState, tb.pricer())
+				want, wok := tb.naiveFirst(threshold)
+				if ok != wok || (ok && got != want) {
+					t.Fatalf("trial %d th=%d workers=%d: First %+v/%v, want %+v/%v",
+						trial, threshold, workers, got, ok, want, wok)
+				}
+				for _, ord := range []scan.Order{scan.ByEnumeration, scan.ByDropFirst} {
+					got, ok := scan.Best(tb.spec(workers, ord, threshold), noState, tb.pricer())
+					want, wok := tb.naiveBest(ord, threshold)
+					if ok != wok || (ok && got != want) {
+						t.Fatalf("trial %d th=%d workers=%d ord=%d: Best %+v/%v, want %+v/%v",
+							trial, threshold, workers, ord, got, ok, want, wok)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestOrderLess pins the two declared total orders.
+func TestOrderLess(t *testing.T) {
+	a := scan.Cand{Add: 3, DropIdx: 5, Cost: 7}
+	b := scan.Cand{Add: 5, DropIdx: 2, Cost: 7}
+	if !a.Less(b, scan.ByEnumeration) || b.Less(a, scan.ByEnumeration) {
+		t.Fatal("ByEnumeration must order by (cost, add, dropIdx)")
+	}
+	if !b.Less(a, scan.ByDropFirst) || a.Less(b, scan.ByDropFirst) {
+		t.Fatal("ByDropFirst must order by (cost, dropIdx, add)")
+	}
+	c := scan.Cand{Add: 3, DropIdx: 5, Cost: 6}
+	if !c.Less(a, scan.ByEnumeration) || !c.Less(a, scan.ByDropFirst) {
+		t.Fatal("cost must dominate both orders")
+	}
+}
+
+// TestEmptyUniverse pins the degenerate contracts.
+func TestEmptyUniverse(t *testing.T) {
+	spec := scan.Spec{Workers: 4, N: 0, Threshold: scan.NoThreshold}
+	price := func(_ struct{}, _ int, _ func() int64, _ func(int, int64) bool) {
+		t.Fatal("pricer must not run on an empty universe")
+	}
+	if _, ok := scan.First(spec, noState, price); ok {
+		t.Fatal("First on empty universe")
+	}
+	if _, ok := scan.Best(spec, noState, price); ok {
+		t.Fatal("Best on empty universe")
+	}
+}
