@@ -15,9 +15,13 @@ test:
 race:
 	$(GO) test -race ./internal/...
 
-# One iteration per benchmark: the CI smoke that keeps bench_test.go alive.
+# One iteration per benchmark, teed through cmd/benchjson into a checked-in
+# JSON artifact (benchmark → ns/op, allocs, GOMAXPROCS, host fingerprint) so
+# numbers are comparable across PRs. benchjson fails on FAIL lines or an
+# empty stream, so this still doubles as the CI smoke for bench_test.go.
+BENCH_JSON ?= BENCH_6.json
 bench:
-	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+	$(GO) test -run=NONE -bench=. -benchtime=1x -benchmem ./... | $(GO) run ./cmd/benchjson -o $(BENCH_JSON)
 
 # Bounded fuzz of the incremental pricing session's swap mutation path, the
 # greedy model's add/delete/swap apply/undo path, the budget model's
@@ -31,13 +35,17 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzScanEngine -fuzztime=30s ./internal/game
 	$(GO) test -run=NONE -fuzz=FuzzBatchedSweep -fuzztime=30s ./internal/game
 
-# End-to-end CLI smoke of every deviation model (mirrors the CI step).
+# End-to-end CLI smoke of every deviation model (mirrors the CI step),
+# then the service load harness: k concurrent clients replay the mixed
+# corpus against an in-process server and every verdict is compared
+# bit-for-bit with the direct engine path.
 smoke:
 	$(GO) run ./cmd/bncg dynamics -n 24 -model swap -policy first -workers 2
 	$(GO) run ./cmd/bncg dynamics -n 24 -model greedy -edgecost 3 -policy best -workers 2
 	$(GO) run ./cmd/bncg dynamics -n 24 -model interests -policy random -seed 3 -workers 2
 	$(GO) run ./cmd/bncg dynamics -n 24 -model budget -budget 3 -policy best -workers 2
 	$(GO) run ./cmd/bncg dynamics -n 24 -model 2nb -policy first -seed 2 -workers 2
+	$(GO) run ./cmd/bncg load -k 8 -rounds 2
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

@@ -54,10 +54,24 @@ type (
 	Torus = constructions.Torus
 	// MultiTorus is the d-dimensional Section 4 generalization.
 	MultiTorus = constructions.MultiTorus
-	// DynamicsOptions configures RunDynamics.
+	// CheckSpec selects one equilibrium check (model, objective, batched
+	// routing, workers) — the unified request shape behind Check, the
+	// dynamics spec, and the serving layer.
+	CheckSpec = core.CheckSpec
+	// Verdict is the outcome of a Check: stability bit, witness, and
+	// whether the batched pass actually ran.
+	Verdict = core.Verdict
+	// DynamicsSpec configures RunDynamicsSpec; it embeds CheckSpec.
+	DynamicsSpec = dynamics.Spec
+	// DynamicsOptions is the deprecated flat configuration of RunDynamics.
+	//
+	// Deprecated: use DynamicsSpec.
 	DynamicsOptions = dynamics.Options
 	// DynamicsResult reports a dynamics run.
 	DynamicsResult = dynamics.Result
+	// BatchedState reports how a dynamics run honored a batched-sweeps
+	// request (off, active, or explicit per-agent fallback).
+	BatchedState = dynamics.BatchedState
 	// ExperimentConfig scales the experiment harness.
 	ExperimentConfig = experiments.Config
 	// Experiment reproduces one paper artifact.
@@ -77,6 +91,13 @@ const (
 	BestResponse     = dynamics.BestResponse
 	FirstImprovement = dynamics.FirstImprovement
 	RandomImproving  = dynamics.RandomImproving
+)
+
+// Batched-sweep states reported by DynamicsResult.Batched.
+const (
+	BatchedOff      = dynamics.BatchedOff
+	BatchedActive   = dynamics.BatchedActive
+	BatchedFallback = dynamics.BatchedFallback
 )
 
 // The deviation-model layer (internal/game): a GameModel owns move
@@ -121,20 +142,34 @@ func NewGraph(n int) *Graph { return graph.New(n) }
 // FromEdges builds a graph on n vertices from an edge list.
 func FromEdges(n int, edges []Edge) (*Graph, error) { return graph.FromEdges(n, edges) }
 
+// Check runs the equilibrium check selected by spec on g — the one entry
+// point the historical CheckSum / CheckMax / CheckSwapStable × *Batched
+// names collapsed into. Verdicts and witnesses are bit-identical to the
+// deprecated wrappers for the corresponding specs.
+func Check(g *Graph, spec CheckSpec) (Verdict, error) {
+	return core.Check(g, spec)
+}
+
 // CheckSum reports whether g is in sum equilibrium (no swap strictly
 // decreases any agent's total distance), with a witness on failure.
+//
+// Deprecated: use Check with CheckSpec{Objective: Sum}.
 func CheckSum(g *Graph, workers int) (bool, *Violation, error) {
 	return core.CheckSum(g, workers)
 }
 
 // CheckMax reports whether g is in max equilibrium (no swap decreases any
 // agent's local diameter, and every deletion strictly increases it).
+//
+// Deprecated: use Check with CheckSpec{Objective: Max}.
 func CheckMax(g *Graph, workers int) (bool, *Violation, error) {
 	return core.CheckMax(g, workers)
 }
 
 // CheckSwapStable checks only the no-improving-swap condition (the
 // equilibrium notion swap dynamics converge to).
+//
+// Deprecated: use Check with CheckSpec{Objective: obj, StableOnly: true}.
 func CheckSwapStable(g *Graph, obj Objective, workers int) (bool, *Violation, error) {
 	return core.CheckSwapStable(g, obj, workers)
 }
@@ -143,18 +178,25 @@ func CheckSwapStable(g *Graph, obj Objective, workers int) (bool, *Violation, er
 // endpoint BFS rows are computed once and reused across agents as sound
 // lower-bound filters (O(n²) transient memory, far fewer BFS). Verdict and
 // witness are bit-identical to CheckSum.
+//
+// Deprecated: use Check with CheckSpec{Objective: Sum, Batched: true}.
 func CheckSumBatched(g *Graph, workers int) (bool, *Violation, error) {
 	return core.CheckSumBatched(g, workers)
 }
 
 // CheckMaxBatched is CheckMax via the batched cross-agent sweep; verdict
 // and witness are bit-identical to CheckMax.
+//
+// Deprecated: use Check with CheckSpec{Objective: Max, Batched: true}.
 func CheckMaxBatched(g *Graph, workers int) (bool, *Violation, error) {
 	return core.CheckMaxBatched(g, workers)
 }
 
 // CheckSwapStableBatched is CheckSwapStable via the batched cross-agent
 // sweep; verdict and witness are bit-identical.
+//
+// Deprecated: use Check with CheckSpec{Objective: obj, StableOnly: true,
+// Batched: true}.
 func CheckSwapStableBatched(g *Graph, obj Objective, workers int) (bool, *Violation, error) {
 	return core.CheckSwapStableBatched(g, obj, workers)
 }
@@ -202,9 +244,18 @@ func Cost(g *Graph, v int, obj Objective) int64 { return core.Cost(g, v, obj) }
 func SocialCost(g *Graph, obj Objective) int64 { return core.SocialCost(g, obj) }
 
 // RunDynamics runs swap dynamics on g (mutating it) until a certified swap
-// equilibrium or the move budget is reached.
+// equilibrium or the move budget is reached, configured by the deprecated
+// flat options.
+//
+// Deprecated: use RunDynamicsSpec.
 func RunDynamics(g *Graph, opt DynamicsOptions) (*DynamicsResult, error) {
 	return dynamics.Run(g, opt)
+}
+
+// RunDynamicsSpec runs move dynamics on g (mutating it) until a certified
+// equilibrium of the spec's model or the move budget is reached.
+func RunDynamicsSpec(g *Graph, spec DynamicsSpec) (*DynamicsResult, error) {
+	return dynamics.RunSpec(g, spec)
 }
 
 // Constructions from the paper.

@@ -6,6 +6,8 @@
 //	                [-model swap|greedy|interests|budget|2nb] [-edgecost 2]
 //	                [-interests file] [-budget 3] [-seed 1]
 //	bncg experiments [-id E5] [-quick] [-seed 1]
+//	bncg serve      [-addr :8347] [-pool 16] [-cache 512] [-timeout 30s]
+//	bncg load       [-url http://host:8347] [-k 8] [-rounds 2] [-json]
 //
 // `construct` emits one of the paper's graphs, `check` runs every
 // equilibrium and stability predicate on an input graph, `dynamics` runs
@@ -13,10 +15,17 @@
 // (the basic game's swap, greedy add/delete/swap, communication
 // interests, bounded edge budgets, or 2-neighborhood maximization) and
 // certifies the result, and `experiments` regenerates the paper's tables
-// (see EXPERIMENTS.md).
+// (see EXPERIMENTS.md). `serve` exposes check / best-response / dynamics
+// as a long-lived HTTP+JSON service on a warm session pool with a
+// certified-verdict LRU; `check` and `dynamics` are thin clients of the
+// same code path (in process by default, remote with -server). `load`
+// replays a mixed scenario corpus against a server from k concurrent
+// clients and verifies every verdict bit-for-bit against the one-shot
+// path.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -29,6 +38,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/game"
 	"repro/internal/graph"
+	"repro/internal/serve"
 )
 
 func main() {
@@ -48,6 +58,10 @@ func main() {
 		err = cmdExperiments(os.Args[2:])
 	case "proofs":
 		err = cmdProofs(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
+	case "load":
+		err = cmdLoad(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -72,6 +86,10 @@ commands:
                random start and certify the result
   experiments  regenerate the paper's tables (E1..E19)
   proofs       construct the Theorem 1 / Lemma 2 improving moves for a graph
+  serve        long-lived HTTP equilibrium service (check / best-response /
+               dynamics on a warm session pool with a certified-verdict LRU)
+  load         replay the mixed scenario corpus against a server from k
+               concurrent clients, verifying every verdict bit-for-bit
 
 run 'bncg <command> -h' for flags`)
 }
@@ -171,16 +189,22 @@ func readGraph(path, format string) (*graph.Graph, error) {
 func cmdCheck(args []string) error {
 	fs := flag.NewFlagSet("check", flag.ExitOnError)
 	in := fs.String("in", "", "input graph file (required)")
-	format := fs.String("format", "edgelist", "edgelist|graph6")
+	format := fs.String("format", "edgelist", "edgelist|graph6|sparse6")
 	workers := fs.Int("workers", 0, "parallel workers (0 = all cores)")
 	batched := fs.Bool("batched", false, "equilibrium checks via the batched cross-agent sweep (same verdicts/witnesses; reuses endpoint BFS rows across agents, O(n²) transient memory)")
+	server := fs.String("server", "", "base URL of a running `bncg serve` to check against; empty runs the identical code path in process")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *in == "" {
 		return fmt.Errorf("check: -in is required")
 	}
-	g, err := readGraph(*in, *format)
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	dto := serve.GraphDTO{Format: *format, Data: string(data)}
+	g, err := dto.Decode()
 	if err != nil {
 		return err
 	}
@@ -209,14 +233,24 @@ func cmdCheck(args []string) error {
 			fmt.Printf("%-22s no   (%v)\n", name, viol)
 		}
 	}
-	checkSum, checkMax := core.CheckSum, core.CheckMax
-	if *batched {
-		checkSum, checkMax = core.CheckSumBatched, core.CheckMaxBatched
+	// The equilibrium checks ride the service DTOs — in process or against
+	// a remote server, the same request shape and engine path either way.
+	api := newAPI(*server, *workers)
+	equilibrium := func(objective string) (bool, *core.Violation, error) {
+		resp, err := api.Check(context.Background(), serve.CheckRequest{
+			Graph: dto, Objective: objective, Batched: *batched, Workers: *workers,
+		})
+		if err != nil {
+			return false, nil, err
+		}
+		return resp.Stable, resp.Violation.Violation(), nil
 	}
-	ok, viol, err := checkSum(g, *workers)
+	ok, viol, err := equilibrium("sum")
 	report("sum equilibrium", ok, viol, err)
-	ok, viol, err = checkMax(g, *workers)
+	ok, viol, err = equilibrium("max")
 	report("max equilibrium", ok, viol, err)
+	// Insertion stability and deletion criticality are local predicates
+	// outside the service surface.
 	ok, viol, err = core.IsInsertionStable(g, *workers)
 	report("insertion-stable", ok, viol, err)
 	ok, viol, err = core.IsDeletionCritical(g, *workers)
@@ -226,45 +260,6 @@ func cmdCheck(args []string) error {
 		fmt.Printf("%-22s %d\n", "local diam spread", spread)
 	}
 	return nil
-}
-
-// buildModel resolves the -model / -edgecost / -interests / -budget flags
-// into a deviation model. Interest sets load from a graphio.ReadInterests
-// file; with no file, random sets are drawn from the run's seed (p = 0.3).
-func buildModel(name string, n int, edgeCost int64, interestsPath string, budget int, seed int64) (game.Model, error) {
-	switch name {
-	case "swap":
-		return game.Swap{}, nil
-	case "greedy":
-		return game.Greedy{EdgeCost: edgeCost}, nil
-	case "budget":
-		if budget < 1 {
-			return nil, fmt.Errorf("budget model needs -budget >= 1, got %d", budget)
-		}
-		return game.Budget{K: budget}, nil
-	case "2nb", "twonb":
-		return game.TwoNeighborhood{}, nil
-	case "interests":
-		if interestsPath == "" {
-			rng := rand.New(rand.NewSource(seed ^ 0x1e7e5e57)) // decouple from the start-graph draw
-			return game.RandomInterests(n, 0.3, rng), nil
-		}
-		f, err := os.Open(interestsPath)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		sets, err := bncg.ReadInterests(f)
-		if err != nil {
-			return nil, err
-		}
-		if len(sets) != n {
-			return nil, fmt.Errorf("interests file declares %d vertices, run has n=%d", len(sets), n)
-		}
-		return game.NewInterests(sets), nil
-	default:
-		return nil, fmt.Errorf("unknown model %q", name)
-	}
 }
 
 func cmdDynamics(args []string) error {
@@ -279,8 +274,9 @@ func cmdDynamics(args []string) error {
 	budget := fs.Int("budget", game.DefaultBudget, "budget model: uniform per-vertex edge budget k (re-points must target a vertex with deg < k)")
 	seed := fs.Int64("seed", 1, "random seed")
 	workers := fs.Int("workers", 0, "pricing workers for every policy, including the random policy's certification sweeps (0 = all cores; trajectories are identical for any count)")
-	batched := fs.Bool("batched", false, "certification sweeps via the batched cross-agent pass where the model supports it (identical trajectories; trades O(n²) transient memory for fewer BFS)")
+	batched := fs.Bool("batched", false, "certification sweeps via the batched cross-agent pass where the model supports it (identical trajectories; trades O(n²) transient memory for fewer BFS; falls back per agent for models without one, reported as batched=fallback)")
 	trace := fs.Bool("trace", false, "print every applied move")
+	server := fs.String("server", "", "base URL of a running `bncg serve` to run on; empty runs the identical code path in process")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -294,9 +290,9 @@ func cmdDynamics(args []string) error {
 			}
 		}
 	}
-	objective := core.Sum
+	objective := "sum"
 	if *obj == "max" {
-		objective = core.Max
+		objective = "max"
 	}
 	var pol dynamics.Policy
 	switch *policy {
@@ -309,39 +305,54 @@ func cmdDynamics(args []string) error {
 	default:
 		return fmt.Errorf("unknown policy %q", *policy)
 	}
-	mdl, err := buildModel(*model, *n, *edgeCost, *interests, *budget, *seed)
+	mdto, err := modelDTOFromFlags(*model, *n, *edgeCost, *interests, *budget, *seed)
+	if err != nil {
+		return err
+	}
+	mdl, err := mdto.Build(*n)
+	if err != nil {
+		return err
+	}
+	dto, err := serve.EncodeGraph(g, serve.FormatSparse6)
 	if err != nil {
 		return err
 	}
 	before, _ := g.Diameter()
 	mBefore := g.M()
-	res, err := bncg.RunDynamics(g, dynamics.Options{
-		Objective: objective, Policy: pol, Model: mdl,
-		Workers: *workers, Seed: *seed, Trace: *trace,
-		BatchedSweeps: *batched,
+	// The run itself is a service request — in process or remote, the same
+	// DTOs and the same engine path as `bncg serve`. Certify asks the
+	// server for a fresh one-shot stability check of the final graph.
+	api := newAPI(*server, *workers)
+	res, err := api.Dynamics(context.Background(), serve.DynamicsRequest{
+		Graph: dto, Model: mdto, Objective: objective, Policy: *policy,
+		Seed: *seed, Batched: *batched, Workers: *workers,
+		Trace: *trace, Certify: true,
 	})
 	if err != nil {
 		return err
 	}
 	if *trace {
 		for _, e := range res.Trace {
-			fmt.Printf("move %3d: %v cost %d→%d\n", e.MoveRank, e.Move, e.OldCost, e.NewCost)
+			fmt.Printf("move %3d: %v cost %d→%d\n", e.MoveRank, e.Move.Move(), e.OldCost, e.NewCost)
 		}
 	}
-	after, _ := g.Diameter()
-	fmt.Printf("n=%d init=%s obj=%s policy=%s model=%s: converged=%v moves=%d sweeps=%d diameter %d→%d m %d→%d\n",
-		*n, *initKind, objective, pol, mdl.Name(), res.Converged, res.Moves, res.Sweeps, before, after, mBefore, g.M())
-	if res.Converged {
-		// Certify the final graph with the model's one-shot check — a
-		// fresh instance, so the verdict is independent of the trajectory's
-		// session state.
-		stable, viol, err := mdl.New(g, *workers).CheckStable(objective)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("certified %s-stable: %v", mdl.Name(), stable)
-		if viol != nil {
-			fmt.Printf(" (%v)", viol)
+	final, err := res.Final.Decode()
+	if err != nil {
+		return err
+	}
+	after, _ := final.Diameter()
+	fmt.Printf("n=%d init=%s obj=%s policy=%s model=%s: converged=%v moves=%d sweeps=%d diameter %d→%d m %d→%d",
+		*n, *initKind, objective, pol, mdl.Name(), res.Converged, res.Moves, res.Sweeps, before, after, mBefore, final.M())
+	if res.Batched != "off" {
+		// An explicit fallback report: requesting -batched on a model
+		// without a batched pass used to silently run per agent.
+		fmt.Printf(" batched=%s", res.Batched)
+	}
+	fmt.Println()
+	if res.Converged && res.Certified != nil {
+		fmt.Printf("certified %s-stable: %v", mdl.Name(), res.Certified.Stable)
+		if res.Certified.Violation != nil {
+			fmt.Printf(" (%v)", res.Certified.Violation.Violation())
 		}
 		fmt.Println()
 	}

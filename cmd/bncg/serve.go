@@ -1,0 +1,164 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"time"
+
+	bncg "repro"
+	"repro/internal/game"
+	"repro/internal/serve"
+)
+
+// newAPI resolves where check / dynamics requests go: a remote server when
+// -server is set, otherwise an in-process serve.Server — the identical
+// code path minus the HTTP transport.
+func newAPI(serverURL string, workers int) serve.API {
+	if serverURL != "" {
+		return serve.NewClient(serverURL)
+	}
+	return serve.NewServer(serve.Config{
+		CacheSize:      -1, // one-shot runs gain nothing from a verdict LRU
+		MaxWorkers:     workers,
+		DefaultTimeout: -1,
+	})
+}
+
+// modelDTOFromFlags resolves the -model / -edgecost / -interests / -budget
+// flags into the wire ModelDTO shared with the service. Interest sets load
+// from a graphio.ReadInterests file; with no file, random sets are drawn
+// from the run's seed (p = 0.3), exactly as the pre-service CLI did.
+func modelDTOFromFlags(name string, n int, edgeCost int64, interestsPath string, budget int, seed int64) (serve.ModelDTO, error) {
+	switch name {
+	case "swap":
+		return serve.ModelDTO{}, nil
+	case "greedy":
+		return serve.ModelDTO{Name: "greedy", EdgeCost: edgeCost}, nil
+	case "budget":
+		return serve.ModelDTO{Name: "budget", Budget: budget}, nil
+	case "2nb", "twonb":
+		return serve.ModelDTO{Name: "2nb"}, nil
+	case "interests":
+		if interestsPath == "" {
+			rng := rand.New(rand.NewSource(seed ^ 0x1e7e5e57)) // decouple from the start-graph draw
+			return serve.ModelDTO{Name: "interests", Interests: game.RandomInterests(n, 0.3, rng).Sets()}, nil
+		}
+		f, err := os.Open(interestsPath)
+		if err != nil {
+			return serve.ModelDTO{}, err
+		}
+		defer f.Close()
+		sets, err := bncg.ReadInterests(f)
+		if err != nil {
+			return serve.ModelDTO{}, err
+		}
+		if len(sets) != n {
+			return serve.ModelDTO{}, fmt.Errorf("interests file declares %d vertices, run has n=%d", len(sets), n)
+		}
+		return serve.ModelDTO{Name: "interests", Interests: sets}, nil
+	default:
+		return serve.ModelDTO{}, fmt.Errorf("unknown model %q", name)
+	}
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8347", "listen address")
+	pool := fs.Int("pool", 0, "concurrent session slots (0 = 2×cores); excess requests queue")
+	cacheSize := fs.Int("cache", 0, "verdict LRU entries (0 = default 512, negative disables)")
+	maxN := fs.Int("maxn", 0, "largest accepted graph (0 = default 4096)")
+	maxMoves := fs.Int("maxmoves", 0, "dynamics move-budget ceiling (0 = default 100000)")
+	workers := fs.Int("workers", 0, "per-request pricing-worker cap and default (0 = all cores)")
+	timeout := fs.Duration("timeout", 0, "default per-request deadline (0 = 30s, negative = none)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	srv := serve.NewServer(serve.Config{
+		Addr:           *addr,
+		PoolSize:       *pool,
+		CacheSize:      *cacheSize,
+		MaxN:           *maxN,
+		MaxMoves:       *maxMoves,
+		MaxWorkers:     *workers,
+		DefaultTimeout: *timeout,
+	})
+	cfg := srv.Config()
+	fmt.Fprintf(os.Stderr, "bncg serve: listening on %s (pool=%d cache=%d maxn=%d workers=%d)\n",
+		cfg.Addr, cfg.PoolSize, cfg.CacheSize, cfg.MaxN, cfg.MaxWorkers)
+	return srv.ListenAndServe()
+}
+
+func cmdLoad(args []string) error {
+	fs := flag.NewFlagSet("load", flag.ExitOnError)
+	url := fs.String("url", "", "server base URL; empty boots an in-process server on a loopback port")
+	k := fs.Int("k", 8, "concurrent clients")
+	rounds := fs.Int("rounds", 2, "corpus replays per client")
+	seed := fs.Int64("seed", 1, "corpus seed")
+	jsonOut := fs.Bool("json", false, "emit the full report as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	baseURL := *url
+	if baseURL == "" {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		hs := &http.Server{Handler: serve.NewServer(serve.Config{}).Handler()}
+		go hs.Serve(ln)
+		defer hs.Close()
+		baseURL = "http://" + ln.Addr().String()
+		fmt.Fprintf(os.Stderr, "bncg load: booted in-process server at %s\n", baseURL)
+	}
+
+	report, err := serve.RunLoad(context.Background(), baseURL, serve.LoadOptions{
+		Clients: *k, Rounds: *rounds, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			return err
+		}
+	} else {
+		printLoadReport(report)
+	}
+	if len(report.Failures) > 0 {
+		return fmt.Errorf("load: %d of %d responses failed or diverged from the one-shot path",
+			len(report.Failures), report.Requests)
+	}
+	return nil
+}
+
+func printLoadReport(r *serve.LoadReport) {
+	rps := float64(r.Requests) / (float64(r.DurationMS) / 1000)
+	fmt.Printf("load: %d clients × %d rounds, %d requests in %v (%.0f req/s), %d failures\n",
+		r.Clients, r.Rounds, r.Requests, r.Duration.Round(time.Millisecond), rps, len(r.Failures))
+	names := make([]string, 0, len(r.Stats.Endpoints))
+	for name := range r.Stats.Endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ep := r.Stats.Endpoints[name]
+		fmt.Printf("  %-13s %5d requests  %3d errors  mean %7.2fms  max %7.2fms\n",
+			name, ep.Requests, ep.Errors, ep.MeanLatencyMS, ep.MaxLatencyMS)
+	}
+	c := r.Stats.Cache
+	fmt.Printf("  verdict LRU   %d hits / %d misses (hit rate %.1f%%), %d entries\n",
+		c.Hits, c.Misses, 100*c.HitRate, c.Entries)
+	for _, f := range r.Failures {
+		fmt.Printf("  FAIL %s\n", f)
+	}
+}

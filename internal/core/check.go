@@ -82,28 +82,35 @@ func NaiveBestSwap(g *graph.Graph, v int, obj Objective) (best Move, newCost int
 	return best, newCost, newCost < cur
 }
 
+// The historical Check* surface — CheckSum / CheckMax / CheckSwapStable
+// crossed with their *Batched twins — collapsed into the single
+// Check(g, CheckSpec) entry point (spec.go). The old names survive below
+// as one-line deprecated wrappers with unchanged signatures, verdicts, and
+// witnesses, so golden traces and examples stay bit-identical.
+
+// unwrap adapts a Verdict to the historical (ok, violation, error) shape.
+func unwrap(v Verdict, err error) (bool, *Violation, error) {
+	return v.Stable, v.Violation, err
+}
+
 // CheckSum reports whether g is in sum equilibrium: no edge swap strictly
 // decreases the moving agent's total distance. On failure a witness
 // violation is returned. workers <= 0 selects par.DefaultWorkers.
 // Returns ErrDisconnected for disconnected input.
+//
+// Deprecated: use Check with CheckSpec{Objective: Sum, Workers: workers}.
 func CheckSum(g *graph.Graph, workers int) (bool, *Violation, error) {
-	return game.CheckSwap(g, Sum, workers, true)
+	return unwrap(Check(g, CheckSpec{Objective: Sum, Workers: workers}))
 }
 
 // CheckMax reports whether g is in max equilibrium: no edge swap strictly
 // decreases the moving agent's local diameter, and deleting any edge
 // strictly increases the local diameter of the agent. On failure a witness
 // violation is returned. workers <= 0 selects par.DefaultWorkers.
+//
+// Deprecated: use Check with CheckSpec{Objective: Max, Workers: workers}.
 func CheckMax(g *graph.Graph, workers int) (bool, *Violation, error) {
-	return game.CheckSwap(g, Max, workers, true)
-}
-
-// Check dispatches to CheckSum or CheckMax.
-func Check(g *graph.Graph, obj Objective, workers int) (bool, *Violation, error) {
-	if obj == Sum {
-		return CheckSum(g, workers)
-	}
-	return CheckMax(g, workers)
+	return unwrap(Check(g, CheckSpec{Objective: Max, Workers: workers}))
 }
 
 // CheckSwapStable reports whether no single swap strictly improves any
@@ -114,8 +121,10 @@ func Check(g *graph.Graph, obj Objective, workers int) (bool, *Violation, error)
 // agent's candidate scan sharded across workers (the engine's
 // deterministic first-improvement merge), so the witness is identical for
 // any worker count and single-agent workloads on huge n use every worker.
+//
+// Deprecated: use Check with CheckSpec{Objective: obj, StableOnly: true}.
 func CheckSwapStable(g *graph.Graph, obj Objective, workers int) (bool, *Violation, error) {
-	return game.CheckSwap(g, obj, workers, false)
+	return unwrap(Check(g, CheckSpec{Objective: obj, StableOnly: true, Workers: workers}))
 }
 
 // CheckSwapEquilibrium is CheckSwapStable under the paper's name for the
@@ -123,6 +132,8 @@ func CheckSwapStable(g *graph.Graph, obj Objective, workers int) (bool, *Violati
 // agent. Certification sweeps (dynamics.Run, Session.FindImprovement) and
 // this one-shot checker must agree on every graph; the regression tests in
 // internal/dynamics pin that.
+//
+// Deprecated: use Check with CheckSpec{Objective: obj, StableOnly: true}.
 func CheckSwapEquilibrium(g *graph.Graph, obj Objective, workers int) (bool, *Violation, error) {
 	return CheckSwapStable(g, obj, workers)
 }
@@ -133,30 +144,31 @@ func CheckSwapEquilibrium(g *graph.Graph, obj Objective, workers int) (bool, *Vi
 // verification only for flagged candidates. Verdict and witness are
 // bit-identical to CheckSum; the pass trades O(n²) transient memory for
 // an O(n²) → O(n + m + #flagged) drop in BFS count.
+//
+// Deprecated: use Check with CheckSpec{Objective: Sum, Batched: true}.
 func CheckSumBatched(g *graph.Graph, workers int) (bool, *Violation, error) {
-	return game.CheckSwapBatched(g, Sum, workers, true)
+	return unwrap(Check(g, CheckSpec{Objective: Sum, Batched: true, Workers: workers}))
 }
 
 // CheckMaxBatched is CheckMax via the batched cross-agent sweep; the
 // deletion-criticality half still runs per agent from the scan's
 // dropped-edge rows. Verdict and witness match CheckMax exactly.
+//
+// Deprecated: use Check with CheckSpec{Objective: Max, Batched: true}.
 func CheckMaxBatched(g *graph.Graph, workers int) (bool, *Violation, error) {
-	return game.CheckSwapBatched(g, Max, workers, true)
-}
-
-// CheckBatched dispatches to CheckSumBatched or CheckMaxBatched.
-func CheckBatched(g *graph.Graph, obj Objective, workers int) (bool, *Violation, error) {
-	if obj == Sum {
-		return CheckSumBatched(g, workers)
-	}
-	return CheckMaxBatched(g, workers)
+	return unwrap(Check(g, CheckSpec{Objective: Max, Batched: true, Workers: workers}))
 }
 
 // CheckSwapStableBatched is CheckSwapStable via the batched cross-agent
 // sweep (no deletion-criticality condition). Verdict and witness match
 // CheckSwapStable exactly.
+//
+// Deprecated: use Check with CheckSpec{Objective: obj, StableOnly: true,
+// Batched: true}.
 func CheckSwapStableBatched(g *graph.Graph, obj Objective, workers int) (bool, *Violation, error) {
-	return game.CheckSwapBatched(g, obj, workers, false)
+	return unwrap(Check(g, CheckSpec{
+		Objective: obj, StableOnly: true, Batched: true, Workers: workers,
+	}))
 }
 
 // LocalDiameterSpread returns max_v ecc(v) − min_v ecc(v). Lemma 2 of the

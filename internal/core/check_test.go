@@ -293,13 +293,13 @@ func TestCheckParallelMatchesSequential(t *testing.T) {
 	for trial := 0; trial < 15; trial++ {
 		g := randomConnected(rng, 3+rng.Intn(10), rng.Float64()*0.4)
 		for _, obj := range []Objective{Sum, Max} {
-			seqOK, _, err1 := Check(g, obj, 1)
-			parOK, _, err2 := Check(g, obj, 4)
+			seqV, err1 := Check(g, CheckSpec{Objective: obj, Workers: 1})
+			parV, err2 := Check(g, CheckSpec{Objective: obj, Workers: 4})
 			if err1 != nil || err2 != nil {
 				t.Fatalf("errors: %v %v", err1, err2)
 			}
-			if seqOK != parOK {
-				t.Fatalf("trial %d obj=%v: sequential=%v parallel=%v", trial, obj, seqOK, parOK)
+			if seqV.Stable != parV.Stable {
+				t.Fatalf("trial %d obj=%v: sequential=%v parallel=%v", trial, obj, seqV.Stable, parV.Stable)
 			}
 		}
 	}

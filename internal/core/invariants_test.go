@@ -150,10 +150,11 @@ func TestQuickViolationWitnessesVerify(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		g := randomConnectedQuick(rng)
 		for _, obj := range []Objective{Sum, Max} {
-			ok, viol, err := Check(g, obj, 1)
+			v, err := Check(g, CheckSpec{Objective: obj, Workers: 1})
 			if err != nil {
 				return false
 			}
+			ok, viol := v.Stable, v.Violation
 			if ok || viol == nil {
 				continue
 			}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/game"
+	"repro/internal/graph"
+	"repro/internal/treegen"
+)
+
+// specCorpus is a small graph zoo exercising stable and unstable cases.
+func specCorpus() map[string]*graph.Graph {
+	star := graph.New(9)
+	for v := 1; v < 9; v++ {
+		star.AddEdge(0, v)
+	}
+	rng := rand.New(rand.NewSource(7))
+	return map[string]*graph.Graph{
+		"path9":   pathGraph(9),
+		"star9":   star,
+		"rtree13": treegen.RandomTree(13, rng),
+	}
+}
+
+// TestCheckSpecMatchesDeprecatedSurface pins that the unified Check
+// reproduces every historical checker bit-for-bit across the spec axes —
+// the compatibility contract of the API collapse.
+func TestCheckSpecMatchesDeprecatedSurface(t *testing.T) {
+	for name, g := range specCorpus() {
+		for _, obj := range []Objective{Sum, Max} {
+			for _, batched := range []bool{false, true} {
+				for _, stableOnly := range []bool{false, true} {
+					spec := CheckSpec{Objective: obj, StableOnly: stableOnly, Batched: batched, Workers: 2}
+					v, err := Check(g.Clone(), spec)
+					if err != nil {
+						t.Fatalf("%s %v: %v", name, spec, err)
+					}
+					// The historical path: game-layer checkers invoked the
+					// way the old named wrappers did.
+					var (
+						wantOK   bool
+						wantViol *Violation
+						wantErr  error
+					)
+					if batched {
+						wantOK, wantViol, wantErr = game.CheckSwapBatched(g.Clone(), obj, 2, !stableOnly)
+					} else {
+						wantOK, wantViol, wantErr = game.CheckSwap(g.Clone(), obj, 2, !stableOnly)
+					}
+					if wantErr != nil {
+						t.Fatalf("%s: reference: %v", name, wantErr)
+					}
+					if v.Stable != wantOK || !reflect.DeepEqual(v.Violation, wantViol) {
+						t.Errorf("%s %+v: Check=(%v,%+v), game layer=(%v,%+v)",
+							name, spec, v.Stable, v.Violation, wantOK, wantViol)
+					}
+					if v.Batched != batched {
+						t.Errorf("%s: swap model Verdict.Batched=%v, requested %v", name, v.Batched, batched)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCheckSpecBatchedFallbackReporting pins Verdict.Batched for non-swap
+// models: true only when the model's instance actually has a batched
+// cross-agent pass.
+func TestCheckSpecBatchedFallbackReporting(t *testing.T) {
+	g := pathGraph(8)
+	sets := make([][]int32, 8)
+	for v := range sets {
+		sets[v] = []int32{int32((v + 1) % 8)}
+	}
+	cases := []struct {
+		name        string
+		model       game.Model
+		wantBatched bool
+	}{
+		{"greedy", game.Greedy{EdgeCost: 2}, false},
+		{"2nb", game.TwoNeighborhood{}, false},
+		{"interests", game.NewInterests(sets), true},
+		{"budget", game.Budget{K: 3}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			v, err := Check(g.Clone(), CheckSpec{Model: tc.model, Batched: true})
+			if err != nil {
+				t.Fatalf("check: %v", err)
+			}
+			if v.Batched != tc.wantBatched {
+				t.Errorf("Verdict.Batched=%v, want %v", v.Batched, tc.wantBatched)
+			}
+			// And identical verdicts with and without the batched request.
+			plain, err := Check(g.Clone(), CheckSpec{Model: tc.model})
+			if err != nil {
+				t.Fatalf("plain check: %v", err)
+			}
+			if v.Stable != plain.Stable || !reflect.DeepEqual(v.Violation, plain.Violation) {
+				t.Errorf("batched verdict (%v,%+v) != plain (%v,%+v)",
+					v.Stable, v.Violation, plain.Stable, plain.Violation)
+			}
+		})
+	}
+}
+
+// TestCheckCtxCancellation: an already-canceled context aborts the check
+// with the context error for every execution path.
+func TestCheckCtxCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g := pathGraph(16)
+	for _, spec := range []CheckSpec{
+		{},
+		{Batched: true},
+		{Model: game.Greedy{EdgeCost: 2}},
+		{Model: game.Budget{K: 3}, Batched: true},
+	} {
+		if _, err := CheckCtx(ctx, g.Clone(), spec); err != context.Canceled {
+			t.Errorf("spec %+v: err=%v, want context.Canceled", spec, err)
+		}
+	}
+}

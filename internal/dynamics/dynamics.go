@@ -30,6 +30,7 @@
 package dynamics
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -73,21 +74,30 @@ func (p Policy) String() string {
 	}
 }
 
-// Options configures a dynamics run. The zero value is a usable sum-version
-// best-response run of the basic swap game with default budgets.
-type Options struct {
-	Objective core.Objective
-	Policy    Policy
-	// Model selects the deviation model (nil means game.Swap{}, the basic
-	// game).
-	Model game.Model
-	// Workers bounds the pricing parallelism of every policy (<= 0 means
-	// all cores): BestResponse shards each best-move scan,
-	// FirstImprovement shards each first-improving scan with a
-	// deterministic enumeration-order merge, and RandomImproving shards
-	// its certification sweeps the same way. Trajectories are bit-identical
-	// for every worker count.
-	Workers int
+// Spec configures a dynamics run. It embeds core.CheckSpec — the same
+// struct that selects an equilibrium check — so the model, objective,
+// worker budget, and batched-sweep routing are declared once and shared
+// verbatim between one-shot checks, dynamics, and the service layer. The
+// zero value is a usable sum-version best-response run of the basic swap
+// game with default budgets.
+//
+// CheckSpec fields under dynamics semantics:
+//
+//   - Model: the deviation model (nil means game.Swap{}, the basic game).
+//   - Objective: the usage cost agents minimize.
+//   - Batched: route certification sweeps through the model's batched
+//     cross-agent pass when it has one (game.BatchedSweeper). Sweep
+//     results are bit-identical either way, so trajectories do not depend
+//     on this flag; models without a batched pass fall back to the
+//     per-agent sweep, which Result.Batched reports explicitly.
+//   - Workers: pricing parallelism of every policy (<= 0 means all
+//     cores); trajectories are bit-identical for every worker count.
+//   - StableOnly: ignored — dynamics certify exactly the no-improving-move
+//     condition.
+type Spec struct {
+	core.CheckSpec
+	// Policy selects the move scheduling rule.
+	Policy Policy
 	// MaxMoves caps the number of applied moves (default 10_000).
 	MaxMoves int
 	// Seed drives RandomImproving sampling (ignored by the deterministic
@@ -97,24 +107,60 @@ type Options struct {
 	// trigger a certification sweep (default 20, multiplied by the
 	// starting edge count).
 	PatienceFactor int
+	// Trace records every applied move when true.
+	Trace bool
+}
+
+// Options is the historical flat configuration of a dynamics run.
+//
+// Deprecated: use Spec, which embeds core.CheckSpec instead of re-growing
+// one positional field per engine capability. Options converts losslessly
+// via Spec(); Run and NaiveRun keep accepting it unchanged.
+type Options struct {
+	Objective core.Objective
+	Policy    Policy
+	// Model selects the deviation model (nil means game.Swap{}, the basic
+	// game).
+	Model game.Model
+	// Workers bounds the pricing parallelism of every policy (<= 0 means
+	// all cores).
+	Workers int
+	// MaxMoves caps the number of applied moves (default 10_000).
+	MaxMoves int
+	// Seed drives RandomImproving sampling.
+	Seed int64
+	// PatienceFactor scales the random policy's certification patience.
+	PatienceFactor int
 	// BatchedSweeps routes certification sweeps through the model's
-	// batched cross-agent pass when it has one (game.BatchedSweeper):
-	// candidate-endpoint BFS rows are computed once per sweep and reused
-	// across deviators as lower-bound filters, trading O(n²) transient
-	// memory for far fewer BFS passes. Sweep results are bit-identical
-	// either way, so trajectories do not depend on this flag; models
-	// without a batched pass fall back silently.
+	// batched cross-agent pass when it has one.
 	BatchedSweeps bool
 	// Trace records every applied move when true.
 	Trace bool
 }
 
+// Spec converts the deprecated flat options to the spec shape.
+func (o Options) Spec() Spec {
+	return Spec{
+		CheckSpec: core.CheckSpec{
+			Model:     o.Model,
+			Objective: o.Objective,
+			Batched:   o.BatchedSweeps,
+			Workers:   o.Workers,
+		},
+		Policy:         o.Policy,
+		MaxMoves:       o.MaxMoves,
+		Seed:           o.Seed,
+		PatienceFactor: o.PatienceFactor,
+		Trace:          o.Trace,
+	}
+}
+
 // model resolves the deviation model.
-func (o *Options) model() game.Model {
-	if o.Model == nil {
+func (s *Spec) model() game.Model {
+	if s.Model == nil {
 		return game.Swap{}
 	}
-	return o.Model
+	return s.Model
 }
 
 // TraceEntry records one applied move and the mover's cost change,
@@ -129,19 +175,56 @@ type TraceEntry struct {
 	MoveRank   int   // 1-based index in the run
 }
 
+// BatchedState reports how a run honored the Batched request: not
+// requested at all, actively routed through the model's batched
+// cross-agent pass, or requested but fallen back to the per-agent sweep
+// because the model has no batched pass (greedy, 2-neighborhood, and every
+// naive oracle). The fallback used to be silent; Result and the CLI now
+// surface it.
+type BatchedState int
+
+const (
+	// BatchedOff: batched sweeps were not requested.
+	BatchedOff BatchedState = iota
+	// BatchedActive: requested, and certification sweeps route through
+	// the model's batched cross-agent pass.
+	BatchedActive
+	// BatchedFallback: requested, but the model has no batched pass —
+	// certification sweeps ran per agent (identical results, none of the
+	// endpoint-row reuse).
+	BatchedFallback
+)
+
+// String renders the state for CLI / service output.
+func (s BatchedState) String() string {
+	switch s {
+	case BatchedOff:
+		return "off"
+	case BatchedActive:
+		return "active"
+	case BatchedFallback:
+		return "fallback"
+	default:
+		return fmt.Sprintf("BatchedState(%d)", int(s))
+	}
+}
+
 // Result reports the outcome of a dynamics run. The input graph is mutated
 // in place and is the equilibrium graph when Converged is true.
 type Result struct {
 	Converged bool
 	Moves     int
 	Sweeps    int // full certification / improvement sweeps performed
-	Trace     []TraceEntry
+	// Batched reports whether the Batched request was honored by the
+	// model's batched pass or fell back to per-agent sweeps.
+	Batched BatchedState
+	Trace   []TraceEntry
 }
 
 // ErrTooSmall is returned for graphs with fewer than 2 vertices.
 var ErrTooSmall = errors.New("dynamics: graph needs at least 2 vertices")
 
-func validate(g *graph.Graph, opt *Options) error {
+func validate(g *graph.Graph, opt *Spec) error {
 	if g.N() < 2 {
 		return ErrTooSmall
 	}
@@ -163,14 +246,28 @@ func validate(g *graph.Graph, opt *Options) error {
 }
 
 // Run executes move dynamics on g (mutating it) until equilibrium or the
-// move budget is exhausted. The whole trajectory shares one incremental
-// pricing instance of the model: applied moves patch the live CSR snapshot
-// in O(deg), and all probes and sweeps price against it.
+// move budget is exhausted, configured by the deprecated flat Options.
 func Run(g *graph.Graph, opt Options) (*Result, error) {
-	if err := validate(g, &opt); err != nil {
+	return RunSpec(g, opt.Spec())
+}
+
+// RunSpec executes move dynamics on g (mutating it) until equilibrium or
+// the move budget is exhausted. The whole trajectory shares one
+// incremental pricing instance of the model: applied moves patch the live
+// CSR snapshot in O(deg), and all probes and sweeps price against it.
+func RunSpec(g *graph.Graph, spec Spec) (*Result, error) {
+	return RunSpecCtx(context.Background(), g, spec)
+}
+
+// RunSpecCtx is RunSpec with cooperative cancellation: ctx is polled
+// between scheduling steps (one agent's scan or one random probe). On
+// expiry the partial Result — the moves applied so far; the graph is left
+// mid-trajectory — is returned together with ctx.Err().
+func RunSpecCtx(ctx context.Context, g *graph.Graph, spec Spec) (*Result, error) {
+	if err := validate(g, &spec); err != nil {
 		return nil, err
 	}
-	return drive(opt.model().New(g, opt.Workers), opt)
+	return drive(ctx, spec.model().New(g, spec.Workers), spec)
 }
 
 // NaiveRun drives the same policies through the model's oracle instance:
@@ -178,29 +275,46 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 // probes are priced by apply-measure-revert on the map graph, and
 // certification sweeps re-freeze per vertex. Run must reproduce its
 // trajectories move-for-move for every model, policy, objective, seed, and
-// worker count.
+// worker count. Configured by the deprecated flat Options.
 func NaiveRun(g *graph.Graph, opt Options) (*Result, error) {
-	if err := validate(g, &opt); err != nil {
+	return NaiveRunSpec(g, opt.Spec())
+}
+
+// NaiveRunSpec is NaiveRun in the spec shape.
+func NaiveRunSpec(g *graph.Graph, spec Spec) (*Result, error) {
+	if err := validate(g, &spec); err != nil {
 		return nil, err
 	}
-	return drive(opt.model().Naive(g, opt.Workers), opt)
+	return drive(context.Background(), spec.model().Naive(g, spec.Workers), spec)
 }
 
 // drive dispatches the validated run to the policy loop.
-func drive(inst game.Instance, opt Options) (*Result, error) {
+func drive(ctx context.Context, inst game.Instance, opt Spec) (*Result, error) {
 	res := &Result{}
+	if opt.Batched {
+		if game.HasBatchedSweep(inst) {
+			res.Batched = BatchedActive
+		} else {
+			res.Batched = BatchedFallback
+		}
+	}
+	var err error
 	switch opt.Policy {
 	case BestResponse, FirstImprovement:
-		runSweeping(inst, opt, res)
+		err = runSweeping(ctx, inst, opt, res)
 	case RandomImproving:
-		runRandom(inst, opt, res)
+		err = runRandom(ctx, inst, opt, res)
+	}
+	if err != nil {
+		res.Converged = false
+		return res, err
 	}
 	return res, nil
 }
 
 // applyAndRecord applies m through the instance and appends a trace entry
 // when enabled; the post-move social cost is measured on the instance.
-func applyAndRecord(inst game.Instance, m core.Move, oldCost, newCost int64, opt Options, res *Result) {
+func applyAndRecord(inst game.Instance, m core.Move, oldCost, newCost int64, opt Spec, res *Result) {
 	inst.Apply(m)
 	res.Moves++
 	if opt.Trace {
@@ -213,10 +327,19 @@ func applyAndRecord(inst game.Instance, m core.Move, oldCost, newCost int64, opt
 }
 
 // runSweeping drives the two deterministic round-robin policies through
-// the shared convergence loop.
-func runSweeping(inst game.Instance, opt Options, res *Result) {
+// the shared convergence loop. ctx is polled before each agent's scan;
+// once it expires every remaining step is skipped so the loop unwinds in
+// O(n) cheap polls and the context error is returned.
+func runSweeping(ctx context.Context, inst game.Instance, opt Spec, res *Result) error {
 	n := inst.Graph().N()
+	var ctxErr error
 	_, sweeps, converged := game.RoundRobin(n, opt.MaxMoves, func(v int) bool {
+		if ctxErr != nil {
+			return false
+		}
+		if ctxErr = ctx.Err(); ctxErr != nil {
+			return false
+		}
 		var m core.Move
 		var old, newCost int64
 		var improves bool
@@ -231,10 +354,14 @@ func runSweeping(inst game.Instance, opt Options, res *Result) {
 		applyAndRecord(inst, m, old, newCost, opt, res)
 		return true
 	})
+	if ctxErr != nil {
+		return ctxErr
+	}
 	res.Sweeps, res.Converged = sweeps, converged
+	return nil
 }
 
-func runRandom(inst game.Instance, opt Options, res *Result) {
+func runRandom(ctx context.Context, inst game.Instance, opt Spec, res *Result) error {
 	rng := rand.New(rand.NewSource(opt.Seed))
 	n := inst.Graph().N()
 	patience := opt.PatienceFactor * inst.Graph().M()
@@ -258,6 +385,9 @@ func runRandom(inst game.Instance, opt Options, res *Result) {
 	}
 	failStreak := 0
 	for res.Moves < opt.MaxMoves {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if failStreak >= patience {
 			// Certification sweep: exhaustively search for any improving
 			// move; none ⇒ certified equilibrium of the model. The batched
@@ -267,14 +397,14 @@ func runRandom(inst game.Instance, opt Options, res *Result) {
 			var m core.Move
 			var old, newCost int64
 			var found bool
-			if opt.BatchedSweeps {
+			if opt.Batched {
 				m, old, newCost, found = game.FindImprovementBatched(inst, opt.Objective)
 			} else {
 				m, old, newCost, found = inst.FindImprovement(opt.Objective)
 			}
 			if !found {
 				res.Converged = true
-				return
+				return nil
 			}
 			applyAndRecord(inst, m, old, newCost, opt, res)
 			gen++
@@ -295,4 +425,5 @@ func runRandom(inst game.Instance, opt Options, res *Result) {
 			failStreak++
 		}
 	}
+	return nil
 }

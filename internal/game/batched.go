@@ -1,6 +1,8 @@
 package game
 
 import (
+	"context"
+
 	"repro/internal/graph"
 	"repro/internal/par"
 	"repro/internal/pricing"
@@ -211,6 +213,15 @@ func (s *budgetSession) FindImprovementBatched(obj Objective) (Move, int64, int6
 // candidate-endpoint BFS reuse changes). One frozen snapshot, n shared
 // rows, exact verification for flagged candidates only.
 func CheckSwapBatched(g *graph.Graph, obj Objective, workers int, deletionCritical bool) (bool, *Violation, error) {
+	return CheckSwapBatchedCtx(nil, g, obj, workers, deletionCritical)
+}
+
+// CheckSwapBatchedCtx is CheckSwapBatched with cooperative cancellation:
+// ctx (nil tolerated) is polled between per-agent scans — the shared-row
+// construction in front is one uncancellable unit of n BFS — and its error
+// is returned on expiry. Verdict and witness are bit-identical to
+// CheckSwapBatched.
+func CheckSwapBatchedCtx(ctx context.Context, g *graph.Graph, obj Objective, workers int, deletionCritical bool) (bool, *Violation, error) {
 	n := g.N()
 	if n <= 1 {
 		return true, nil, nil
@@ -224,6 +235,9 @@ func CheckSwapBatched(g *graph.Graph, obj Objective, workers int, deletionCritic
 	rows := batchRows(eng, f, workers, nil)
 	po := pobj(obj)
 	for v := 0; v < n; v++ {
+		if err := pollCtx(ctx); err != nil {
+			return false, nil, err
+		}
 		sc := eng.NewScan(f, v)
 		cur := sc.CurrentUsage(po)
 		if obj == Max && deletionCritical {

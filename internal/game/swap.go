@@ -1,6 +1,7 @@
 package game
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/graph"
@@ -70,15 +71,7 @@ func PriceSwaps(g *graph.Graph, v int, obj Objective, fn func(m Move, newCost in
 // full max-equilibrium condition). Returns ErrDisconnected for
 // disconnected input and a deterministic witness violation on failure.
 func CheckSwap(g *graph.Graph, obj Objective, workers int, deletionCritical bool) (bool, *Violation, error) {
-	n := g.N()
-	if n <= 1 {
-		return true, nil, nil
-	}
-	if !g.IsConnected() {
-		return false, nil, ErrDisconnected
-	}
-	found := swapScan(g.Freeze(), obj, normWorkers(workers), deletionCritical)
-	return found == nil, found, nil
+	return CheckSwapCtx(nil, g, obj, workers, deletionCritical)
 }
 
 // swapScan walks agents in ascending order over a shared snapshot — a
@@ -88,16 +81,21 @@ func CheckSwap(g *graph.Graph, obj Objective, workers int, deletionCritical bool
 // deterministic first-improvement merge, so single-agent workloads on huge
 // n use every worker, the early exit at the first violating vertex wastes
 // no cross-vertex work, and the witness is identical for any worker count.
-func swapScan(view pricing.Snapshot, obj Objective, workers int, deletionCritical bool) *Violation {
+// ctx (nil tolerated) is polled between agents; its error is returned on
+// cancellation.
+func swapScan(ctx context.Context, view pricing.Snapshot, obj Objective, workers int, deletionCritical bool) (*Violation, error) {
 	n := view.N()
 	eng := pricing.Shared(workers)
 	po := pobj(obj)
 	for v := 0; v < n; v++ {
+		if err := pollCtx(ctx); err != nil {
+			return nil, err
+		}
 		if viol := swapScanVertex(eng, view, v, obj, po, deletionCritical); viol != nil {
-			return viol
+			return viol, nil
 		}
 	}
-	return nil
+	return nil, nil
 }
 
 // swapScanVertex scans all moves of agent v, returning the first violation
@@ -351,7 +349,7 @@ func (s *SwapSession) CheckStable(obj Objective) (bool, *Violation, error) {
 		return false, nil, ErrDisconnected
 	}
 	release()
-	found := swapScan(s.ps.View(), obj, s.workers, false)
+	found, _ := swapScan(nil, s.ps.View(), obj, s.workers, false)
 	return found == nil, found, nil
 }
 

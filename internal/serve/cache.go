@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// verdictCache is the LRU of certified check verdicts. Keys combine the
+// graph's internal/iso certificate with the full spec fingerprint (model
+// configuration, objective, stable-only bit, batched routing), so repeated
+// checks of the same graph under the same spec are answered without a
+// single BFS. Worker counts are deliberately excluded from the key:
+// verdicts and witnesses are bit-identical for every worker count.
+//
+// Soundness: iso.Certificate is a complete invariant only up to n = 8, and
+// witness violations name concrete vertex labels, so a certificate match
+// is not enough to serve a cached verdict. Every entry therefore stores
+// the exact labeled sparse6 of the graph it certified, and a lookup hits
+// only on an exact match — a certificate collision (or an isomorphic
+// relabeling, whose witness would name the wrong vertices) is a miss that
+// re-runs the check and replaces the entry. The cache can under-hit; it
+// can never serve a verdict for a different labeled graph.
+type verdictCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recent; values are *cacheEntry
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key     string
+	exact   string // exact labeled sparse6 of the certified graph
+	verdict VerdictDTO
+}
+
+func newVerdictCache(capacity int) *verdictCache {
+	return &verdictCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the cached verdict for (key, exact graph), if present.
+func (c *verdictCache) get(key, exact string) (VerdictDTO, bool) {
+	if c == nil || c.cap <= 0 {
+		return VerdictDTO{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return VerdictDTO{}, false
+	}
+	ent := el.Value.(*cacheEntry)
+	if ent.exact != exact {
+		return VerdictDTO{}, false
+	}
+	c.ll.MoveToFront(el)
+	return ent.verdict, true
+}
+
+// put records a freshly certified verdict, evicting the least recently
+// used entry when full. A key collision (same certificate and spec,
+// different labeled graph) overwrites: the cache keeps one entry per key.
+func (c *verdictCache) put(key, exact string, v VerdictDTO) {
+	if c == nil || c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		ent.exact, ent.verdict = exact, v
+		c.ll.MoveToFront(el)
+		return
+	}
+	for c.ll.Len() >= c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, exact: exact, verdict: v})
+}
+
+// len returns the number of live entries.
+func (c *verdictCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

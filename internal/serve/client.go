@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// API is the operation surface of the equilibrium service. Both the
+// in-process *Server and the HTTP *Client implement it, so callers — the
+// CLI's check / dynamics subcommands in particular — are thin clients of
+// the same code path whether or not a server process is involved.
+type API interface {
+	Check(ctx context.Context, req CheckRequest) (*CheckResponse, error)
+	BestResponse(ctx context.Context, req BestResponseRequest) (*BestResponseResponse, error)
+	Dynamics(ctx context.Context, req DynamicsRequest) (*DynamicsResponse, error)
+}
+
+var (
+	_ API = (*Server)(nil)
+	_ API = (*Client)(nil)
+)
+
+// Client talks to a remote equilibrium server over HTTP with the same
+// DTOs and error taxonomy as the in-process methods: non-2xx responses
+// come back as *apiError with the transported status and message.
+type Client struct {
+	BaseURL string
+	// HTTPClient defaults to a client with a 60s timeout.
+	HTTPClient *http.Client
+}
+
+// NewClient returns a client for a server at baseURL
+// (e.g. "http://localhost:8347").
+func NewClient(baseURL string) *Client {
+	return &Client{
+		BaseURL:    baseURL,
+		HTTPClient: &http.Client{Timeout: 60 * time.Second},
+	}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// post sends a DTO and decodes the 200 body into out.
+func (c *Client) post(ctx context.Context, path string, payload, out any) error {
+	buf, err := json.Marshal(payload)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var eb errorBody
+		if json.Unmarshal(body, &eb) == nil && eb.Error != "" {
+			return &apiError{Status: resp.StatusCode, Msg: eb.Error}
+		}
+		return &apiError{Status: resp.StatusCode, Msg: string(body)}
+	}
+	return json.Unmarshal(body, out)
+}
+
+// get decodes a GET endpoint's 200 body into out.
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return &apiError{Status: resp.StatusCode, Msg: string(body)}
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Check posts a CheckRequest to /v1/check.
+func (c *Client) Check(ctx context.Context, req CheckRequest) (*CheckResponse, error) {
+	var resp CheckResponse
+	if err := c.post(ctx, "/v1/check", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// BestResponse posts a BestResponseRequest to /v1/bestresponse.
+func (c *Client) BestResponse(ctx context.Context, req BestResponseRequest) (*BestResponseResponse, error) {
+	var resp BestResponseResponse
+	if err := c.post(ctx, "/v1/bestresponse", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Dynamics posts a DynamicsRequest to /v1/dynamics.
+func (c *Client) Dynamics(ctx context.Context, req DynamicsRequest) (*DynamicsResponse, error) {
+	var resp DynamicsResponse
+	if err := c.post(ctx, "/v1/dynamics", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Stats fetches the server's GET /stats snapshot.
+func (c *Client) Stats(ctx context.Context) (*StatsSnapshot, error) {
+	var snap StatsSnapshot
+	if err := c.get(ctx, "/stats", &snap); err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}
+
+// Healthz probes GET /healthz.
+func (c *Client) Healthz(ctx context.Context) error {
+	var body map[string]any
+	if err := c.get(ctx, "/healthz", &body); err != nil {
+		return err
+	}
+	if status, _ := body["status"].(string); status != "ok" {
+		return fmt.Errorf("unhealthy: %v", body)
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// stats aggregates the server's per-endpoint and cache counters. Both the
+// HTTP handlers and in-process thin clients (the CLI's check / dynamics
+// subcommands route through the same Server methods) feed it.
+type stats struct {
+	mu        sync.Mutex
+	start     time.Time
+	endpoints map[string]*endpointCounters
+	hits      uint64
+	misses    uint64
+}
+
+type endpointCounters struct {
+	requests uint64
+	errors   uint64
+	totalNS  int64
+	maxNS    int64
+}
+
+func newStats() *stats {
+	return &stats{start: time.Now(), endpoints: make(map[string]*endpointCounters)}
+}
+
+// observe records one finished request against an endpoint.
+func (s *stats) observe(endpoint string, d time.Duration, failed bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ep := s.endpoints[endpoint]
+	if ep == nil {
+		ep = &endpointCounters{}
+		s.endpoints[endpoint] = ep
+	}
+	ep.requests++
+	if failed {
+		ep.errors++
+	}
+	ns := d.Nanoseconds()
+	ep.totalNS += ns
+	if ns > ep.maxNS {
+		ep.maxNS = ns
+	}
+}
+
+// cacheHit / cacheMiss record verdict-LRU outcomes.
+func (s *stats) cacheHit() {
+	s.mu.Lock()
+	s.hits++
+	s.mu.Unlock()
+}
+
+func (s *stats) cacheMiss() {
+	s.mu.Lock()
+	s.misses++
+	s.mu.Unlock()
+}
+
+// EndpointSnapshot is one endpoint's counters in a StatsSnapshot.
+type EndpointSnapshot struct {
+	Requests      uint64  `json:"requests"`
+	Errors        uint64  `json:"errors"`
+	MeanLatencyMS float64 `json:"mean_latency_ms"`
+	MaxLatencyMS  float64 `json:"max_latency_ms"`
+}
+
+// CacheSnapshot reports the verdict LRU's hit statistics.
+type CacheSnapshot struct {
+	Hits    uint64  `json:"hits"`
+	Misses  uint64  `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
+	Entries int     `json:"entries"`
+}
+
+// StatsSnapshot is the GET /stats payload.
+type StatsSnapshot struct {
+	UptimeMS  int64                       `json:"uptime_ms"`
+	Endpoints map[string]EndpointSnapshot `json:"endpoints"`
+	Cache     CacheSnapshot               `json:"cache"`
+}
+
+// snapshot captures the counters. cacheLen is supplied by the server so
+// the stats aggregate stays free of cache internals.
+func (s *stats) snapshot(cacheLen int) StatsSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := StatsSnapshot{
+		UptimeMS:  time.Since(s.start).Milliseconds(),
+		Endpoints: make(map[string]EndpointSnapshot, len(s.endpoints)),
+		Cache: CacheSnapshot{
+			Hits:    s.hits,
+			Misses:  s.misses,
+			Entries: cacheLen,
+		},
+	}
+	if total := s.hits + s.misses; total > 0 {
+		snap.Cache.HitRate = float64(s.hits) / float64(total)
+	}
+	for name, ep := range s.endpoints {
+		es := EndpointSnapshot{Requests: ep.requests, Errors: ep.errors}
+		if ep.requests > 0 {
+			es.MeanLatencyMS = float64(ep.totalNS) / float64(ep.requests) / 1e6
+		}
+		es.MaxLatencyMS = float64(ep.maxNS) / 1e6
+		snap.Endpoints[name] = es
+	}
+	return snap
+}
