@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fuzz smoke fmt vet check
+.PHONY: all build test race bench benchgate fuzz smoke fmt vet check
 
 all: check
 
@@ -19,17 +19,29 @@ race:
 # JSON artifact (benchmark → ns/op, allocs, GOMAXPROCS, host fingerprint) so
 # numbers are comparable across PRs. benchjson fails on FAIL lines or an
 # empty stream, so this still doubles as the CI smoke for bench_test.go.
-BENCH_JSON ?= BENCH_6.json
+BENCH_JSON ?= BENCH_7.json
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x -benchmem ./... | $(GO) run ./cmd/benchjson -o $(BENCH_JSON)
 
+# Bench gate: diff the two most recent checked-in artifacts. Same-host
+# artifacts are compared at a 15% regression threshold (deterministic
+# allocs/op gate hard, single-sample ns/op gates at 4×); artifacts from
+# different hosts skip gracefully.
+benchgate:
+	@arts="$$(ls BENCH_*.json | sort -V | tail -2)"; \
+	old="$$(echo "$$arts" | head -1)"; new="$$(echo "$$arts" | tail -1)"; \
+	if [ "$$old" = "$$new" ]; then echo "benchgate: single artifact $$old, nothing to diff"; exit 0; fi; \
+	$(GO) run ./cmd/benchjson -diff -threshold 15 "$$old" "$$new"
+
 # Bounded fuzz of the incremental pricing session's swap mutation path, the
+# session RowCache's invalidation rules against fresh BFS ground truth, the
 # greedy model's add/delete/swap apply/undo path, the budget model's
 # feasibility-guarded swap apply/undo path, the unified scan engine's
 # witnesses against the naive sequential enumeration, and the batched
 # cross-agent sweep against the per-agent sweep.
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzApplySwap -fuzztime=30s ./internal/pricing
+	$(GO) test -run=NONE -fuzz=FuzzRowCache -fuzztime=30s ./internal/pricing
 	$(GO) test -run=NONE -fuzz=FuzzGreedyApply -fuzztime=30s ./internal/game
 	$(GO) test -run=NONE -fuzz=FuzzBudgetApply -fuzztime=30s ./internal/game
 	$(GO) test -run=NONE -fuzz=FuzzScanEngine -fuzztime=30s ./internal/game

@@ -338,6 +338,58 @@ func BenchmarkDynamicsRefreezeCertifyTorus256(b *testing.B) {
 		dynamics.BestResponse, core.Max)
 }
 
+// Trajectory-batched certification: the same random-improving run with
+// its certification sweeps routed through the batched cross-agent pass,
+// whose shared rows persist in the session's RowCache across the
+// trajectory's sweeps (only rows invalidated by applied moves are
+// recomputed). The trajectory is bit-identical to the unbatched run
+// (internal/dynamics differential tests); the row-reuse-vs-fresh ablation
+// at the sweep level lives in internal/game's CertifySweeps/SweepRows
+// benchmarks. ROADMAP.md records the measured numbers.
+
+func BenchmarkDynamicsSessionRandomImprovingBatchedPath128(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		g := Path(128)
+		b.StartTimer()
+		res, err := dynamics.Run(g, dynamics.Options{
+			Objective: core.Sum, Policy: dynamics.RandomImproving,
+			Seed: 7, Workers: 1, BatchedSweeps: true,
+		})
+		if err != nil || !res.Converged {
+			b.Fatal("dynamics failed", err)
+		}
+	}
+}
+
+// Greedy certification, per-agent vs batched: the greedy model is the
+// batched pass's best case — its add stage prices every candidate exactly
+// from the shared full-graph rows (adding an edge excludes no vertex), so
+// a full stable pass pays n row BFS instead of n² add-stage BFS, with no
+// verification pass at all. Star(128) at edge cost 2 is greedy-stable
+// under sum, so both sides measure the full no-move sweep.
+
+func benchGreedyCertifyStar128(b *testing.B, batched bool) {
+	inst := game.Greedy{EdgeCost: 2}.New(Star(128), 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var ok bool
+		if batched {
+			_, _, _, ok = game.FindImprovementBatched(inst, core.Sum)
+		} else {
+			_, _, _, ok = inst.FindImprovement(core.Sum)
+		}
+		if ok {
+			b.Fatal("star must be greedy-stable at edge cost 2")
+		}
+	}
+}
+
+func BenchmarkGreedyCertifyStar128PerAgent(b *testing.B) { benchGreedyCertifyStar128(b, false) }
+func BenchmarkGreedyCertifyStar128Batched(b *testing.B)  { benchGreedyCertifyStar128(b, true) }
+
 // Deviation-model benchmarks: the Greedy and Interests models end-to-end
 // through the model-generic dynamics driver, and the probe-row cache
 // behind SwapSession.PriceMove (the random-improving ablation above

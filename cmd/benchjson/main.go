@@ -11,6 +11,23 @@
 // Exits nonzero when the stream contains a FAIL line or no benchmark
 // results at all, so a broken bench run cannot silently produce an empty
 // artifact.
+//
+// Diff mode compares two artifacts (the bench gate in CI):
+//
+//	benchjson -diff -threshold 15 BENCH_6.json BENCH_7.json
+//
+// It flags every non-parallel benchmark whose cost regressed by more than
+// the threshold percentage between the two reports and exits 1 when any
+// regression is found. Because the checked-in artifacts are single-
+// iteration runs (-benchtime=1x), wall time is a one-sample estimate:
+// ns/op regressions are flagged but only fail the gate when the
+// deterministic allocs/op count regressed too, or when the time blew past
+// 4× the threshold — a structural slowdown, not scheduler noise.
+// Benchmarks with "Parallel" in the name are skipped entirely (their
+// cost is scheduling, not work), as are benchmarks present in only one
+// report. When the two reports carry different host fingerprints
+// (Go version, GOOS/GOARCH, CPU, GOMAXPROCS) the comparison would be
+// meaningless, so the gate prints the mismatch and exits 0.
 package main
 
 import (
@@ -52,8 +69,17 @@ var benchLine = regexp.MustCompile(
 	`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
 func main() {
-	out := flag.String("o", "", "output JSON file (required)")
+	out := flag.String("o", "", "output JSON file (required unless -diff)")
+	diff := flag.Bool("diff", false, "compare two artifacts: benchjson -diff [-threshold pct] OLD NEW")
+	threshold := flag.Float64("threshold", 15, "regression threshold in percent for -diff")
 	flag.Parse()
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two artifact paths")
+			os.Exit(2)
+		}
+		os.Exit(runDiff(flag.Arg(0), flag.Arg(1), *threshold))
+	}
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "benchjson: -o is required")
 		os.Exit(2)
@@ -120,4 +146,95 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(report.Benchmarks), *out)
+}
+
+// fingerprint is the host identity a comparison is only meaningful
+// within.
+func (r *Report) fingerprint() string {
+	return fmt.Sprintf("%s %s/%s %q gomaxprocs=%d", r.GoVersion, r.GOOS, r.GOARCH, r.CPU, r.GOMAXPROCS)
+}
+
+func loadReport(path string) (*Report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// pctChange returns the percentage change from old to new; a zero old
+// value compares as unchanged (nothing meaningful to gate on).
+func pctChange(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (new - old) / old * 100
+}
+
+// runDiff is the bench gate: it compares every non-parallel benchmark
+// present in both artifacts and returns the process exit code. A
+// benchmark fails the gate when its deterministic allocs/op count
+// regressed past the threshold, or its ns/op regressed past 4× the
+// threshold (single-iteration artifacts make moderate time swings
+// noise); ns/op regressions past the plain threshold are printed as
+// warnings either way.
+func runDiff(oldPath, newPath string, threshold float64) int {
+	old, err := loadReport(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	cur, err := loadReport(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	if of, nf := old.fingerprint(), cur.fingerprint(); of != nf {
+		fmt.Printf("benchjson: host fingerprints differ, skipping bench gate\n  %s: %s\n  %s: %s\n",
+			oldPath, of, newPath, nf)
+		return 0
+	}
+	prev := make(map[string]Result, len(old.Benchmarks))
+	for _, r := range old.Benchmarks {
+		prev[r.Package+"."+r.Name] = r
+	}
+	var compared, failed, warned int
+	for _, r := range cur.Benchmarks {
+		if strings.Contains(r.Name, "Parallel") {
+			continue
+		}
+		o, ok := prev[r.Package+"."+r.Name]
+		if !ok {
+			continue
+		}
+		compared++
+		nsPct := pctChange(o.NsPerOp, r.NsPerOp)
+		allocPct := pctChange(float64(o.AllocsPerOp), float64(r.AllocsPerOp))
+		switch {
+		case allocPct > threshold:
+			failed++
+			fmt.Printf("FAIL %s: allocs/op %d -> %d (%+.1f%%), ns/op %.0f -> %.0f (%+.1f%%)\n",
+				r.Name, o.AllocsPerOp, r.AllocsPerOp, allocPct, o.NsPerOp, r.NsPerOp, nsPct)
+		case nsPct > 4*threshold:
+			failed++
+			fmt.Printf("FAIL %s: ns/op %.0f -> %.0f (%+.1f%%)\n", r.Name, o.NsPerOp, r.NsPerOp, nsPct)
+		case nsPct > threshold:
+			warned++
+			fmt.Printf("warn %s: ns/op %.0f -> %.0f (%+.1f%%)\n", r.Name, o.NsPerOp, r.NsPerOp, nsPct)
+		}
+	}
+	fmt.Printf("benchjson: compared %d benchmarks (%s -> %s): %d failed, %d warned\n",
+		compared, oldPath, newPath, failed, warned)
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no comparable benchmarks between artifacts")
+		return 1
+	}
+	if failed > 0 {
+		return 1
+	}
+	return 0
 }

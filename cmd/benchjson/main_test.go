@@ -1,0 +1,106 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeReport(t *testing.T, dir, name string, r Report) string {
+	t.Helper()
+	buf, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func baseReport(benches ...Result) Report {
+	return Report{
+		GoVersion: "go1.24.0", GOOS: "linux", GOARCH: "amd64",
+		CPU: "test cpu", GOMAXPROCS: 1, Benchmarks: benches,
+	}
+}
+
+// TestRunDiffGate pins the bench gate's verdicts: deterministic allocs/op
+// regressions and ns/op blowups past 4× the threshold fail, moderate
+// ns/op swings only warn, parallel benchmarks and host mismatches are
+// skipped.
+func TestRunDiffGate(t *testing.T) {
+	dir := t.TempDir()
+	old := baseReport(
+		Result{Name: "BenchmarkA", Package: "p", NsPerOp: 1000, AllocsPerOp: 100},
+		Result{Name: "BenchmarkB", Package: "p", NsPerOp: 1000, AllocsPerOp: 100},
+		Result{Name: "BenchmarkParallelC", Package: "p", NsPerOp: 1000, AllocsPerOp: 100},
+	)
+	oldPath := writeReport(t, dir, "old.json", old)
+
+	cases := []struct {
+		name string
+		cur  Report
+		want int
+	}{
+		{"unchanged", old, 0},
+		{"allocs regression fails", baseReport(
+			Result{Name: "BenchmarkA", Package: "p", NsPerOp: 1000, AllocsPerOp: 120},
+		), 1},
+		{"moderate ns swing warns only", baseReport(
+			Result{Name: "BenchmarkA", Package: "p", NsPerOp: 1400, AllocsPerOp: 100},
+		), 0},
+		{"ns blowup past 4x threshold fails", baseReport(
+			Result{Name: "BenchmarkA", Package: "p", NsPerOp: 1700, AllocsPerOp: 100},
+		), 1},
+		{"parallel benchmarks exempt", baseReport(
+			Result{Name: "BenchmarkA", Package: "p", NsPerOp: 1000, AllocsPerOp: 100},
+			Result{Name: "BenchmarkParallelC", Package: "p", NsPerOp: 9000, AllocsPerOp: 900},
+		), 0},
+		{"new benchmarks uncompared", baseReport(
+			Result{Name: "BenchmarkA", Package: "p", NsPerOp: 1000, AllocsPerOp: 100},
+			Result{Name: "BenchmarkNew", Package: "p", NsPerOp: 5, AllocsPerOp: 5},
+		), 0},
+		{"improvements pass", baseReport(
+			Result{Name: "BenchmarkA", Package: "p", NsPerOp: 200, AllocsPerOp: 10},
+			Result{Name: "BenchmarkB", Package: "p", NsPerOp: 100, AllocsPerOp: 1},
+		), 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			curPath := writeReport(t, dir, "new.json", tc.cur)
+			if got := runDiff(oldPath, curPath, 15); got != tc.want {
+				t.Errorf("runDiff = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestRunDiffHostMismatch: artifacts from different hosts are
+// incomparable; the gate must pass without judging anything.
+func TestRunDiffHostMismatch(t *testing.T) {
+	dir := t.TempDir()
+	old := baseReport(Result{Name: "BenchmarkA", Package: "p", NsPerOp: 100, AllocsPerOp: 10})
+	cur := baseReport(Result{Name: "BenchmarkA", Package: "p", NsPerOp: 9999, AllocsPerOp: 999})
+	cur.CPU = "a different cpu"
+	oldPath := writeReport(t, dir, "old.json", old)
+	curPath := writeReport(t, dir, "new.json", cur)
+	if got := runDiff(oldPath, curPath, 15); got != 0 {
+		t.Errorf("host-mismatched diff = %d, want 0 (graceful skip)", got)
+	}
+}
+
+// TestRunDiffNoOverlap: two artifacts with no benchmark in common is a
+// broken gate (wrong files), not a pass.
+func TestRunDiffNoOverlap(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", baseReport(
+		Result{Name: "BenchmarkA", Package: "p", NsPerOp: 100, AllocsPerOp: 10}))
+	curPath := writeReport(t, dir, "new.json", baseReport(
+		Result{Name: "BenchmarkZ", Package: "p", NsPerOp: 100, AllocsPerOp: 10}))
+	if got := runDiff(oldPath, curPath, 15); got != 1 {
+		t.Errorf("no-overlap diff = %d, want 1", got)
+	}
+}

@@ -274,7 +274,7 @@ func cmdDynamics(args []string) error {
 	budget := fs.Int("budget", game.DefaultBudget, "budget model: uniform per-vertex edge budget k (re-points must target a vertex with deg < k)")
 	seed := fs.Int64("seed", 1, "random seed")
 	workers := fs.Int("workers", 0, "pricing workers for every policy, including the random policy's certification sweeps (0 = all cores; trajectories are identical for any count)")
-	batched := fs.Bool("batched", false, "certification sweeps via the batched cross-agent pass where the model supports it (identical trajectories; trades O(n²) transient memory for fewer BFS; falls back per agent for models without one, reported as batched=fallback)")
+	batched := fs.Bool("batched", false, "certification sweeps via the batched cross-agent pass, with shared rows persisted in the session's row cache across sweeps (identical trajectories; trades O(n²) resident memory for fewer BFS; every BFS-priced model has one, greedy included — only 2nb and naive oracles fall back per agent, reported as batched=fallback)")
 	trace := fs.Bool("trace", false, "print every applied move")
 	server := fs.String("server", "", "base URL of a running `bncg serve` to run on; empty runs the identical code path in process")
 	if err := fs.Parse(args); err != nil {

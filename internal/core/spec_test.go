@@ -80,7 +80,7 @@ func TestCheckSpecBatchedFallbackReporting(t *testing.T) {
 		model       game.Model
 		wantBatched bool
 	}{
-		{"greedy", game.Greedy{EdgeCost: 2}, false},
+		{"greedy", game.Greedy{EdgeCost: 2}, true},
 		{"2nb", game.TwoNeighborhood{}, false},
 		{"interests", game.NewInterests(sets), true},
 		{"budget", game.Budget{K: 3}, true},

@@ -10,16 +10,18 @@ import (
 
 // TestBatchedSweepsIdenticalTrajectories pins that routing the random-
 // improving policy's certification sweeps through the batched cross-agent
-// pass changes nothing observable: same moves, same costs, same sweep and
-// convergence accounting, for the models that have a batched pass and for
-// one that falls back (greedy).
+// pass — whose shared rows now persist in the session's RowCache across
+// the trajectory's sweeps — changes nothing observable: same moves, same
+// costs, same sweep and convergence accounting, for the models that have
+// a batched pass and for one that falls back (2-neighborhood).
 func TestBatchedSweepsIdenticalTrajectories(t *testing.T) {
 	rng := rand.New(rand.NewSource(61))
 	models := []game.Model{
 		game.Swap{},
 		game.RandomInterests(48, 0.4, rng),
 		game.Budget{K: 3},
-		game.Greedy{EdgeCost: 2}, // no batched pass: exercises the fallback
+		game.Greedy{EdgeCost: 2},
+		game.TwoNeighborhood{}, // no batched pass: exercises the fallback
 	}
 	base := treegen.RandomTree(48, rng)
 	for _, model := range models {

@@ -178,9 +178,9 @@ type TraceEntry struct {
 // BatchedState reports how a run honored the Batched request: not
 // requested at all, actively routed through the model's batched
 // cross-agent pass, or requested but fallen back to the per-agent sweep
-// because the model has no batched pass (greedy, 2-neighborhood, and every
-// naive oracle). The fallback used to be silent; Result and the CLI now
-// surface it.
+// because the model has no batched pass (2-neighborhood and every naive
+// oracle; every BFS-priced model, greedy included, has one). The fallback
+// used to be silent; Result and the CLI now surface it.
 type BatchedState int
 
 const (

@@ -63,7 +63,7 @@ func TestResultBatchedStates(t *testing.T) {
 	}{
 		{"swap off", nil, false, BatchedOff},
 		{"swap active", nil, true, BatchedActive},
-		{"greedy fallback", game.Greedy{EdgeCost: 2}, true, BatchedFallback},
+		{"greedy active", game.Greedy{EdgeCost: 2}, true, BatchedActive},
 		{"2nb fallback", game.TwoNeighborhood{}, true, BatchedFallback},
 		{"budget active", game.Budget{K: 3}, true, BatchedActive},
 	}

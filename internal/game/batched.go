@@ -2,6 +2,7 @@ package game
 
 import (
 	"context"
+	"sync/atomic"
 
 	"repro/internal/graph"
 	"repro/internal/par"
@@ -31,28 +32,54 @@ import (
 // threshold, and exactness of every returned witness are unchanged, so the
 // batched sweep returns bit-identically the same verdict and (lowest-agent,
 // enumeration-first) witness as the per-agent FindImprovement.
+//
+// Session-backed sweeps go one step further: the shared rows live in the
+// session's pricing.RowCache, which invalidates only the rows an applied
+// move can change, so consecutive sweeps of a trajectory (the random-
+// improving certification loop) pay #invalidated BFS instead of n per
+// sweep. One-shot checks (CheckSwapBatchedCtx) keep per-call fresh rows.
 
-// batchRows computes the full-graph BFS row d_G(w,·) for every vertex,
-// sharded across workers. need filters endpoints whose row no deviator
-// will ever read (nil computes all): the budget model skips every
-// over-budget endpoint deviator-independently, so their rows stay nil.
-// Rows are fresh allocations sized n; the result holds up to n² int32.
-func batchRows(eng *pricing.Engine, view pricing.Snapshot, workers int, need func(w int) bool) [][]int32 {
+// rowLookup resolves a candidate endpoint to its full-graph BFS row
+// d_G(w,·) — a slice of a fresh per-call arena (batchRows) or of the
+// session's generation-checked RowCache view.
+type rowLookup func(w int) []int32
+
+// batchRows computes the full-graph BFS row d_G(w,·) for every vertex into
+// one n² arena, sharded across workers. need filters endpoints whose row
+// no deviator will ever read (nil computes all): the budget model skips
+// every over-budget endpoint deviator-independently, so their rows stay
+// nil. ctx (nil tolerated) is polled between rows — each row is one
+// bounded BFS, so a deadline expiring mid-construction aborts within one
+// BFS plus chunk drain instead of overshooting by up to n BFS — and its
+// error is returned with nil rows.
+func batchRows(ctx context.Context, eng *pricing.Engine, view pricing.Snapshot, workers int, need func(w int) bool) ([][]int32, error) {
 	n := view.N()
 	rows := make([][]int32, n)
+	arena := make([]int32, n*n)
+	var stop atomic.Bool
 	par.ForChunked(workers, n, func(lo, hi int) {
 		_, queue, release := eng.Scratch(n)
 		defer release()
 		for w := lo; w < hi; w++ {
+			if stop.Load() {
+				return
+			}
+			if ctx != nil && ctx.Err() != nil {
+				stop.Store(true)
+				return
+			}
 			if need != nil && !need(w) {
 				continue
 			}
-			row := make([]int32, n)
+			row := arena[w*n : (w+1)*n : (w+1)*n]
 			view.BFSInto(w, row, queue)
 			rows[w] = row
 		}
 	})
-	return rows
+	if stop.Load() {
+		return nil, ctx.Err()
+	}
+	return rows, nil
 }
 
 // scanAddMajorBatched is scanAddMajor's first-improving mode with the
@@ -66,7 +93,7 @@ func batchRows(eng *pricing.Engine, view pricing.Snapshot, workers int, need fun
 // the returned candidate is untouched, so the result is bit-identical to
 // scanAddMajor's for any worker count.
 func scanAddMajorBatched(eng *pricing.Engine, view pricing.Snapshot, ps *pricing.Scan,
-	workers int, rows [][]int32, skipAdd func(add int) bool,
+	workers int, rows rowLookup, skipAdd func(add int) bool,
 	price func(dropIdx int, dw []int32, threshold int64) (int64, bool),
 	cur int64) (scan.Cand, bool) {
 	v := ps.V()
@@ -84,9 +111,10 @@ func scanAddMajorBatched(eng *pricing.Engine, view pricing.Snapshot, ps *pricing
 		},
 	}
 	pricer := func(ws bfsRow, add int, threshold func() int64, yield func(int, int64) bool) {
+		shared := rows(add)
 		exact := false
 		for i := range drops {
-			if _, maybe := price(i, rows[add], threshold()); !maybe {
+			if _, maybe := price(i, shared, threshold()); !maybe {
 				continue
 			}
 			if !exact {
@@ -106,8 +134,8 @@ func scanAddMajorBatched(eng *pricing.Engine, view pricing.Snapshot, ps *pricing
 // BatchedSweeper is the optional Instance capability for batched
 // whole-graph certification. Implementations must return bit-identically
 // the same result as their FindImprovement; the difference is purely
-// performance (endpoint-row reuse across deviators) bought with O(n²)
-// transient memory.
+// performance (endpoint-row reuse across deviators and, for session-backed
+// instances, across sweeps) bought with O(n²) resident memory.
 type BatchedSweeper interface {
 	// FindImprovementBatched is FindImprovement computed via the batched
 	// cross-agent pass: same contract, same witness, same costs.
@@ -125,19 +153,32 @@ func FindImprovementBatched(inst Instance, obj Objective) (Move, int64, int64, b
 	return inst.FindImprovement(obj)
 }
 
+// sweepRows resolves the shared d_G rows for one session-backed sweep:
+// through the session's RowCache when reuse is set (only invalidated rows
+// are recomputed; the view panics if read across a mutation), or as
+// per-call fresh rows otherwise (the pre-cache behavior, kept for the
+// reuse-ablation benchmarks and differential tests).
+func sweepRows(eng *pricing.Engine, ps *pricing.Session, workers int, reuse bool, needRow func(add int) bool) rowLookup {
+	if reuse {
+		return ps.RowCache().Sync(workers, needRow).Row
+	}
+	rows, _ := batchRows(nil, eng, ps.View(), workers, needRow)
+	return func(w int) []int32 { return rows[w] }
+}
+
 // batchedFindImprovement is the one batched certification sweep the
-// session models share: shared rows once (restricted to endpoints some
-// deviator can use), then agents ascending, each agent's filtered
-// first-improving scan configured by the model through vertex — which
-// returns the agent's current cost, its endpoint filter, and its
+// swap-move session models share: shared rows once (restricted to
+// endpoints some deviator can use), then agents ascending, each agent's
+// filtered first-improving scan configured by the model through vertex —
+// which returns the agent's current cost, its endpoint filter, and its
 // thresholded price reduction over the scan's dropped-edge rows.
 func batchedFindImprovement(eng *pricing.Engine, ps *pricing.Session, workers int,
-	needRow func(add int) bool,
+	reuse bool, needRow func(add int) bool,
 	vertex func(v int, sc *pricing.Scan) (cur int64, skipAdd func(add int) bool,
 		price func(dropIdx int, dw []int32, threshold int64) (int64, bool)),
 ) (Move, int64, int64, bool) {
 	view := ps.View()
-	rows := batchRows(eng, view, workers, needRow)
+	rows := sweepRows(eng, ps, workers, reuse, needRow)
 	n := ps.N()
 	for v := 0; v < n; v++ {
 		sc := ps.NewScan(v)
@@ -155,11 +196,16 @@ func batchedFindImprovement(eng *pricing.Engine, ps *pricing.Session, workers in
 
 // FindImprovementBatched is the swap model's batched certification sweep:
 // agents ascending, each agent's candidate scan filtered through the
-// shared full-graph rows. It returns exactly FindImprovement's result.
+// shared full-graph rows, which persist in the session's RowCache across
+// sweeps. It returns exactly FindImprovement's result.
 func (s *SwapSession) FindImprovementBatched(obj Objective) (Move, int64, int64, bool) {
+	return s.findImprovementBatched(obj, true)
+}
+
+func (s *SwapSession) findImprovementBatched(obj Objective, reuse bool) (Move, int64, int64, bool) {
 	po := pobj(obj)
 	view := s.ps.View()
-	return batchedFindImprovement(s.eng, s.ps, s.workers, nil,
+	return batchedFindImprovement(s.eng, s.ps, s.workers, reuse, nil,
 		func(v int, sc *pricing.Scan) (int64, func(int) bool, func(int, []int32, int64) (int64, bool)) {
 			return sc.CurrentUsage(po),
 				func(add int) bool { return view.HasEdge(v, add) },
@@ -173,9 +219,13 @@ func (s *SwapSession) FindImprovementBatched(obj Objective) (Move, int64, int64,
 // sweep; the interest-restricted reductions run against the shared rows
 // first, exact rows only for flagged candidates.
 func (s *interestsSession) FindImprovementBatched(obj Objective) (Move, int64, int64, bool) {
+	return s.findImprovementBatched(obj, true)
+}
+
+func (s *interestsSession) findImprovementBatched(obj Objective, reuse bool) (Move, int64, int64, bool) {
 	po := pobj(obj)
 	view := s.ps.View()
-	return batchedFindImprovement(s.eng, s.ps, s.workers, nil,
+	return batchedFindImprovement(s.eng, s.ps, s.workers, reuse, nil,
 		func(v int, sc *pricing.Scan) (int64, func(int) bool, func(int, []int32, int64) (int64, bool)) {
 			set := s.model.set(v)
 			return pricing.UsageSubset(sc.CurrentRow(), set, po),
@@ -190,11 +240,18 @@ func (s *interestsSession) FindImprovementBatched(obj Objective) (Move, int64, i
 // sweep. Over-budget endpoints are infeasible for every deviator (an add
 // onto an existing neighbor is skipped regardless), so their shared rows
 // are never computed at all; the per-agent filter then only adds the
-// adjacency half.
+// adjacency half. The RowCache keeps rows of endpoints that drift in and
+// out of budget: a row cached while feasible stays valid (invalidation
+// tracks distance changes, not feasibility) and is simply not read while
+// the endpoint is over budget.
 func (s *budgetSession) FindImprovementBatched(obj Objective) (Move, int64, int64, bool) {
+	return s.findImprovementBatched(obj, true)
+}
+
+func (s *budgetSession) findImprovementBatched(obj Objective, reuse bool) (Move, int64, int64, bool) {
 	po := pobj(obj)
 	view := s.ps.View()
-	return batchedFindImprovement(s.eng, s.ps, s.workers,
+	return batchedFindImprovement(s.eng, s.ps, s.workers, reuse,
 		func(add int) bool { return view.Degree(add) < s.k },
 		func(v int, sc *pricing.Scan) (int64, func(int) bool, func(int, []int32, int64) (int64, bool)) {
 			return sc.CurrentUsage(po),
@@ -207,19 +264,124 @@ func (s *budgetSession) FindImprovementBatched(obj Objective) (Move, int64, int6
 		})
 }
 
+// FindImprovementBatched is the greedy model's batched certification
+// sweep: agents ascending, each agent's staged scan (adds, deletions,
+// swaps) priced through the shared full-graph rows. The greedy model is
+// the batched pass's best case — its add stage prices candidates from
+// exactly the rows the cache holds (d_{G+vw}(v,·) patches d_G(v,·) with
+// d_G(w,·); no deviator is excluded), so adds need no verification BFS at
+// all; deletions price free from the scan's dropped-edge rows as before;
+// only the swap stage keeps the filter-then-verify shape of the swap
+// model. Results are bit-identical to FindImprovement.
+func (s *greedySession) FindImprovementBatched(obj Objective) (Move, int64, int64, bool) {
+	return s.findImprovementBatched(obj, true)
+}
+
+func (s *greedySession) findImprovementBatched(obj Objective, reuse bool) (Move, int64, int64, bool) {
+	rows := sweepRows(s.eng, s.ps, s.workers, reuse, nil)
+	n := s.ps.N()
+	for v := 0; v < n; v++ {
+		if m, cur, newCost, ok := s.scanMovesBatched(v, obj, rows); ok {
+			return m, cur, newCost, true
+		}
+	}
+	return Move{}, 0, 0, false
+}
+
+// scanMovesBatched is scanMoves' first-improving mode priced through the
+// shared rows: the same three stages in the same enumeration order with
+// the same running-threshold handoff, so the returned move is bit-identical
+// for any worker count.
+func (s *greedySession) scanMovesBatched(v int, obj Objective, rows rowLookup) (best Move, oldCost, newCost int64, ok bool) {
+	po := pobj(obj)
+	view := s.ps.View()
+	n := view.N()
+	psc := s.ps.NewScan(v)
+	defer psc.Close()
+	deg := int64(view.Degree(v))
+	cur := s.edgeCost*deg + psc.CurrentUsage(po)
+	bestCost := cur
+	state := scratchState(s.eng, n)
+	skipKnown := func(add int) bool { return add == v || view.HasEdge(v, add) }
+	runStage := func(pricer scan.Pricer[bfsRow], toMove func(c scan.Cand) Move) bool {
+		spec := scan.Spec{
+			Workers:   s.workers,
+			N:         n,
+			Threshold: bestCost,
+			Order:     scan.ByEnumeration,
+			Skip:      skipKnown,
+		}
+		c, found := scan.First(spec, state, pricer)
+		if found {
+			best, bestCost, ok = toMove(c), c.Cost, true
+		}
+		return found
+	}
+
+	// Adds: the shared row IS the exact post-add endpoint row — adding vw
+	// excludes no vertex, so d_{G+vw}(v,·) = min(d_G(v,·), 1+d_G(w,·))
+	// prices exactly from the cache with no BFS and no verification pass.
+	addOffset := s.edgeCost * (deg + 1)
+	addPricer := func(_ bfsRow, add int, threshold func() int64, yield func(int, int64) bool) {
+		if c, below := pricing.PatchedBelow(psc.CurrentRow(), rows(add), po, threshold()-addOffset); below {
+			yield(0, addOffset+c)
+		}
+	}
+	if runStage(addPricer, func(c scan.Cand) Move { return Move{Kind: KindAdd, V: v, Add: c.Add} }) {
+		return best, cur, bestCost, true
+	}
+
+	// Deletions: the scan's dropped-edge rows price them for free, exactly
+	// as in the per-agent scan.
+	for i, w := range psc.Drops() {
+		if c := s.edgeCost*(deg-1) + psc.DeletionUsage(i, po); c < bestCost {
+			best, bestCost, ok = Move{Kind: KindDelete, V: v, Drop: int(w)}, c, true
+			return best, cur, bestCost, true
+		}
+	}
+
+	// Swaps: the swap model's filter-then-verify — the shared row lower-
+	// bounds the deviator-excluded row, flagged candidates pay one exact
+	// BFS shared across dropped edges.
+	swapOffset := s.edgeCost * deg
+	drops := psc.Drops()
+	swapPricer := func(ws bfsRow, add int, threshold func() int64, yield func(int, int64) bool) {
+		shared := rows(add)
+		exact := false
+		for i := range drops {
+			if _, maybe := pricing.PatchedBelow(psc.DropRow(i), shared, po, threshold()-swapOffset); !maybe {
+				continue
+			}
+			if !exact {
+				view.BFSSkipVertex(add, v, ws.dist, ws.queue)
+				exact = true
+			}
+			if c, below := pricing.PatchedBelow(psc.DropRow(i), ws.dist, po, threshold()-swapOffset); below {
+				if !yield(i, swapOffset+c) {
+					return
+				}
+			}
+		}
+	}
+	runStage(swapPricer, func(c scan.Cand) Move {
+		return Move{Kind: KindSwap, V: v, Drop: int(drops[c.DropIdx]), Add: c.Add}
+	})
+	return best, cur, bestCost, ok
+}
+
 // CheckSwapBatched is CheckSwap computed via the batched cross-agent pass:
 // same verdict, same deterministic witness (deletion-criticality checks
 // still run per agent from the scan's dropped-edge rows; only the
 // candidate-endpoint BFS reuse changes). One frozen snapshot, n shared
-// rows, exact verification for flagged candidates only.
+// rows in one arena, exact verification for flagged candidates only.
 func CheckSwapBatched(g *graph.Graph, obj Objective, workers int, deletionCritical bool) (bool, *Violation, error) {
 	return CheckSwapBatchedCtx(nil, g, obj, workers, deletionCritical)
 }
 
 // CheckSwapBatchedCtx is CheckSwapBatched with cooperative cancellation:
-// ctx (nil tolerated) is polled between per-agent scans — the shared-row
-// construction in front is one uncancellable unit of n BFS — and its error
-// is returned on expiry. Verdict and witness are bit-identical to
+// ctx (nil tolerated) is polled between the shared-row BFS passes during
+// construction and between per-agent scans afterwards, and its error is
+// returned on expiry. Verdict and witness are bit-identical to
 // CheckSwapBatched.
 func CheckSwapBatchedCtx(ctx context.Context, g *graph.Graph, obj Objective, workers int, deletionCritical bool) (bool, *Violation, error) {
 	n := g.N()
@@ -232,7 +394,10 @@ func CheckSwapBatchedCtx(ctx context.Context, g *graph.Graph, obj Objective, wor
 	workers = normWorkers(workers)
 	eng := pricing.Shared(workers)
 	f := g.Freeze()
-	rows := batchRows(eng, f, workers, nil)
+	rows, err := batchRows(ctx, eng, f, workers, nil)
+	if err != nil {
+		return false, nil, err
+	}
 	po := pobj(obj)
 	for v := 0; v < n; v++ {
 		if err := pollCtx(ctx); err != nil {
@@ -246,7 +411,7 @@ func CheckSwapBatchedCtx(ctx context.Context, g *graph.Graph, obj Objective, wor
 				return false, viol, nil
 			}
 		}
-		cand, ok := scanAddMajorBatched(eng, f, sc, workers, rows,
+		cand, ok := scanAddMajorBatched(eng, f, sc, workers, func(w int) []int32 { return rows[w] },
 			func(add int) bool { return f.HasEdge(v, add) },
 			func(i int, dw []int32, threshold int64) (int64, bool) {
 				return pricing.PatchedBelow(sc.DropRow(i), dw, po, threshold)

@@ -1,0 +1,184 @@
+package game
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/constructions"
+	"repro/internal/graph"
+)
+
+// internalFuzzGraph mirrors scanfuzz_test.go's fuzzGraph for the
+// in-package tests: a random tree plus chords, connected by construction.
+func internalFuzzGraph(n int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(v, rng.Intn(v))
+	}
+	for i := 0; i < n/3; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// batchedReuseSweeper is the in-package seam the cache-vs-fresh
+// differential and the row-reuse ablation benchmarks drive: the same
+// batched sweep with the shared rows either read through the session's
+// RowCache or rebuilt fresh per call.
+type batchedReuseSweeper interface {
+	Instance
+	findImprovementBatched(obj Objective, reuse bool) (Move, int64, int64, bool)
+}
+
+// TestBatchedSweepCacheMatchesFresh pins the RowCache's end-to-end
+// contract: a full batched sweep whose shared rows come from the
+// invalidation-maintained cache is bit-identical to the same sweep over
+// rows rebuilt fresh — across a trajectory of applied moves, so the
+// cache's selective invalidation (not a full rebuild) is what keeps the
+// rows honest.
+func TestBatchedSweepCacheMatchesFresh(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		g := internalFuzzGraph(24, seed)
+		rng := rand.New(rand.NewSource(seed * 31))
+		insts := map[string]batchedReuseSweeper{
+			"swap":      Swap{}.New(g.Clone(), 2).(*SwapSession),
+			"greedy":    Greedy{EdgeCost: 2}.New(g.Clone(), 2).(*greedySession),
+			"budget":    Budget{K: 3}.New(g.Clone(), 2).(*budgetSession),
+			"interests": RandomInterests(g.N(), 0.5, rng).New(g.Clone(), 2).(*interestsSession),
+		}
+		for name, inst := range insts {
+			for _, obj := range []Objective{Sum, Max} {
+				for step := 0; step < 6; step++ {
+					fm, fo, fn, fok := inst.findImprovementBatched(obj, false)
+					cm, co, cn, cok := inst.findImprovementBatched(obj, true)
+					if fok != cok || (fok && (fm != cm || fo != co || fn != cn)) {
+						t.Fatalf("seed %d %s/%v step %d: fresh (%v,%d,%d,%v), cached (%v,%d,%d,%v)",
+							seed, name, obj, step, fm, fo, fn, fok, cm, co, cn, cok)
+					}
+					if !fok {
+						break
+					}
+					inst.Apply(fm)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchedSweepRowReusePersists pins that the cache actually persists
+// across sweeps: repeated sweeps of an unchanged position pay the n row
+// BFS exactly once, and a sweep after one applied move recomputes only
+// the invalidated rows, never more than n.
+func TestBatchedSweepRowReusePersists(t *testing.T) {
+	g := constructions.NewTorus(8).Graph() // max-stable: full sweeps
+	n := g.N()
+	s := Swap{}.New(g, 1).(*SwapSession)
+	for i := 0; i < 3; i++ {
+		if _, _, _, ok := s.FindImprovementBatched(Max); ok {
+			t.Fatal("torus must be max-stable")
+		}
+	}
+	cache := s.ps.RowCache()
+	if got := cache.Recomputed(); got != uint64(n) {
+		t.Fatalf("3 sweeps of an unchanged position recomputed %d rows, want exactly n=%d", got, n)
+	}
+	// One applied move (and its undo) invalidates a subset of rows; the
+	// next sweep recomputes only those.
+	v := 0
+	drop := int(s.ps.View().Neighbors(v)[0])
+	add := n / 2
+	if s.ps.View().HasEdge(v, add) {
+		t.Fatalf("bad test setup: %d-%d already an edge", v, add)
+	}
+	s.Apply(Move{V: v, Drop: drop, Add: add})()
+	before := cache.Recomputed()
+	s.FindImprovementBatched(Max)
+	if delta := cache.Recomputed() - before; delta > uint64(n) {
+		t.Fatalf("sweep after apply+undo recomputed %d rows, want ≤ n=%d", delta, n)
+	}
+}
+
+// benchCertifySweeps times the random-improving certification cadence:
+// the trajectory is first driven to equilibrium (outside the timer, with
+// the same reuse setting so both variants arrive at bit-identical state —
+// TestBatchedSweepCacheMatchesFresh), then every timed iteration is one
+// full certification sweep of the converged position, exactly what
+// repeated service rechecks and post-patience certifications pay. With
+// reuse the shared rows persist in the RowCache (zero row BFS per sweep);
+// without it every sweep rebuilds all n rows (the pre-cache behavior).
+func benchCertifySweeps(b *testing.B, mk func() *graph.Graph, obj Objective, reuse bool) {
+	inst := Swap{}.New(mk(), 1).(*SwapSession)
+	for moves := 0; ; moves++ {
+		if moves > 10_000 {
+			b.Fatal("trajectory did not converge")
+		}
+		m, _, _, ok := inst.findImprovementBatched(obj, reuse)
+		if !ok {
+			break
+		}
+		inst.Apply(m)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, ok := inst.findImprovementBatched(obj, reuse); ok {
+			b.Fatal("equilibrium regressed")
+		}
+	}
+}
+
+func BenchmarkCertifySweepsRowReusePath128(b *testing.B) {
+	benchCertifySweeps(b, func() *graph.Graph { return constructions.Path(128) }, Sum, true)
+}
+
+func BenchmarkCertifySweepsFreshRowsPath128(b *testing.B) {
+	benchCertifySweeps(b, func() *graph.Graph { return constructions.Path(128) }, Sum, false)
+}
+
+func BenchmarkCertifySweepsRowReuseTorus256(b *testing.B) {
+	benchCertifySweeps(b, func() *graph.Graph { return constructions.NewTorus(8).Graph() }, Max, true)
+}
+
+func BenchmarkCertifySweepsFreshRowsTorus256(b *testing.B) {
+	benchCertifySweeps(b, func() *graph.Graph { return constructions.NewTorus(8).Graph() }, Max, false)
+}
+
+// benchSweepRows isolates the row-provisioning step the cache replaces:
+// per iteration, provision the full shared-row set for one certification
+// sweep — through the RowCache (recomputes only what the last mutation
+// invalidated; nothing, here, at a fixed position) or as a per-sweep
+// batchRows rebuild (n BFS plus an n² arena every time). This is the
+// mechanism the end-to-end sweep benches dilute with scan-pricing cost.
+func benchSweepRows(b *testing.B, g *graph.Graph, reuse bool) {
+	s := Swap{}.New(g, 1).(*SwapSession)
+	n := g.N()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := sweepRows(s.eng, s.ps, 1, reuse, nil)
+		if rows(0)[0] != 0 {
+			b.Fatal("bad row")
+		}
+		_ = n
+	}
+}
+
+func BenchmarkSweepRowsReusePath128(b *testing.B) {
+	benchSweepRows(b, constructions.Path(128), true)
+}
+
+func BenchmarkSweepRowsFreshPath128(b *testing.B) {
+	benchSweepRows(b, constructions.Path(128), false)
+}
+
+func BenchmarkSweepRowsReuseTorus256(b *testing.B) {
+	benchSweepRows(b, constructions.NewTorus(8).Graph(), true)
+}
+
+func BenchmarkSweepRowsFreshTorus256(b *testing.B) {
+	benchSweepRows(b, constructions.NewTorus(8).Graph(), false)
+}

@@ -104,12 +104,15 @@ func FuzzScanEngine(f *testing.F) {
 }
 
 // FuzzBatchedSweep cross-checks the batched cross-agent certification
-// sweep — shared endpoint rows as lower-bound filters, exact verification
-// for flagged candidates — against the per-agent sweep on fuzzer-chosen
-// graphs and configurations of the three batched models, driving a few
-// improvement steps so near-equilibrium and mid-dynamics positions are
-// both hit. For the swap model the one-shot batched checker (with the
-// deletion-criticality condition) is compared too.
+// sweep — shared endpoint rows, persisted in the session's RowCache
+// across the driven steps, as lower-bound filters with exact verification
+// for flagged candidates (exact add prices for greedy) — against the
+// per-agent sweep on fuzzer-chosen graphs and configurations of the four
+// batched models, driving a few improvement steps so near-equilibrium and
+// mid-dynamics positions are both hit, and so the cache's selective
+// invalidation is exercised by every applied move between sweeps. For the
+// swap model the one-shot batched checker (with the deletion-criticality
+// condition) is compared too.
 //
 // Run a short bounded hunt with:
 //
@@ -118,17 +121,20 @@ func FuzzBatchedSweep(f *testing.F) {
 	f.Add(uint8(8), int64(1), uint8(0), uint8(1), false)
 	f.Add(uint8(14), int64(5), uint8(1), uint8(3), true)
 	f.Add(uint8(20), int64(9), uint8(2), uint8(4), false)
+	f.Add(uint8(16), int64(13), uint8(3), uint8(2), true)
 	f.Fuzz(func(t *testing.T, nRaw uint8, seed int64, modelSel, workersRaw uint8, useMax bool) {
 		g, rng := fuzzGraph(nRaw, seed)
 		n := g.N()
 		var model game.Model
-		switch modelSel % 3 {
+		switch modelSel % 4 {
 		case 0:
 			model = game.Swap{}
 		case 1:
 			model = game.RandomInterests(n, 0.2+rng.Float64()*0.7, rng)
-		default:
+		case 2:
 			model = game.Budget{K: 2 + rng.Intn(3)}
+		default:
+			model = game.Greedy{EdgeCost: int64(rng.Intn(4))}
 		}
 		workers := 1 + int(workersRaw)%8
 		obj := game.Sum

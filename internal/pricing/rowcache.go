@@ -1,0 +1,169 @@
+package pricing
+
+import (
+	"repro/internal/graph"
+	"repro/internal/par"
+)
+
+// RowCache is a session-attached cache of full-graph BFS rows d_G(w,·)
+// over the session's live snapshot — the shared-row matrix of the batched
+// cross-agent sweep, kept alive across sweeps instead of rebuilt per
+// sweep. It is maintained under the session's mutations exactly as
+// graph.Dyn patch-maintains adjacency: every ApplySwap/ApplyAdd/
+// ApplyRemove/Undo invalidates only the rows whose distances the edge
+// change can affect, and invalid rows are recomputed lazily at the next
+// Sync. In and near equilibrium — the regime certification sweeps live in
+// — a single applied move invalidates a small fraction of the rows, so a
+// trajectory of sweeps pays #invalidated BFS per sweep instead of n.
+//
+// The invalidation tests are O(1) per cached row, reading only the row's
+// own entries at the mutated edge's endpoints (distances in the graph the
+// row was computed for):
+//
+//   - adding edge ab changes row w iff |d(w,a) − d(w,b)| ≥ 2 (the new
+//     edge shortcuts some w-shortest path iff the endpoints' distances
+//     differ by more than the edge's length), or exactly one endpoint is
+//     unreachable from w (the edge joins w's component to another);
+//   - removing edge ab can change row w only if |d(w,a) − d(w,b)| = 1
+//     (an edge on no w-shortest path — including any edge in a component
+//     not containing w — cannot lengthen any distance).
+//
+// The add test is exact; the remove test is conservative (the edge may lie
+// on a shortest path that has equal-length alternatives), which only costs
+// a spurious recompute, never a stale row.
+//
+// The memory trade is the batched sweep's: one n² int32 arena per session,
+// allocated once at first use and reused for the session's lifetime. A
+// RowCache is not safe for concurrent mutation with its session; concurrent
+// reads between mutations (the sharded sweep) are safe.
+type RowCache struct {
+	s     *Session
+	arena []int32   // n² backing store, rows sliced out of it
+	rows  [][]int32 // rows[w] = d_G(w,·) when valid[w]
+	valid []bool
+	todo  []int32 // scratch: rows to recompute this Sync
+	// recomputed counts BFS row rebuilds over the cache's lifetime; the
+	// reuse tests and benchmarks read it to prove rows actually persist.
+	recomputed uint64
+}
+
+// RowCache returns the session's shared-row cache, creating it (and its n²
+// arena) on first use. The cache is invalidation-maintained by every
+// subsequent session mutation; rows are computed lazily by Sync.
+func (s *Session) RowCache() *RowCache {
+	if s.rows == nil {
+		n := s.d.N()
+		c := &RowCache{
+			s:     s,
+			arena: make([]int32, n*n),
+			rows:  make([][]int32, n),
+			valid: make([]bool, n),
+		}
+		for w := 0; w < n; w++ {
+			c.rows[w] = c.arena[w*n : (w+1)*n : (w+1)*n]
+		}
+		s.rows = c
+	}
+	return s.rows
+}
+
+// Recomputed returns the number of BFS row rebuilds the cache has paid
+// since creation — the denominator of the reuse win.
+func (c *RowCache) Recomputed() uint64 { return c.recomputed }
+
+// noteAdd records the insertion of edge ab: a valid row w survives iff the
+// new edge cannot shortcut any shortest path from w.
+func (c *RowCache) noteAdd(a, b int) {
+	for w, ok := range c.valid {
+		if !ok {
+			continue
+		}
+		da, db := c.rows[w][a], c.rows[w][b]
+		if da == graph.Unreachable || db == graph.Unreachable {
+			// Both endpoints unreachable: the edge lives entirely outside
+			// w's component and changes nothing for w. Exactly one
+			// unreachable: the edge joins new vertices to w's component.
+			c.valid[w] = da == graph.Unreachable && db == graph.Unreachable
+			continue
+		}
+		if d := da - db; d >= 2 || d <= -2 {
+			c.valid[w] = false
+		}
+	}
+}
+
+// noteRemove records the deletion of edge ab: a valid row w survives iff
+// the edge was on no shortest path from w. Endpoints of an existing edge
+// are reachable from w together or not at all; in the latter case the edge
+// is outside w's component and removal changes nothing for w.
+func (c *RowCache) noteRemove(a, b int) {
+	for w, ok := range c.valid {
+		if !ok {
+			continue
+		}
+		da, db := c.rows[w][a], c.rows[w][b]
+		if da == graph.Unreachable || db == graph.Unreachable {
+			continue
+		}
+		if d := da - db; d == 1 || d == -1 {
+			c.valid[w] = false
+		}
+	}
+}
+
+// RowView is the read handle a Sync returns: rows at one session
+// generation. Like a Scan, a view outlived by a session mutation panics on
+// its next read instead of serving stale rows.
+type RowView struct {
+	c   *RowCache
+	gen uint64
+}
+
+// Sync brings every row selected by need (nil selects all) up to date —
+// recomputing only the invalidated ones, sharded across workers — and
+// returns a read view pinned to the session's current generation. Rows not
+// selected are left as they are: a later Sync with a wider need computes
+// them then.
+func (c *RowCache) Sync(workers int, need func(w int) bool) *RowView {
+	n := c.s.d.N()
+	c.todo = c.todo[:0]
+	for w := 0; w < n; w++ {
+		if need != nil && !need(w) {
+			continue
+		}
+		if !c.valid[w] {
+			c.todo = append(c.todo, int32(w))
+		}
+	}
+	if len(c.todo) > 0 {
+		eng, view := c.s.e, c.s.d
+		par.ForChunked(workers, len(c.todo), func(lo, hi int) {
+			_, queue, release := eng.Scratch(n)
+			defer release()
+			for i := lo; i < hi; i++ {
+				w := int(c.todo[i])
+				view.BFSInto(w, c.rows[w], queue)
+			}
+		})
+		for _, w := range c.todo {
+			c.valid[w] = true
+		}
+		c.recomputed += uint64(len(c.todo))
+	}
+	return &RowView{c: c, gen: c.s.gen}
+}
+
+// Row returns d_G(w,·) as of the view's Sync. The row is owned by the
+// cache; do not modify. It panics when the session has mutated since the
+// Sync (stale rows no longer describe the graph) and when w was outside
+// the Sync's need set (the row was never brought up to date).
+func (v *RowView) Row(w int) []int32 {
+	c := v.c
+	if v.gen != c.s.gen {
+		panic("pricing: RowCache view used after Session mutation; re-Sync")
+	}
+	if !c.valid[w] {
+		panic("pricing: RowCache row read outside the synced set")
+	}
+	return c.rows[w]
+}

@@ -1,0 +1,243 @@
+package pricing_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/constructions"
+	"repro/internal/graph"
+	"repro/internal/pricing"
+)
+
+// rowCacheGraph builds a random connected graph (tree plus chords) whose
+// mutations exercise every invalidation branch: tree edges whose removal
+// reroutes shortest paths, chords whose removal changes nothing, and
+// disconnecting cuts once the fuzzer removes enough.
+func rowCacheGraph(n int, rng *rand.Rand) *graph.Graph {
+	g := graph.New(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(v, rng.Intn(v))
+	}
+	for i := 0; i < n/2; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// driveRowCache applies `steps` random session mutations (swaps, adds,
+// removes, undos) with a Sync-and-verify after each: every cached row —
+// in particular every row the invalidation tests decided to KEEP — must
+// equal a fresh BFS of the current snapshot. A keep decision that was
+// wrong (a stale row surviving a mutation that changed its distances)
+// fails here and nowhere else, which is the point: the O(1)-per-row
+// invalidation rules are the only unverified trust in the cache.
+func driveRowCache(t *testing.T, g *graph.Graph, rng *rand.Rand, steps int) {
+	t.Helper()
+	eng := pricing.Shared(2)
+	s := eng.NewSession(g)
+	n := s.N()
+	cache := s.RowCache()
+	fresh := make([]int32, n)
+	queue := make([]int32, 0, n)
+
+	verify := func(step int) {
+		view := cache.Sync(2, nil)
+		for w := 0; w < n; w++ {
+			row := view.Row(w)
+			s.View().BFSInto(w, fresh, queue)
+			for x := 0; x < n; x++ {
+				if row[x] != fresh[x] {
+					t.Fatalf("step %d: cached row %d entry %d = %d, fresh BFS = %d (gen %d)",
+						step, w, x, row[x], fresh[x], s.Gen())
+				}
+			}
+		}
+	}
+
+	verify(-1)
+	for step := 0; step < steps; step++ {
+		switch op := rng.Intn(10); {
+		case op < 4: // swap: drop a random incident edge, add elsewhere
+			v := rng.Intn(n)
+			nbrs := s.View().Neighbors(v)
+			if len(nbrs) == 0 {
+				continue
+			}
+			drop := int(nbrs[rng.Intn(len(nbrs))])
+			add := rng.Intn(n)
+			if add == v {
+				continue
+			}
+			s.ApplySwap(v, drop, add)
+		case op < 6:
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			s.ApplyAdd(u, v)
+		case op < 8:
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			s.ApplyRemove(u, v)
+		default:
+			s.Undo()
+		}
+		verify(step)
+	}
+	// Unwind the whole trajectory: undo invalidation must be as honest as
+	// apply invalidation.
+	for s.Undo() {
+	}
+	verify(steps)
+}
+
+// TestRowCacheDifferential is the cache's ground-truth differential over
+// random mutation sequences on random graphs and the paper's families.
+func TestRowCacheDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(413))
+	for trial := 0; trial < 4; trial++ {
+		driveRowCache(t, rowCacheGraph(20+trial*7, rng), rng, 30)
+	}
+	driveRowCache(t, constructions.Path(24), rng, 25)
+	driveRowCache(t, constructions.Star(24), rng, 25)
+	driveRowCache(t, constructions.NewTorus(3).Graph(), rng, 25)
+}
+
+// TestRowCacheBatchedMutations pins the compound-mutation composition:
+// several mutations between two Syncs must leave exactly the union of
+// their invalidations, and the next Sync must restore every row.
+func TestRowCacheBatchedMutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	g := rowCacheGraph(30, rng)
+	eng := pricing.Shared(1)
+	s := eng.NewSession(g)
+	n := s.N()
+	cache := s.RowCache()
+	cache.Sync(1, nil)
+	for round := 0; round < 10; round++ {
+		for k := 0; k < 3; k++ {
+			v := rng.Intn(n)
+			nbrs := s.View().Neighbors(v)
+			if len(nbrs) == 0 {
+				continue
+			}
+			drop := int(nbrs[rng.Intn(len(nbrs))])
+			add := rng.Intn(n)
+			if add != v {
+				s.ApplySwap(v, drop, add)
+			}
+		}
+		view := cache.Sync(1, nil)
+		fresh := make([]int32, n)
+		queue := make([]int32, 0, n)
+		for w := 0; w < n; w++ {
+			s.View().BFSInto(w, fresh, queue)
+			row := view.Row(w)
+			for x := 0; x < n; x++ {
+				if row[x] != fresh[x] {
+					t.Fatalf("round %d: row %d entry %d = %d, want %d", round, w, x, row[x], fresh[x])
+				}
+			}
+		}
+	}
+}
+
+// TestRowCacheStaleViewPanics pins the two misuse panics: a view read
+// after a session mutation, and a row read outside the synced set.
+func TestRowCacheStaleViewPanics(t *testing.T) {
+	g := constructions.Path(8)
+	s := pricing.Shared(1).NewSession(g)
+	cache := s.RowCache()
+
+	view := cache.Sync(1, nil)
+	s.ApplySwap(0, 1, 4)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Row after mutation: no panic")
+			}
+		}()
+		view.Row(0)
+	}()
+
+	// Sync restricted to even vertices: reading an odd row must panic even
+	// at the right generation.
+	view = cache.Sync(1, func(w int) bool { return w%2 == 0 })
+	view.Row(2)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Row outside synced set: no panic")
+			}
+		}()
+		view.Row(3)
+	}()
+}
+
+// TestRowCacheRecomputeAccounting pins the reuse ledger: a second Sync at
+// an unchanged position recomputes nothing, and a single chord far from
+// most shortest paths invalidates only a fraction of the rows.
+func TestRowCacheRecomputeAccounting(t *testing.T) {
+	g := constructions.NewTorus(4).Graph() // n = 32
+	s := pricing.Shared(1).NewSession(g)
+	n := s.N()
+	cache := s.RowCache()
+	cache.Sync(1, nil)
+	if got := cache.Recomputed(); got != uint64(n) {
+		t.Fatalf("first sync recomputed %d rows, want %d", got, n)
+	}
+	cache.Sync(1, nil)
+	if got := cache.Recomputed(); got != uint64(n) {
+		t.Fatalf("idle sync recomputed %d extra rows", got-uint64(n))
+	}
+	// A chord between two already-adjacent-ish vertices (distance ≤ 1
+	// apart for every witness) invalidates no rows at all: pick u,v with
+	// d(u,v) == 2 so only rows seeing a 2-gap are touched.
+	view := cache.Sync(1, nil)
+	var u, v int
+	found := false
+	for u = 0; u < n && !found; u++ {
+		row := view.Row(u)
+		for v = 0; v < n; v++ {
+			if row[v] == 2 {
+				found = true
+				break
+			}
+		}
+		if found {
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no distance-2 pair in torus")
+	}
+	s.ApplyAdd(u, v)
+	cache.Sync(1, nil)
+	delta := cache.Recomputed() - uint64(n)
+	if delta == 0 || delta == uint64(n) {
+		t.Fatalf("chord add recomputed %d of %d rows; want a proper nonzero fraction", delta, n)
+	}
+}
+
+// FuzzRowCache is the fuzzing harness over driveRowCache's mutation
+// space: fuzzer-chosen size, seed, and step count.
+//
+// Run a short bounded hunt with:
+//
+//	go test -run=NONE -fuzz=FuzzRowCache -fuzztime=30s ./internal/pricing
+func FuzzRowCache(f *testing.F) {
+	f.Add(uint8(8), int64(1), uint8(10))
+	f.Add(uint8(20), int64(9), uint8(25))
+	f.Add(uint8(3), int64(42), uint8(40))
+	f.Fuzz(func(t *testing.T, nRaw uint8, seed int64, stepsRaw uint8) {
+		n := 3 + int(nRaw)%30
+		steps := 1 + int(stepsRaw)%40
+		rng := rand.New(rand.NewSource(seed))
+		driveRowCache(t, rowCacheGraph(n, rng), rng, steps)
+	})
+}

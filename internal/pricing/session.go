@@ -24,6 +24,7 @@ type Session struct {
 	d    *graph.Dyn
 	gen  uint64
 	undo []sessionOp
+	rows *RowCache // shared-row cache, created lazily by RowCache()
 }
 
 // sessionOp records one applied mutation for Undo. added/removed record
@@ -71,7 +72,11 @@ func (s *Session) ApplySwap(v, drop, add int) {
 	if !s.d.RemoveEdge(v, drop) {
 		panic("pricing: Session.ApplySwap drop edge missing")
 	}
+	s.noteRemoved(v, drop)
 	added := s.d.AddEdge(v, add)
+	if added {
+		s.noteAdded(v, add)
+	}
 	s.push(sessionOp{v: int32(v), drop: int32(drop), add: int32(add), removed: true, added: added})
 }
 
@@ -79,6 +84,9 @@ func (s *Session) ApplySwap(v, drop, add int) {
 // was actually added.
 func (s *Session) ApplyAdd(u, v int) bool {
 	added := s.d.AddEdge(u, v)
+	if added {
+		s.noteAdded(u, v)
+	}
 	s.push(sessionOp{v: int32(u), add: int32(v), added: added})
 	return added
 }
@@ -87,8 +95,28 @@ func (s *Session) ApplyAdd(u, v int) bool {
 // edge was present.
 func (s *Session) ApplyRemove(u, v int) bool {
 	removed := s.d.RemoveEdge(u, v)
+	if removed {
+		s.noteRemoved(u, v)
+	}
 	s.push(sessionOp{v: int32(u), drop: int32(v), removed: removed})
 	return removed
+}
+
+// noteRemoved and noteAdded forward an actual edge change to the attached
+// RowCache's O(1)-per-row invalidation tests; sessions without a cache pay
+// one nil check per mutation. They must be called after the corresponding
+// graph.Dyn patch and before any further edge change, so the cache's valid
+// rows still describe the pre-change graph when tested.
+func (s *Session) noteRemoved(a, b int) {
+	if s.rows != nil {
+		s.rows.noteRemove(a, b)
+	}
+}
+
+func (s *Session) noteAdded(a, b int) {
+	if s.rows != nil {
+		s.rows.noteAdd(a, b)
+	}
 }
 
 func (s *Session) push(op sessionOp) {
@@ -107,9 +135,11 @@ func (s *Session) Undo() bool {
 	s.undo = s.undo[:len(s.undo)-1]
 	if op.added {
 		s.d.RemoveEdge(int(op.v), int(op.add))
+		s.noteRemoved(int(op.v), int(op.add))
 	}
 	if op.removed {
 		s.d.AddEdge(int(op.v), int(op.drop))
+		s.noteAdded(int(op.v), int(op.drop))
 	}
 	s.gen++
 	return true

@@ -156,6 +156,37 @@ func TestTimeoutCancelsMidScan(t *testing.T) {
 	}
 }
 
+// TestTimeoutCancelsMidRowBatch is TestTimeoutCancelsMidScan's batched
+// twin: with Batched set, the check front-loads the n shared full-graph
+// BFS rows, so a 1ms deadline expires while that arena is still being
+// filled. batchRows polls the context once per row (each row is one
+// bounded BFS), so the 504 must come back within one BFS of the deadline
+// — not after the remaining hundreds of rows.
+func TestTimeoutCancelsMidRowBatch(t *testing.T) {
+	_, client := newTestServer(t, Config{MaxN: 1024})
+	req := CheckRequest{
+		Graph:     mustDTO(t, constructions.Star(1024)),
+		Objective: "sum",
+		Batched:   true,
+		TimeoutMS: 1,
+	}
+	start := time.Now()
+	_, err := client.Check(context.Background(), req)
+	elapsed := time.Since(start)
+	var ae *apiError
+	if err == nil {
+		t.Fatalf("batched check of n=1024 with 1ms deadline succeeded in %v; expected 504", elapsed)
+	}
+	if !asAPIError(err, &ae) || ae.Status != http.StatusGatewayTimeout {
+		t.Fatalf("got %v, want 504", err)
+	}
+	// 1024 shared rows ≫ 1ms; the per-row poll must abort construction
+	// within one BFS plus chunk drain.
+	if elapsed > 10*time.Second {
+		t.Errorf("cancellation took %v; deadline is not being polled during row construction", elapsed)
+	}
+}
+
 func asAPIError(err error, target **apiError) bool {
 	ae, ok := err.(*apiError)
 	if ok {
