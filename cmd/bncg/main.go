@@ -348,6 +348,12 @@ func cmdDynamics(args []string) error {
 		// without a batched pass used to silently run per agent.
 		fmt.Printf(" batched=%s", res.Batched)
 	}
+	if res.RowsRecomputed > 0 || res.RowsInvalidated > 0 {
+		// The row cache's effectiveness over the run: BFS rebuilds paid
+		// vs rows invalidated by applied moves. Near equilibrium both
+		// stay O(1) per move under the exact remove test.
+		fmt.Printf(" rows recomputed=%d invalidated=%d", res.RowsRecomputed, res.RowsInvalidated)
+	}
 	fmt.Println()
 	if res.Converged && res.Certified != nil {
 		fmt.Printf("certified %s-stable: %v", mdl.Name(), res.Certified.Stable)

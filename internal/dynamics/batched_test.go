@@ -8,12 +8,13 @@ import (
 	"repro/internal/treegen"
 )
 
-// TestBatchedSweepsIdenticalTrajectories pins that routing the random-
-// improving policy's certification sweeps through the batched cross-agent
-// pass — whose shared rows now persist in the session's RowCache across
-// the trajectory's sweeps — changes nothing observable: same moves, same
-// costs, same sweep and convergence accounting, for the models that have
-// a batched pass and for one that falls back (2-neighborhood).
+// TestBatchedSweepsIdenticalTrajectories pins that routing a trajectory
+// through the session row cache — the sweeping policies' per-agent scans,
+// the random policy's thresholded probes, and every policy's certification
+// sweeps all go through the cache's shared rows when BatchedSweeps is set —
+// changes nothing observable: same moves, same costs, same sweep and
+// convergence accounting, for the models that have the cached paths and
+// for one that falls back (2-neighborhood).
 func TestBatchedSweepsIdenticalTrajectories(t *testing.T) {
 	rng := rand.New(rand.NewSource(61))
 	models := []game.Model{
@@ -25,36 +26,39 @@ func TestBatchedSweepsIdenticalTrajectories(t *testing.T) {
 	}
 	base := treegen.RandomTree(48, rng)
 	for _, model := range models {
-		for _, obj := range []game.Objective{game.Sum, game.Max} {
-			opt := Options{
-				Objective: obj, Policy: RandomImproving, Model: model,
-				Workers: 2, Seed: 5, Trace: true, MaxMoves: 400,
-			}
-			gSeq, gBat := base.Clone(), base.Clone()
-			optBat := opt
-			optBat.BatchedSweeps = true
-			seq, err := Run(gSeq, opt)
-			if err != nil {
-				t.Fatal(err)
-			}
-			bat, err := Run(gBat, optBat)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if seq.Converged != bat.Converged || seq.Moves != bat.Moves || seq.Sweeps != bat.Sweeps {
-				t.Fatalf("%s/%v: results diverge: sequential %+v, batched %+v", model.Name(), obj, seq, bat)
-			}
-			if len(seq.Trace) != len(bat.Trace) {
-				t.Fatalf("%s/%v: trace lengths diverge", model.Name(), obj)
-			}
-			for i := range seq.Trace {
-				if seq.Trace[i] != bat.Trace[i] {
-					t.Fatalf("%s/%v: trace entry %d diverges: %+v vs %+v",
-						model.Name(), obj, i, seq.Trace[i], bat.Trace[i])
+		for _, policy := range []Policy{BestResponse, FirstImprovement, RandomImproving} {
+			for _, obj := range []game.Objective{game.Sum, game.Max} {
+				opt := Options{
+					Objective: obj, Policy: policy, Model: model,
+					Workers: 2, Seed: 5, Trace: true, MaxMoves: 400,
 				}
-			}
-			if !gSeq.Equal(gBat) {
-				t.Fatalf("%s/%v: final graphs diverge", model.Name(), obj)
+				gSeq, gBat := base.Clone(), base.Clone()
+				optBat := opt
+				optBat.BatchedSweeps = true
+				seq, err := Run(gSeq, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				bat, err := Run(gBat, optBat)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if seq.Converged != bat.Converged || seq.Moves != bat.Moves || seq.Sweeps != bat.Sweeps {
+					t.Fatalf("%s/%v/%v: results diverge: sequential %+v, batched %+v",
+						model.Name(), policy, obj, seq, bat)
+				}
+				if len(seq.Trace) != len(bat.Trace) {
+					t.Fatalf("%s/%v/%v: trace lengths diverge", model.Name(), policy, obj)
+				}
+				for i := range seq.Trace {
+					if seq.Trace[i] != bat.Trace[i] {
+						t.Fatalf("%s/%v/%v: trace entry %d diverges: %+v vs %+v",
+							model.Name(), policy, obj, i, seq.Trace[i], bat.Trace[i])
+					}
+				}
+				if !gSeq.Equal(gBat) {
+					t.Fatalf("%s/%v/%v: final graphs diverge", model.Name(), policy, obj)
+				}
 			}
 		}
 	}

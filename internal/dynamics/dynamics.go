@@ -85,11 +85,16 @@ func (p Policy) String() string {
 //
 //   - Model: the deviation model (nil means game.Swap{}, the basic game).
 //   - Objective: the usage cost agents minimize.
-//   - Batched: route certification sweeps through the model's batched
-//     cross-agent pass when it has one (game.BatchedSweeper). Sweep
-//     results are bit-identical either way, so trajectories do not depend
-//     on this flag; models without a batched pass fall back to the
-//     per-agent sweep, which Result.Batched reports explicitly.
+//   - Batched: route the whole trajectory through the shared-row
+//     machinery where the model supports it — certification sweeps
+//     through the batched cross-agent pass (game.BatchedSweeper), the
+//     sweeping policies' per-agent scans through the session row cache
+//     (game.RowCachedScanner), and the random policy's probes through
+//     thresholded cached-row rejection (game.MoveBelowPricer). Every
+//     routed path returns observably identical moves and costs, so
+//     trajectories do not depend on this flag; models without the
+//     capabilities fall back to the per-agent paths, which Result.Batched
+//     reports explicitly.
 //   - Workers: pricing parallelism of every policy (<= 0 means all
 //     cores); trajectories are bit-identical for every worker count.
 //   - StableOnly: ignored — dynamics certify exactly the no-improving-move
@@ -218,7 +223,14 @@ type Result struct {
 	// Batched reports whether the Batched request was honored by the
 	// model's batched pass or fell back to per-agent sweeps.
 	Batched BatchedState
-	Trace   []TraceEntry
+	// RowsRecomputed and RowsInvalidated report the session row cache's
+	// work over the trajectory — BFS row rebuilds paid at Syncs, and rows
+	// flagged by applied moves' invalidation tests. Both are zero when the
+	// run never attached a cache (Batched off, or a model without one);
+	// together they make cache effectiveness observable per trajectory.
+	RowsRecomputed  uint64
+	RowsInvalidated uint64
+	Trace           []TraceEntry
 }
 
 // ErrTooSmall is returned for graphs with fewer than 2 vertices.
@@ -288,8 +300,12 @@ func NaiveRunSpec(g *graph.Graph, spec Spec) (*Result, error) {
 	return drive(context.Background(), spec.model().Naive(g, spec.Workers), spec)
 }
 
-// drive dispatches the validated run to the policy loop.
+// drive dispatches the validated run to the policy loop. The instance's
+// pooled resources (the row-cache arenas a batched run attaches) are
+// released on every exit path; its cache counters are read into the
+// Result first.
 func drive(ctx context.Context, inst game.Instance, opt Spec) (*Result, error) {
+	defer game.CloseInstance(inst)
 	res := &Result{}
 	if opt.Batched {
 		if game.HasBatchedSweep(inst) {
@@ -304,6 +320,9 @@ func drive(ctx context.Context, inst game.Instance, opt Spec) (*Result, error) {
 		err = runSweeping(ctx, inst, opt, res)
 	case RandomImproving:
 		err = runRandom(ctx, inst, opt, res)
+	}
+	if st, ok := game.InstanceRowCacheStats(inst); ok {
+		res.RowsRecomputed, res.RowsInvalidated = st.Recomputed, st.Invalidated
 	}
 	if err != nil {
 		res.Converged = false
@@ -327,11 +346,19 @@ func applyAndRecord(inst game.Instance, m core.Move, oldCost, newCost int64, opt
 }
 
 // runSweeping drives the two deterministic round-robin policies through
-// the shared convergence loop. ctx is polled before each agent's scan;
-// once it expires every remaining step is skipped so the loop unwinds in
-// O(n) cheap polls and the context error is returned.
+// the shared convergence loop. When Batched is requested and the model
+// scans through the session row cache (game.RowCachedScanner), each
+// agent's scan prices candidate endpoints from the cached shared rows —
+// observably identical moves, but an applied move only invalidates the
+// rows it actually changes (exact under the multiplicity rule), so a
+// sweep near equilibrium pays O(1) BFS per agent instead of Θ(n). ctx is
+// polled before each agent's scan; once it expires every remaining step
+// is skipped so the loop unwinds in O(n) cheap polls and the context
+// error is returned.
 func runSweeping(ctx context.Context, inst game.Instance, opt Spec, res *Result) error {
 	n := inst.Graph().N()
+	rc, hasRC := inst.(game.RowCachedScanner)
+	useRC := opt.Batched && hasRC
 	var ctxErr error
 	_, sweeps, converged := game.RoundRobin(n, opt.MaxMoves, func(v int) bool {
 		if ctxErr != nil {
@@ -343,9 +370,14 @@ func runSweeping(ctx context.Context, inst game.Instance, opt Spec, res *Result)
 		var m core.Move
 		var old, newCost int64
 		var improves bool
-		if opt.Policy == BestResponse {
+		switch {
+		case opt.Policy == BestResponse && useRC:
+			m, old, newCost, improves = rc.BestMoveRowCached(v, opt.Objective)
+		case opt.Policy == BestResponse:
 			m, old, newCost, improves = inst.BestMove(v, opt.Objective)
-		} else {
+		case useRC:
+			m, old, newCost, improves = rc.FirstImprovingRowCached(v, opt.Objective)
+		default:
 			m, old, newCost, improves = inst.FirstImproving(v, opt.Objective)
 		}
 		if !improves {
@@ -364,6 +396,8 @@ func runSweeping(ctx context.Context, inst game.Instance, opt Spec, res *Result)
 func runRandom(ctx context.Context, inst game.Instance, opt Spec, res *Result) error {
 	rng := rand.New(rand.NewSource(opt.Seed))
 	n := inst.Graph().N()
+	pb, hasPB := inst.(game.MoveBelowPricer)
+	usePB := opt.Batched && hasPB
 	patience := opt.PatienceFactor * inst.Graph().M()
 	if patience < 50 {
 		patience = 50
@@ -417,7 +451,19 @@ func runRandom(ctx context.Context, inst game.Instance, opt Spec, res *Result) e
 			continue
 		}
 		cur := cost(m.V)
-		if c := inst.PriceMove(m, opt.Objective); c < cur {
+		var c int64
+		var improves bool
+		if usePB {
+			// Thresholded probe through the cached shared rows: rejected
+			// probes (the overwhelming majority near equilibrium) pay no
+			// endpoint BFS; accepted ones return the exact PriceMove cost,
+			// so the trajectory and its trace are bit-identical.
+			c, improves = pb.PriceMoveBelow(m, opt.Objective, cur)
+		} else {
+			c = inst.PriceMove(m, opt.Objective)
+			improves = c < cur
+		}
+		if improves {
 			applyAndRecord(inst, m, cur, c, opt, res)
 			gen++
 			failStreak = 0

@@ -82,20 +82,26 @@ func batchRows(ctx context.Context, eng *pricing.Engine, view pricing.Snapshot, 
 	return rows, nil
 }
 
-// scanAddMajorBatched is scanAddMajor's first-improving mode with the
-// shared-row filter in front: each candidate is first priced against the
-// endpoint's full-graph row (a lower bound on its exact cost — deleting
-// the deviator can only lengthen the endpoint's distances), and only
-// candidates whose bound passes the admission threshold pay the exact
-// d_{G−v}(add,·) BFS, computed at most once per endpoint and shared across
-// its dropped edges. price must be monotone in its row argument (all the
-// Patched*Below reducers are), which makes the filter sound; exactness of
-// the returned candidate is untouched, so the result is bit-identical to
-// scanAddMajor's for any worker count.
+// scanAddMajorBatched is scanAddMajor with the shared-row filter in
+// front: each candidate is first priced against the endpoint's full-graph
+// row (a lower bound on its exact cost — deleting the deviator can only
+// lengthen the endpoint's distances), and only candidates whose bound
+// passes the admission threshold pay the exact d_{G−v}(add,·) BFS,
+// computed at most once per endpoint and shared across its dropped edges.
+// price must be monotone in its row argument (all the Patched*Below
+// reducers are), which makes the filter sound; exactness of the returned
+// candidate is untouched, so the result is bit-identical to
+// scanAddMajor's for any worker count. firstOnly selects the
+// first-improving engine mode (the certification sweeps); otherwise the
+// minimum under order — ByEnumeration for the add-major models,
+// ByDropFirst for the swap model's best-move tie-break — strictly below
+// cur is returned, matching the unfiltered per-agent scan observably
+// (an admitted winner is identical; no candidate below cur is identical
+// to a best move that fails the strict-improvement check).
 func scanAddMajorBatched(eng *pricing.Engine, view pricing.Snapshot, ps *pricing.Scan,
 	workers int, rows rowLookup, skipAdd func(add int) bool,
 	price func(dropIdx int, dw []int32, threshold int64) (int64, bool),
-	cur int64) (scan.Cand, bool) {
+	cur int64, firstOnly bool, order scan.Order) (scan.Cand, bool) {
 	v := ps.V()
 	drops := ps.Drops()
 	if len(drops) == 0 {
@@ -105,7 +111,7 @@ func scanAddMajorBatched(eng *pricing.Engine, view pricing.Snapshot, ps *pricing
 		Workers:   workers,
 		N:         view.N(),
 		Threshold: cur,
-		Order:     scan.ByEnumeration,
+		Order:     order,
 		Skip: func(add int) bool {
 			return add == v || (skipAdd != nil && skipAdd(add))
 		},
@@ -128,7 +134,11 @@ func scanAddMajorBatched(eng *pricing.Engine, view pricing.Snapshot, ps *pricing
 			}
 		}
 	}
-	return scan.First(spec, scratchState(eng, view.N()), pricer)
+	state := scratchState(eng, view.N())
+	if firstOnly {
+		return scan.First(spec, state, pricer)
+	}
+	return scan.Best(spec, state, pricer)
 }
 
 // BatchedSweeper is the optional Instance capability for batched
@@ -183,7 +193,8 @@ func batchedFindImprovement(eng *pricing.Engine, ps *pricing.Session, workers in
 	for v := 0; v < n; v++ {
 		sc := ps.NewScan(v)
 		cur, skipAdd, price := vertex(v, sc)
-		cand, ok := scanAddMajorBatched(eng, view, sc, workers, rows, skipAdd, price, cur)
+		cand, ok := scanAddMajorBatched(eng, view, sc, workers, rows, skipAdd, price, cur,
+			true, scan.ByEnumeration)
 		if ok {
 			m := Move{V: v, Drop: int(sc.Drops()[cand.DropIdx]), Add: cand.Add}
 			sc.Close()
@@ -281,18 +292,18 @@ func (s *greedySession) findImprovementBatched(obj Objective, reuse bool) (Move,
 	rows := sweepRows(s.eng, s.ps, s.workers, reuse, nil)
 	n := s.ps.N()
 	for v := 0; v < n; v++ {
-		if m, cur, newCost, ok := s.scanMovesBatched(v, obj, rows); ok {
+		if m, cur, newCost, ok := s.scanMovesBatched(v, obj, rows, true); ok {
 			return m, cur, newCost, true
 		}
 	}
 	return Move{}, 0, 0, false
 }
 
-// scanMovesBatched is scanMoves' first-improving mode priced through the
-// shared rows: the same three stages in the same enumeration order with
-// the same running-threshold handoff, so the returned move is bit-identical
-// for any worker count.
-func (s *greedySession) scanMovesBatched(v int, obj Objective, rows rowLookup) (best Move, oldCost, newCost int64, ok bool) {
+// scanMovesBatched is scanMoves priced through the shared rows: the same
+// three stages in the same enumeration order with the same
+// running-threshold handoff and the same firstOnly semantics, so the
+// returned move is bit-identical for any worker count.
+func (s *greedySession) scanMovesBatched(v int, obj Objective, rows rowLookup, firstOnly bool) (best Move, oldCost, newCost int64, ok bool) {
 	po := pobj(obj)
 	view := s.ps.View()
 	n := view.N()
@@ -311,11 +322,17 @@ func (s *greedySession) scanMovesBatched(v int, obj Objective, rows rowLookup) (
 			Order:     scan.ByEnumeration,
 			Skip:      skipKnown,
 		}
-		c, found := scan.First(spec, state, pricer)
+		var c scan.Cand
+		var found bool
+		if firstOnly {
+			c, found = scan.First(spec, state, pricer)
+		} else {
+			c, found = scan.Best(spec, state, pricer)
+		}
 		if found {
 			best, bestCost, ok = toMove(c), c.Cost, true
 		}
-		return found
+		return found && firstOnly
 	}
 
 	// Adds: the shared row IS the exact post-add endpoint row — adding vw
@@ -336,7 +353,9 @@ func (s *greedySession) scanMovesBatched(v int, obj Objective, rows rowLookup) (
 	for i, w := range psc.Drops() {
 		if c := s.edgeCost*(deg-1) + psc.DeletionUsage(i, po); c < bestCost {
 			best, bestCost, ok = Move{Kind: KindDelete, V: v, Drop: int(w)}, c, true
-			return best, cur, bestCost, true
+			if firstOnly {
+				return best, cur, bestCost, true
+			}
 		}
 	}
 
@@ -416,7 +435,7 @@ func CheckSwapBatchedCtx(ctx context.Context, g *graph.Graph, obj Objective, wor
 			func(i int, dw []int32, threshold int64) (int64, bool) {
 				return pricing.PatchedBelow(sc.DropRow(i), dw, po, threshold)
 			},
-			cur)
+			cur, true, scan.ByEnumeration)
 		if ok {
 			viol := &Violation{
 				Kind:    SwapImproves,

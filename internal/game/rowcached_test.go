@@ -1,0 +1,122 @@
+package game_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/game"
+)
+
+// requireSameRowCached compares the row-cached per-agent entry points
+// against their uncached twins for every agent: identical move, costs, and
+// verdict, on the same live instance. The row-cached scans go through the
+// session row cache (lazily synced, invalidation-maintained), the uncached
+// ones through fresh per-scan BFS — any divergence is a cache staleness or
+// ordering bug.
+func requireSameRowCached(t *testing.T, label string, inst game.Instance, rc game.RowCachedScanner, obj game.Objective) {
+	t.Helper()
+	n := inst.Graph().N()
+	for v := 0; v < n; v++ {
+		cm, co, cn, cok := rc.BestMoveRowCached(v, obj)
+		um, uo, un, uok := inst.BestMove(v, obj)
+		if cok != uok || co != uo || cn != un || (cok && cm != um) {
+			t.Fatalf("%s: BestMoveRowCached(%d) (%v,%d,%d,%v), BestMove (%v,%d,%d,%v)",
+				label, v, cm, co, cn, cok, um, uo, un, uok)
+		}
+		cm, co, cn, cok = rc.FirstImprovingRowCached(v, obj)
+		um, uo, un, uok = inst.FirstImproving(v, obj)
+		if cok != uok || co != uo || cn != un || (cok && cm != um) {
+			t.Fatalf("%s: FirstImprovingRowCached(%d) (%v,%d,%d,%v), FirstImproving (%v,%d,%d,%v)",
+				label, v, cm, co, cn, cok, um, uo, un, uok)
+		}
+	}
+}
+
+// TestRowCachedScanMatchesPerAgent is the bit-identity differential for
+// the row-cached per-agent policies across every session-backed model:
+// random instances, both objectives, improving moves applied in between so
+// the cache's invalidation tests (not just its cold fill) are on the path.
+func TestRowCachedScanMatchesPerAgent(t *testing.T) {
+	for _, mc := range modelTable() {
+		mc := mc
+		t.Run(mc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(len(mc.name)) * 31))
+			for trial := 0; trial < mc.trials; trial++ {
+				n := 5 + rng.Intn(mc.maxExtra+1)
+				g := randomConnected(rng, n, rng.Intn(n))
+				model := mc.build(n, rng)
+				inst := model.New(g, 1+rng.Intn(2))
+				rc, ok := inst.(game.RowCachedScanner)
+				if !ok {
+					// The two-neighborhood model scans a composed metric no
+					// shared d_G row prices; it stays on the per-agent path.
+					if mc.name != "2nb" {
+						t.Fatalf("%s instance does not implement RowCachedScanner", mc.name)
+					}
+					return
+				}
+				for _, obj := range []game.Objective{game.Sum, game.Max} {
+					requireSameRowCached(t, mc.name, inst, rc, obj)
+					for step := 0; step < 3; step++ {
+						m, _, _, found := rc.BestMoveRowCached(rng.Intn(n), obj)
+						if !found {
+							break
+						}
+						inst.Apply(m)
+						requireSameRowCached(t, mc.name, inst, rc, obj)
+					}
+				}
+				game.CloseInstance(inst)
+			}
+		})
+	}
+}
+
+// TestSwapPriceMoveBelowMatchesPriceMove pins the thresholded probe
+// contract on the swap model: ok iff the exact cost is strictly below the
+// threshold, the exact PriceMove cost whenever ok, and never more than the
+// exact cost on rejection (the patched shared-row bound is a lower bound).
+// Thresholds bracket the exact cost so both accept and reject paths run,
+// and applied moves in between keep the cache's invalidation tests hot.
+func TestSwapPriceMoveBelowMatchesPriceMove(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 4; trial++ {
+		n := 10 + trial*6
+		g := randomConnected(rng, n, n/3)
+		inst := game.Swap{}.New(g, 1)
+		pb, ok := inst.(game.MoveBelowPricer)
+		if !ok {
+			t.Fatal("swap instance does not implement MoveBelowPricer")
+		}
+		for i := 0; i < 120; i++ {
+			m, ok := inst.Sample(rng)
+			if !ok {
+				continue
+			}
+			for _, obj := range []game.Objective{game.Sum, game.Max} {
+				exact := inst.PriceMove(m, obj)
+				for _, threshold := range []int64{exact - 1, exact, exact + 1, exact + 7} {
+					c, below := pb.PriceMoveBelow(m, obj, threshold)
+					if want := exact < threshold; below != want {
+						t.Fatalf("trial %d move %v obj %v: PriceMoveBelow(%d) ok=%v, exact %d",
+							trial, m, obj, threshold, below, exact)
+					}
+					if below && c != exact {
+						t.Fatalf("trial %d move %v obj %v: accepted cost %d, exact %d",
+							trial, m, obj, c, exact)
+					}
+					if !below && c > exact {
+						t.Fatalf("trial %d move %v obj %v: rejection bound %d above exact %d",
+							trial, m, obj, c, exact)
+					}
+				}
+			}
+			if i%17 == 0 {
+				if mv, _, _, found := inst.FirstImproving(rng.Intn(n), game.Sum); found {
+					inst.Apply(mv)
+				}
+			}
+		}
+		game.CloseInstance(inst)
+	}
+}

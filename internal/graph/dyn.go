@@ -172,6 +172,48 @@ func (d *Dyn) BFSInto(src int, dist []int32, queue []int32) int {
 	return reached
 }
 
+// BFSIntoCounts is BFSInto with shortest-path-DAG multiplicity: alongside
+// each distance it records, per vertex, how many neighbors sit at distance
+// dist−1 from src — the vertex's tight-parent count, the in-degree of the
+// shortest-path DAG rooted at src — saturating at 255. The count is what
+// makes edge removal exactly testable per row (pricing.RowCache): d(src,x)
+// survives deleting a tight incoming edge iff x keeps another tight
+// parent, and then so does every deeper distance. src and unreached
+// vertices report 0. The counting adds one comparison per scanned edge to
+// the BFSInto kernel: every tight parent of x dequeues at level
+// dist(x)−1 and scans x exactly once.
+func (d *Dyn) BFSIntoCounts(src int, dist []int32, tight []uint8, queue []int32) int {
+	if len(dist) != d.n || len(tight) != d.n {
+		panic("graph: Dyn.BFSIntoCounts buffer length mismatch")
+	}
+	for i := range dist {
+		dist[i] = Unreachable
+		tight[i] = 0
+	}
+	queue = queue[:0]
+	queue = append(queue, int32(src))
+	dist[src] = 0
+	reached := 1
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		dv := dist[v] + 1
+		for _, u := range d.adj[v] {
+			switch dist[u] {
+			case Unreachable:
+				dist[u] = dv
+				tight[u] = 1
+				queue = append(queue, u)
+				reached++
+			case dv:
+				if tight[u] < 255 {
+					tight[u]++
+				}
+			}
+		}
+	}
+	return reached
+}
+
 // BFSSkipVertex runs a breadth-first search from src over the
 // vertex-deleted subgraph G − skip; the skipped vertex keeps distance
 // Unreachable. It panics if src == skip.

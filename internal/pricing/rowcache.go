@@ -1,66 +1,137 @@
 package pricing
 
 import (
+	"sync"
+
 	"repro/internal/graph"
 	"repro/internal/par"
 )
 
 // RowCache is a session-attached cache of full-graph BFS rows d_G(w,·)
 // over the session's live snapshot — the shared-row matrix of the batched
-// cross-agent sweep, kept alive across sweeps instead of rebuilt per
-// sweep. It is maintained under the session's mutations exactly as
-// graph.Dyn patch-maintains adjacency: every ApplySwap/ApplyAdd/
-// ApplyRemove/Undo invalidates only the rows whose distances the edge
-// change can affect, and invalid rows are recomputed lazily at the next
-// Sync. In and near equilibrium — the regime certification sweeps live in
-// — a single applied move invalidates a small fraction of the rows, so a
-// trajectory of sweeps pays #invalidated BFS per sweep instead of n.
+// cross-agent sweep and the row-cached per-agent scans, kept alive across
+// sweeps instead of rebuilt per sweep. It is maintained under the
+// session's mutations exactly as graph.Dyn patch-maintains adjacency:
+// every ApplySwap/ApplyAdd/ApplyRemove/Undo invalidates only the rows
+// whose distances the edge change actually affects, and invalid rows are
+// recomputed lazily at the next Sync. In and near equilibrium — the
+// regime certification sweeps and dynamics hot loops live in — a single
+// applied move invalidates a handful of rows, so a trajectory pays
+// #invalidated BFS per applied move instead of n.
 //
 // The invalidation tests are O(1) per cached row, reading only the row's
 // own entries at the mutated edge's endpoints (distances in the graph the
-// row was computed for):
+// row was computed for) plus the row's tight-parent counts:
 //
 //   - adding edge ab changes row w iff |d(w,a) − d(w,b)| ≥ 2 (the new
 //     edge shortcuts some w-shortest path iff the endpoints' distances
 //     differ by more than the edge's length), or exactly one endpoint is
-//     unreachable from w (the edge joins w's component to another);
-//   - removing edge ab can change row w only if |d(w,a) − d(w,b)| = 1
-//     (an edge on no w-shortest path — including any edge in a component
-//     not containing w — cannot lengthen any distance).
+//     unreachable from w (the edge joins w's component to another). A
+//     surviving gap-1 add leaves every distance intact and gives the
+//     deeper endpoint one more tight parent — an O(1) count patch;
+//   - removing edge ab with |d(w,a) − d(w,b)| = 1 changes row w iff the
+//     deeper endpoint x has no alternative tight parent: if d(w,x)
+//     survives, every deeper distance survives too, so the row is kept
+//     and x's count decremented. A gap-0 edge lies on no w-shortest path
+//     and is tight for neither endpoint — nothing changes.
 //
-// The add test is exact; the remove test is conservative (the edge may lie
-// on a shortest path that has equal-length alternatives), which only costs
-// a spurious recompute, never a stale row.
+// Both tests are exact up to count saturation: alongside each row the
+// cache keeps a per-vertex saturating (≤ 255) tight-parent count — how
+// many neighbors of x sit at distance d(w,x)−1 — filled during the same
+// BFS pass (graph.Dyn.BFSIntoCounts). Saturation keeps the stored count
+// ≤ the true count, so a keep decision (stored ≥ 2 ⟹ true ≥ 2) is always
+// sound; understating can only cost a spurious recompute, never a stale
+// row.
 //
-// The memory trade is the batched sweep's: one n² int32 arena per session,
-// allocated once at first use and reused for the session's lifetime. A
-// RowCache is not safe for concurrent mutation with its session; concurrent
-// reads between mutations (the sharded sweep) are safe.
+// The memory trade is the batched sweep's: one n² int32 arena plus one n²
+// uint8 arena per session, drawn from a size-keyed pool at first use and
+// returned by Session.Close. A RowCache is not safe for concurrent
+// mutation with its session; concurrent reads between mutations (the
+// sharded sweep) are safe.
 type RowCache struct {
-	s     *Session
-	arena []int32   // n² backing store, rows sliced out of it
-	rows  [][]int32 // rows[w] = d_G(w,·) when valid[w]
-	valid []bool
-	todo  []int32 // scratch: rows to recompute this Sync
-	// recomputed counts BFS row rebuilds over the cache's lifetime; the
-	// reuse tests and benchmarks read it to prove rows actually persist.
-	recomputed uint64
+	s      *Session
+	arena  []int32   // n² distance backing store, rows sliced out of it
+	tArena []uint8   // n² tight-parent counts, same layout
+	idx    []int32   // 3n pooled backing of liveList/livePos/todo
+	rows   [][]int32 // rows[w] = d_G(w,·) when livePos[w] >= 0
+	tight  [][]uint8 // tight[w][x] = saturating #tight parents of x from w
+	// liveList/livePos index the valid rows densely (swap-remove on
+	// invalidation), so the per-mutation note loops cost O(valid), not
+	// O(n) — a cold cache pays nothing per move. livePos doubles as the
+	// validity bit: row w is up to date iff livePos[w] >= 0.
+	liveList []int32
+	livePos  []int32 // livePos[w] = index into liveList, -1 when invalid
+	todo     []int32 // scratch: rows to recompute this Sync
+	// recomputed counts BFS row rebuilds and invalidated counts rows
+	// flagged by mutations, over the cache's lifetime; the reuse tests,
+	// benchmarks, and the dynamics/serve observability surface read them.
+	recomputed  uint64
+	invalidated uint64
 }
 
-// RowCache returns the session's shared-row cache, creating it (and its n²
-// arena) on first use. The cache is invalidation-maintained by every
-// subsequent session mutation; rows are computed lazily by Sync.
+// rowArenas is the poolable backing store of one RowCache: the n²
+// distance matrix, the n² tight-parent counts, and the 3n live/todo index.
+type rowArenas struct {
+	dist  []int32
+	tight []uint8
+	idx   []int32
+}
+
+// rowArenaPools pools released RowCache arenas by vertex count, so a
+// service recycling its session slots across same-sized requests reuses
+// the 5n² bytes instead of growing a fresh set per session, while a slot
+// recycled for a different n misses that size's pool and lets the GC
+// reclaim the old arenas instead of pinning them for the pool's lifetime.
+var rowArenaPools sync.Map // n (int) -> *sync.Pool of *rowArenas
+
+func arenaPool(n int) *sync.Pool {
+	if p, ok := rowArenaPools.Load(n); ok {
+		return p.(*sync.Pool)
+	}
+	p, _ := rowArenaPools.LoadOrStore(n, &sync.Pool{})
+	return p.(*sync.Pool)
+}
+
+func getRowArenas(n int) *rowArenas {
+	if a, ok := arenaPool(n).Get().(*rowArenas); ok {
+		return a
+	}
+	return &rowArenas{
+		dist:  make([]int32, n*n),
+		tight: make([]uint8, n*n),
+		idx:   make([]int32, 3*n),
+	}
+}
+
+func putRowArenas(n int, a *rowArenas) {
+	arenaPool(n).Put(a)
+}
+
+// RowCache returns the session's shared-row cache, creating it (arenas
+// from the size-keyed pool) on first use. The cache is invalidation-
+// maintained by every subsequent session mutation; rows are computed
+// lazily by Sync.
 func (s *Session) RowCache() *RowCache {
 	if s.rows == nil {
 		n := s.d.N()
+		a := getRowArenas(n)
 		c := &RowCache{
-			s:     s,
-			arena: make([]int32, n*n),
-			rows:  make([][]int32, n),
-			valid: make([]bool, n),
+			s:      s,
+			arena:  a.dist,
+			tArena: a.tight,
+			idx:    a.idx,
+			rows:   make([][]int32, n),
+			tight:  make([][]uint8, n),
+			// liveList and todo both top out at n, so the pooled 3n index
+			// arena covers them and the warm-up Sync never append-doubles.
+			liveList: a.idx[0:0:n],
+			livePos:  a.idx[n : 2*n : 2*n],
+			todo:     a.idx[2*n : 2*n : 3*n],
 		}
 		for w := 0; w < n; w++ {
 			c.rows[w] = c.arena[w*n : (w+1)*n : (w+1)*n]
+			c.tight[w] = c.tArena[w*n : (w+1)*n : (w+1)*n]
+			c.livePos[w] = -1
 		}
 		s.rows = c
 	}
@@ -71,49 +142,121 @@ func (s *Session) RowCache() *RowCache {
 // since creation — the denominator of the reuse win.
 func (c *RowCache) Recomputed() uint64 { return c.recomputed }
 
-// noteAdd records the insertion of edge ab: a valid row w survives iff the
-// new edge cannot shortcut any shortest path from w.
+// Invalidated returns the number of row invalidations mutations have
+// forced since creation. Together with Recomputed it makes the cache's
+// effectiveness observable: near equilibrium on tree-like positions the
+// exact remove test keeps both O(1) per applied move.
+func (c *RowCache) Invalidated() uint64 { return c.invalidated }
+
+// Live returns the number of currently valid rows.
+func (c *RowCache) Live() int { return len(c.liveList) }
+
+// Valid reports whether row w is currently up to date — kept through every
+// mutation since it was last computed. The invalidation-accounting tests
+// read it to pin the exact test's keep/flag decisions row by row.
+func (c *RowCache) Valid(w int) bool { return c.livePos[w] >= 0 }
+
+// release returns the arenas to the size-keyed pool and drops every
+// reference, so a stale read through a leaked view fails fast on the nil
+// slices instead of observing recycled memory.
+func (c *RowCache) release() {
+	putRowArenas(c.s.d.N(), &rowArenas{dist: c.arena, tight: c.tArena, idx: c.idx})
+	c.arena, c.tArena, c.idx = nil, nil, nil
+	c.rows, c.tight = nil, nil
+	c.liveList, c.livePos, c.todo = nil, nil, nil
+}
+
+// invalidate flags row w (caller guarantees it is currently valid).
+func (c *RowCache) invalidate(w int32) {
+	p := c.livePos[w]
+	last := int32(len(c.liveList) - 1)
+	moved := c.liveList[last]
+	c.liveList[p] = moved
+	c.livePos[moved] = p
+	c.liveList = c.liveList[:last]
+	c.livePos[w] = -1
+	c.invalidated++
+}
+
+// validate marks row w up to date (caller guarantees it is invalid).
+func (c *RowCache) validate(w int32) {
+	c.livePos[w] = int32(len(c.liveList))
+	c.liveList = append(c.liveList, w)
+}
+
+// noteAdd records the insertion of edge ab: a valid row w survives iff
+// the new edge cannot shortcut any shortest path from w, and a surviving
+// gap-1 row's deeper endpoint gains a tight parent. The loop walks the
+// live-row index backwards so the swap-remove in invalidate never skips
+// an unvisited entry.
 func (c *RowCache) noteAdd(a, b int) {
-	for w, ok := range c.valid {
-		if !ok {
-			continue
-		}
-		da, db := c.rows[w][a], c.rows[w][b]
+	for i := len(c.liveList) - 1; i >= 0; i-- {
+		w := c.liveList[i]
+		row := c.rows[w]
+		da, db := row[a], row[b]
 		if da == graph.Unreachable || db == graph.Unreachable {
 			// Both endpoints unreachable: the edge lives entirely outside
 			// w's component and changes nothing for w. Exactly one
 			// unreachable: the edge joins new vertices to w's component.
-			c.valid[w] = da == graph.Unreachable && db == graph.Unreachable
+			if da != db {
+				c.invalidate(w)
+			}
 			continue
 		}
-		if d := da - db; d >= 2 || d <= -2 {
-			c.valid[w] = false
+		switch d := da - db; {
+		case d >= 2 || d <= -2:
+			c.invalidate(w)
+		case d == 1:
+			// b becomes a new tight parent of a; distances are unchanged.
+			if t := c.tight[w]; t[a] < 255 {
+				t[a]++
+			}
+		case d == -1:
+			if t := c.tight[w]; t[b] < 255 {
+				t[b]++
+			}
 		}
 	}
 }
 
 // noteRemove records the deletion of edge ab: a valid row w survives iff
-// the edge was on no shortest path from w. Endpoints of an existing edge
-// are reachable from w together or not at all; in the latter case the edge
-// is outside w's component and removal changes nothing for w.
+// the edge was on no shortest path from w (gap 0, or either endpoint
+// outside w's component — endpoints of an existing edge are reachable
+// from w together or not at all) or the deeper endpoint keeps an
+// alternative tight parent, in which case only its count changes.
 func (c *RowCache) noteRemove(a, b int) {
-	for w, ok := range c.valid {
-		if !ok {
-			continue
-		}
-		da, db := c.rows[w][a], c.rows[w][b]
+	for i := len(c.liveList) - 1; i >= 0; i-- {
+		w := c.liveList[i]
+		row := c.rows[w]
+		da, db := row[a], row[b]
 		if da == graph.Unreachable || db == graph.Unreachable {
 			continue
 		}
-		if d := da - db; d == 1 || d == -1 {
-			c.valid[w] = false
+		var deeper int
+		switch da - db {
+		case 1:
+			deeper = a
+		case -1:
+			deeper = b
+		default:
+			// A gap-0 edge lies on no shortest path from w and is tight
+			// for neither endpoint: distances and counts both survive.
+			continue
+		}
+		if t := c.tight[w]; t[deeper] > 1 {
+			// An alternative tight parent keeps d(w,deeper) — and with it
+			// every deeper distance — intact; only the count shrinks.
+			t[deeper]--
+		} else {
+			c.invalidate(w)
 		}
 	}
 }
 
 // RowView is the read handle a Sync returns: rows at one session
 // generation. Like a Scan, a view outlived by a session mutation panics on
-// its next read instead of serving stale rows.
+// its next read instead of serving stale rows. It is a value (two words),
+// so handing one out costs no allocation in the dynamics hot loop.
 type RowView struct {
 	c   *RowCache
 	gen uint64
@@ -124,46 +267,79 @@ type RowView struct {
 // returns a read view pinned to the session's current generation. Rows not
 // selected are left as they are: a later Sync with a wider need computes
 // them then.
-func (c *RowCache) Sync(workers int, need func(w int) bool) *RowView {
+func (c *RowCache) Sync(workers int, need func(w int) bool) RowView {
 	n := c.s.d.N()
 	c.todo = c.todo[:0]
 	for w := 0; w < n; w++ {
 		if need != nil && !need(w) {
 			continue
 		}
-		if !c.valid[w] {
+		if c.livePos[w] < 0 {
 			c.todo = append(c.todo, int32(w))
 		}
 	}
 	if len(c.todo) > 0 {
 		eng, view := c.s.e, c.s.d
 		par.ForChunked(workers, len(c.todo), func(lo, hi int) {
-			_, queue, release := eng.Scratch(n)
-			defer release()
+			s := eng.getScratch(n)
+			defer eng.putScratch(s)
 			for i := lo; i < hi; i++ {
 				w := int(c.todo[i])
-				view.BFSInto(w, c.rows[w], queue)
+				view.BFSIntoCounts(w, c.rows[w], c.tight[w], s.queue)
 			}
 		})
 		for _, w := range c.todo {
-			c.valid[w] = true
+			c.validate(w)
 		}
 		c.recomputed += uint64(len(c.todo))
 	}
-	return &RowView{c: c, gen: c.s.gen}
+	return RowView{c: c, gen: c.s.gen}
+}
+
+// SyncRow brings the single row w up to date and returns it — the probe
+// path's allocation-free equivalent of Sync(1, w-only).Row(w). The row is
+// owned by the cache and valid only until the session's next mutation;
+// callers must consume it immediately (the thresholded probe reductions
+// do), since unlike a RowView there is no generation stamp to panic on a
+// stale read.
+func (c *RowCache) SyncRow(w int) []int32 {
+	if c.livePos[w] < 0 {
+		s := c.s.e.getScratch(c.s.d.N())
+		c.s.d.BFSIntoCounts(w, c.rows[w], c.tight[w], s.queue)
+		c.s.e.putScratch(s)
+		c.validate(int32(w))
+		c.recomputed++
+	}
+	return c.rows[w]
 }
 
 // Row returns d_G(w,·) as of the view's Sync. The row is owned by the
 // cache; do not modify. It panics when the session has mutated since the
 // Sync (stale rows no longer describe the graph) and when w was outside
 // the Sync's need set (the row was never brought up to date).
-func (v *RowView) Row(w int) []int32 {
+func (v RowView) Row(w int) []int32 {
 	c := v.c
 	if v.gen != c.s.gen {
 		panic("pricing: RowCache view used after Session mutation; re-Sync")
 	}
-	if !c.valid[w] {
+	if c.livePos[w] < 0 {
 		panic("pricing: RowCache row read outside the synced set")
 	}
 	return c.rows[w]
+}
+
+// Tight returns row w's saturating tight-parent counts — Tight(w)[x] is
+// min(255, #neighbors of x at distance d(w,x)−1), the multiplicity the
+// remove test consults — under the same staleness contract as Row. The
+// differential suites cross-check it against fresh parent enumeration;
+// pricing reductions never need it.
+func (v RowView) Tight(w int) []uint8 {
+	c := v.c
+	if v.gen != c.s.gen {
+		panic("pricing: RowCache view used after Session mutation; re-Sync")
+	}
+	if c.livePos[w] < 0 {
+		panic("pricing: RowCache row read outside the synced set")
+	}
+	return c.tight[w]
 }

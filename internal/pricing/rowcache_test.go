@@ -54,6 +54,28 @@ func driveRowCache(t *testing.T, g *graph.Graph, rng *rand.Rand, steps int) {
 						step, w, x, row[x], fresh[x], s.Gen())
 				}
 			}
+			// The tight-parent counts the exact remove test consults must
+			// match fresh parent enumeration: multiplicity of x's shortest
+			// paths' last hops, saturated at 255. Patched counts (gap-1
+			// adds and removes that kept the row) are verified here too.
+			tight := view.Tight(w)
+			for x := 0; x < n; x++ {
+				want := 0
+				if fresh[x] > 0 {
+					for _, u := range s.View().Neighbors(x) {
+						if fresh[u] == fresh[x]-1 {
+							want++
+						}
+					}
+					if want > 255 {
+						want = 255
+					}
+				}
+				if int(tight[x]) != want {
+					t.Fatalf("step %d: row %d tight[%d] = %d, fresh parent count = %d (gen %d)",
+						step, w, x, tight[x], want, s.Gen())
+				}
+			}
 		}
 	}
 
@@ -221,6 +243,136 @@ func TestRowCacheRecomputeAccounting(t *testing.T) {
 	delta := cache.Recomputed() - uint64(n)
 	if delta == 0 || delta == uint64(n) {
 		t.Fatalf("chord add recomputed %d of %d rows; want a proper nonzero fraction", delta, n)
+	}
+}
+
+// checkExactInvalidation pins the tentpole claim that the O(1) tests are
+// EXACT, not merely sound: from a fully warm cache, one mutation must
+// invalidate precisely the rows whose distances genuinely changed — every
+// kept row still equals a fresh BFS (soundness) and every flagged row
+// genuinely differs (no spurious recomputes). It returns the number of
+// rows the mutation invalidated.
+func checkExactInvalidation(t *testing.T, g *graph.Graph, mutate func(*pricing.Session)) int {
+	t.Helper()
+	s := pricing.Shared(1).NewSession(g)
+	n := s.N()
+	cache := s.RowCache()
+	view := cache.Sync(1, nil)
+	old := make([][]int32, n)
+	for w := 0; w < n; w++ {
+		old[w] = append([]int32(nil), view.Row(w)...)
+	}
+	before := cache.Invalidated()
+	mutate(s)
+	fresh := make([]int32, n)
+	queue := make([]int32, 0, n)
+	for w := 0; w < n; w++ {
+		s.View().BFSInto(w, fresh, queue)
+		changed := false
+		for x := 0; x < n; x++ {
+			if fresh[x] != old[w][x] {
+				changed = true
+				break
+			}
+		}
+		if valid := cache.Valid(w); valid == changed {
+			t.Fatalf("row %d: valid=%v but distances changed=%v — invalidation test not exact", w, valid, changed)
+		}
+	}
+	return int(cache.Invalidated() - before)
+}
+
+// twinRePointGraph is the O(1)-invalidation witness: a long chain hung off
+// anchor 3, twin vertices 1 and 2 both attached to the anchor, and agent 0
+// attached to twin 1. Re-pointing 0 from one twin to the other preserves
+// d(w,0) for every chain witness — under ApplySwap's insert-before-remove
+// ordering the add raises 0's tight-parent count to 2 and the remove
+// decrements it back, so only the three local rows {0,1,2} change.
+func twinRePointGraph(n int) *graph.Graph {
+	g := graph.New(n)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 3)
+	g.AddEdge(2, 3)
+	for v := 4; v < n; v++ {
+		g.AddEdge(v-1, v)
+	}
+	return g
+}
+
+// TestRowCacheExactInvalidation drives checkExactInvalidation over the
+// paper's families and random positions: single swaps, adds, removes —
+// including disconnecting tree-edge cuts, where "all n rows invalidated"
+// is the exact answer, not a conservative one.
+func TestRowCacheExactInvalidation(t *testing.T) {
+	// A bare tree-edge removal genuinely changes every row (the far side
+	// goes unreachable for every witness): exactness means all n flagged.
+	if inv := checkExactInvalidation(t, constructions.Path(128), func(s *pricing.Session) {
+		s.ApplyRemove(63, 64)
+	}); inv != 128 {
+		t.Fatalf("path cut invalidated %d rows, want all 128", inv)
+	}
+	// A leaf re-point on the path end: the chord 0–2 shortcuts almost
+	// every witness's route to 0, so near-full invalidation is exact too.
+	checkExactInvalidation(t, constructions.Path(128), func(s *pricing.Session) {
+		s.ApplySwap(0, 1, 2)
+	})
+	// Random positions, every mutation kind.
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 6; trial++ {
+		g := rowCacheGraph(24+trial*5, rng)
+		n := g.N()
+		checkExactInvalidation(t, g, func(s *pricing.Session) {
+			v := rng.Intn(n)
+			nbrs := s.View().Neighbors(v)
+			if len(nbrs) == 0 {
+				return
+			}
+			s.ApplySwap(v, int(nbrs[rng.Intn(len(nbrs))]), rng.Intn(n))
+		})
+		checkExactInvalidation(t, g, func(s *pricing.Session) {
+			s.ApplyAdd(rng.Intn(n), rng.Intn(n))
+		})
+		checkExactInvalidation(t, g, func(s *pricing.Session) {
+			s.ApplyRemove(rng.Intn(n), rng.Intn(n))
+		})
+	}
+}
+
+// TestRowCacheSwapInvalidationO1 pins the tentpole win: an equidistant
+// re-point on a 128-vertex position invalidates exactly the three local
+// rows — not all n, which both the old conservative remove rule (every
+// gap-1 removal flags the row) and a remove-first ApplySwap ordering (the
+// chain is momentarily disconnected) would have forced.
+func TestRowCacheSwapInvalidationO1(t *testing.T) {
+	const n = 128
+	if inv := checkExactInvalidation(t, twinRePointGraph(n), func(s *pricing.Session) {
+		s.ApplySwap(0, 1, 2)
+	}); inv != 3 {
+		t.Fatalf("twin re-point invalidated %d rows, want exactly 3 (agent and both twins)", inv)
+	}
+
+	// The same bound holds across a full apply → sync → undo cycle, and
+	// the ledger shows it: 3 rows per direction, n + 6 recomputes total.
+	s := pricing.Shared(1).NewSession(twinRePointGraph(n))
+	cache := s.RowCache()
+	cache.Sync(1, nil)
+	s.ApplySwap(0, 1, 2)
+	if live := cache.Live(); live != n-3 {
+		t.Fatalf("after swap: %d live rows, want %d", live, n-3)
+	}
+	for w := 3; w < n; w++ {
+		if !cache.Valid(w) {
+			t.Fatalf("chain row %d invalidated by an equidistant re-point", w)
+		}
+	}
+	cache.Sync(1, nil)
+	s.Undo()
+	if got := cache.Invalidated(); got != 6 {
+		t.Fatalf("apply+undo invalidated %d rows, want 6", got)
+	}
+	cache.Sync(1, nil)
+	if got := cache.Recomputed(); got != n+6 {
+		t.Fatalf("apply+undo recomputed %d rows, want %d", got, n+6)
 	}
 }
 

@@ -68,15 +68,29 @@ func (s *Session) Depth() int { return len(s.undo) }
 // in O(deg). A swap onto an existing edge realizes a pure deletion and
 // add == drop realizes a no-op, matching core.ApplyMove. It panics when
 // the dropped edge is absent, mirroring core.ApplyMove's contract.
+//
+// The insertion is patched before the removal (the two operations commute
+// — they touch distinct edges): near equilibrium the inserted edge
+// usually leaves the dropped edge with an equal-length alternative, so
+// the row cache's exact remove test keeps rows that a remove-first
+// ordering would have had to flag — on a path, a local re-point
+// invalidates O(1) rows instead of all n.
 func (s *Session) ApplySwap(v, drop, add int) {
-	if !s.d.RemoveEdge(v, drop) {
+	if !s.d.HasEdge(v, drop) {
 		panic("pricing: Session.ApplySwap drop edge missing")
 	}
-	s.noteRemoved(v, drop)
+	if add == drop {
+		// Remove-then-reinsert of the same edge: the graph is unchanged,
+		// so the cache sees no notes and Undo has nothing to revert.
+		s.push(sessionOp{v: int32(v), drop: int32(drop), add: int32(add)})
+		return
+	}
 	added := s.d.AddEdge(v, add)
 	if added {
 		s.noteAdded(v, add)
 	}
+	s.d.RemoveEdge(v, drop)
+	s.noteRemoved(v, drop)
 	s.push(sessionOp{v: int32(v), drop: int32(drop), add: int32(add), removed: true, added: added})
 }
 
@@ -126,23 +140,50 @@ func (s *Session) push(op sessionOp) {
 
 // Undo reverts the most recent applied move, returning false when the
 // undo stack is empty. Like every mutation it bumps the generation, so
-// scans issued before the Undo are invalidated too.
+// scans issued before the Undo are invalidated too. It mirrors
+// ApplySwap's insert-before-remove ordering (the operations commute
+// whenever both ran), for the same row-cache benefit.
 func (s *Session) Undo() bool {
 	if len(s.undo) == 0 {
 		return false
 	}
 	op := s.undo[len(s.undo)-1]
 	s.undo = s.undo[:len(s.undo)-1]
-	if op.added {
-		s.d.RemoveEdge(int(op.v), int(op.add))
-		s.noteRemoved(int(op.v), int(op.add))
-	}
 	if op.removed {
 		s.d.AddEdge(int(op.v), int(op.drop))
 		s.noteAdded(int(op.v), int(op.drop))
 	}
+	if op.added {
+		s.d.RemoveEdge(int(op.v), int(op.add))
+		s.noteRemoved(int(op.v), int(op.add))
+	}
 	s.gen++
 	return true
+}
+
+// Close releases the session's row-cache arenas into the size-keyed pool
+// for the next same-n session and invalidates every outstanding scan and
+// row view through a generation bump. The session itself stays usable — a
+// later RowCache call simply provisions fresh arenas — so Close is
+// idempotent and safe to defer from any instance owner (the dynamics
+// driver, the service layer).
+func (s *Session) Close() {
+	if s.rows == nil {
+		return
+	}
+	s.rows.release()
+	s.rows = nil
+	s.gen++
+}
+
+// RowCacheStats reports the attached row cache's lifetime counters — BFS
+// row rebuilds and mutation-forced invalidations — without creating a
+// cache on a session that never attached one.
+func (s *Session) RowCacheStats() (recomputed, invalidated uint64, attached bool) {
+	if s.rows == nil {
+		return 0, 0, false
+	}
+	return s.rows.recomputed, s.rows.invalidated, true
 }
 
 // NewScan prepares pricing state for deviator v over the live snapshot,

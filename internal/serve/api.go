@@ -382,6 +382,14 @@ type DynamicsResponse struct {
 	// Batched is "off", "active", or "fallback" — the explicit report of
 	// how a batched-sweeps request was honored.
 	Batched string `json:"batched"`
+	// RowsRecomputed / RowsInvalidated are the session row cache's
+	// lifetime counters over the run (0 when the trajectory never
+	// attached a cache): BFS row rebuilds paid at syncs, and rows flagged
+	// by applied moves' invalidation tests. Their ratio to Moves is the
+	// cache-effectiveness signal — near equilibrium both stay O(1) per
+	// applied move.
+	RowsRecomputed  uint64 `json:"rows_recomputed,omitempty"`
+	RowsInvalidated uint64 `json:"rows_invalidated,omitempty"`
 	// Final is the end-of-run graph (sparse6).
 	Final GraphDTO `json:"final"`
 	// Certified carries the fresh one-shot verdict when Certify was set.

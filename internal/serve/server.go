@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dynamics"
+	"repro/internal/game"
 	"repro/internal/graph"
 	"repro/internal/graphio"
 	"repro/internal/iso"
@@ -287,6 +288,7 @@ func (s *Server) bestResponse(ctx context.Context, req BestResponseRequest) (*Be
 	}
 
 	inst := model.New(g, s.clampWorkers(req.Workers))
+	defer game.CloseInstance(inst)
 	m, oldCost, newCost, ok := inst.BestMove(req.Agent, obj)
 	resp := &BestResponseResponse{OldCost: oldCost, NewCost: newCost, Improves: ok}
 	if ok {
@@ -360,12 +362,15 @@ func (s *Server) dynamics(ctx context.Context, req DynamicsRequest) (*DynamicsRe
 		return nil, classify(err)
 	}
 	resp := &DynamicsResponse{
-		Converged: res.Converged,
-		Moves:     res.Moves,
-		Sweeps:    res.Sweeps,
-		Batched:   res.Batched.String(),
-		Final:     final,
+		Converged:       res.Converged,
+		Moves:           res.Moves,
+		Sweeps:          res.Sweeps,
+		Batched:         res.Batched.String(),
+		RowsRecomputed:  res.RowsRecomputed,
+		RowsInvalidated: res.RowsInvalidated,
+		Final:           final,
 	}
+	s.stats.rowCache(res.RowsRecomputed, res.RowsInvalidated)
 	for _, te := range res.Trace {
 		resp.Trace = append(resp.Trace, TraceEntryDTO{
 			Move:       moveToDTO(te.Move),

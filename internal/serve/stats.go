@@ -14,6 +14,10 @@ type stats struct {
 	endpoints map[string]*endpointCounters
 	hits      uint64
 	misses    uint64
+	// rowsRecomputed / rowsInvalidated aggregate the session row caches'
+	// counters over every dynamics run the server has completed.
+	rowsRecomputed  uint64
+	rowsInvalidated uint64
 }
 
 type endpointCounters struct {
@@ -60,6 +64,15 @@ func (s *stats) cacheMiss() {
 	s.mu.Unlock()
 }
 
+// rowCache folds one finished dynamics run's row-cache counters into the
+// server-lifetime aggregate.
+func (s *stats) rowCache(recomputed, invalidated uint64) {
+	s.mu.Lock()
+	s.rowsRecomputed += recomputed
+	s.rowsInvalidated += invalidated
+	s.mu.Unlock()
+}
+
 // EndpointSnapshot is one endpoint's counters in a StatsSnapshot.
 type EndpointSnapshot struct {
 	Requests      uint64  `json:"requests"`
@@ -76,11 +89,20 @@ type CacheSnapshot struct {
 	Entries int     `json:"entries"`
 }
 
+// RowCacheSnapshot aggregates the session row caches' counters across all
+// finished dynamics runs: BFS row rebuilds paid and rows invalidated by
+// applied moves. A recompute count far below moves×n is the reuse win.
+type RowCacheSnapshot struct {
+	RowsRecomputed  uint64 `json:"rows_recomputed"`
+	RowsInvalidated uint64 `json:"rows_invalidated"`
+}
+
 // StatsSnapshot is the GET /stats payload.
 type StatsSnapshot struct {
 	UptimeMS  int64                       `json:"uptime_ms"`
 	Endpoints map[string]EndpointSnapshot `json:"endpoints"`
 	Cache     CacheSnapshot               `json:"cache"`
+	RowCache  RowCacheSnapshot            `json:"row_cache"`
 }
 
 // snapshot captures the counters. cacheLen is supplied by the server so
@@ -95,6 +117,10 @@ func (s *stats) snapshot(cacheLen int) StatsSnapshot {
 			Hits:    s.hits,
 			Misses:  s.misses,
 			Entries: cacheLen,
+		},
+		RowCache: RowCacheSnapshot{
+			RowsRecomputed:  s.rowsRecomputed,
+			RowsInvalidated: s.rowsInvalidated,
 		},
 	}
 	if total := s.hits + s.misses; total > 0 {
