@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench benchgate benchmulti fuzz smoke fmt vet check
+.PHONY: all build test race bench benchgate benchmulti fuzz smoke atlas-smoke fmt vet check
 
 all: check
 
@@ -21,7 +21,7 @@ race:
 # ns/op, allocs, GOMAXPROCS, host fingerprint) so numbers are comparable
 # across PRs. benchjson fails on FAIL lines or an empty stream. The CI
 # benchmark smoke keeps 1x: it proves the pipeline, not the numbers.
-BENCH_JSON ?= BENCH_8.json
+BENCH_JSON ?= BENCH_9.json
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=3x -benchmem ./... | $(GO) run ./cmd/benchjson -o $(BENCH_JSON)
 
@@ -47,8 +47,9 @@ benchmulti:
 # session RowCache's invalidation rules against fresh BFS ground truth, the
 # greedy model's add/delete/swap apply/undo path, the budget model's
 # feasibility-guarded swap apply/undo path, the unified scan engine's
-# witnesses against the naive sequential enumeration, and the batched
-# cross-agent sweep against the per-agent sweep.
+# witnesses against the naive sequential enumeration, the batched
+# cross-agent sweep against the per-agent sweep, and the atlas corpus
+# format (sparse6 round-trip stability + iso dedupe-key soundness).
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzApplySwap -fuzztime=30s ./internal/pricing
 	$(GO) test -run=NONE -fuzz=FuzzRowCache -fuzztime=30s ./internal/pricing
@@ -56,6 +57,7 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzBudgetApply -fuzztime=30s ./internal/game
 	$(GO) test -run=NONE -fuzz=FuzzScanEngine -fuzztime=30s ./internal/game
 	$(GO) test -run=NONE -fuzz=FuzzBatchedSweep -fuzztime=30s ./internal/game
+	$(GO) test -run=NONE -fuzz=FuzzAtlasRoundTrip -fuzztime=30s ./internal/atlas
 
 # End-to-end CLI smoke of every deviation model (mirrors the CI step),
 # then the service load harness: k concurrent clients replay the mixed
@@ -68,6 +70,16 @@ smoke:
 	$(GO) run ./cmd/bncg dynamics -n 24 -model budget -budget 3 -policy best -workers 2
 	$(GO) run ./cmd/bncg dynamics -n 24 -model 2nb -policy first -seed 2 -workers 2
 	$(GO) run ./cmd/bncg load -k 8 -rounds 2
+
+# Atlas smoke (mirrors the CI step): a quick deterministic hunt into a
+# scratch directory must itself pass the bit-for-bit verify gate, and the
+# checked-in corpus must re-certify and render its structure tables.
+atlas-smoke:
+	rm -rf /tmp/atlas_smoke
+	$(GO) run ./cmd/bncg atlas hunt -dir /tmp/atlas_smoke -quick -seed 1
+	$(GO) run ./cmd/bncg atlas verify -dir /tmp/atlas_smoke
+	$(GO) run ./cmd/bncg atlas verify -dir testdata/atlas
+	$(GO) run ./cmd/bncg atlas stats -dir testdata/atlas
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

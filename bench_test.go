@@ -59,6 +59,7 @@ func BenchmarkE16Conjecture14(b *testing.B) { benchExperiment(b, "E16") }
 func BenchmarkE17ModelZoo(b *testing.B)     { benchExperiment(b, "E17") }
 func BenchmarkE18BudgetSweep(b *testing.B)  { benchExperiment(b, "E18") }
 func BenchmarkE19CrossModel(b *testing.B)   { benchExperiment(b, "E19") }
+func BenchmarkE20Atlas(b *testing.B)        { benchExperiment(b, "E20") }
 
 // Substrate micro-benchmarks.
 

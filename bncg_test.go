@@ -89,8 +89,8 @@ func TestFacadeIO(t *testing.T) {
 }
 
 func TestFacadeExperimentRegistry(t *testing.T) {
-	if len(Experiments()) != 19 {
-		t.Fatalf("Experiments() = %d entries, want 19", len(Experiments()))
+	if len(Experiments()) != 20 {
+		t.Fatalf("Experiments() = %d entries, want 20", len(Experiments()))
 	}
 	e, ok := ExperimentByID("E3")
 	if !ok {

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/atlas"
+)
+
+// cmdAtlas dispatches the equilibrium-atlas subcommands:
+//
+//	bncg atlas hunt   -dir testdata/atlas [-seed 1] [-quick] [-nearmiss 16]
+//	bncg atlas verify -dir testdata/atlas
+//	bncg atlas stats  -dir testdata/atlas
+//
+// hunt runs the bounded deterministic search (families, exhaustive small
+// trees, dynamics-converged positions, perturbed near-misses) and writes
+// the corpus; verify re-certifies every checked-in entry bit-for-bit
+// through both checker paths; stats renders the per-model structure
+// tables.
+func cmdAtlas(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("atlas: usage: bncg atlas hunt|verify|stats [flags]")
+	}
+	switch args[0] {
+	case "hunt":
+		return cmdAtlasHunt(args[1:])
+	case "verify":
+		return cmdAtlasVerify(args[1:])
+	case "stats":
+		return cmdAtlasStats(args[1:])
+	default:
+		return fmt.Errorf("atlas: unknown subcommand %q (want hunt, verify, or stats)", args[0])
+	}
+}
+
+func cmdAtlasHunt(args []string) error {
+	fs := flag.NewFlagSet("atlas hunt", flag.ExitOnError)
+	dir := fs.String("dir", "testdata/atlas", "corpus directory to write")
+	seed := fs.Int64("seed", 1, "hunt seed (same seed ⇒ byte-identical corpus)")
+	quick := fs.Bool("quick", false, "smoke-sized hunt (small families only)")
+	nearMiss := fs.Int("nearmiss", 16, "max near-miss counterexamples to record")
+	workers := fs.Int("workers", 0, "pricing workers (0 = all cores; verdicts identical for any count)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, err := atlas.Hunt(atlas.HuntConfig{
+		Seed: *seed, Workers: *workers, Quick: *quick, MaxNearMisses: *nearMiss,
+	})
+	if err != nil {
+		return err
+	}
+	if err := c.Write(*dir); err != nil {
+		return err
+	}
+	printSummary(os.Stdout, atlas.Summarize(c), *dir)
+	return nil
+}
+
+func cmdAtlasVerify(args []string) error {
+	fs := flag.NewFlagSet("atlas verify", flag.ExitOnError)
+	dir := fs.String("dir", "testdata/atlas", "corpus directory to verify")
+	workers := fs.Int("workers", 0, "pricing workers (0 = all cores)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, err := atlas.Verify(*dir, *workers)
+	if err != nil {
+		return err
+	}
+	s := atlas.Summarize(c)
+	fmt.Printf("atlas verify: %d entries re-certified bit-identically (%d equilibria, %d near-misses)\n",
+		s.Entries, s.Equilibria, s.NearMisses)
+	return nil
+}
+
+func cmdAtlasStats(args []string) error {
+	fs := flag.NewFlagSet("atlas stats", flag.ExitOnError)
+	dir := fs.String("dir", "testdata/atlas", "corpus directory to analyze")
+	workers := fs.Int("workers", 0, "APSP workers for the uniformity profiles (0 = all cores)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, err := atlas.Read(*dir)
+	if err != nil {
+		return err
+	}
+	tables, err := atlas.StatsTables(c, *workers)
+	if err != nil {
+		return err
+	}
+	for _, t := range tables {
+		if err := t.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func printSummary(w *os.File, s atlas.Summary, dir string) {
+	fmt.Fprintf(w, "atlas hunt: %d entries written to %s (%d equilibria, %d near-misses)\n",
+		s.Entries, dir, s.Equilibria, s.NearMisses)
+	models := make([]string, 0, len(s.Models))
+	for m := range s.Models {
+		models = append(models, m)
+	}
+	sort.Strings(models)
+	for _, m := range models {
+		fmt.Fprintf(w, "  %-10s %d\n", m, s.Models[m])
+	}
+	objs := make([]string, 0, len(s.Objectives))
+	for o := range s.Objectives {
+		objs = append(objs, o)
+	}
+	sort.Strings(objs)
+	for _, o := range objs {
+		fmt.Fprintf(w, "  obj %-6s %d\n", o, s.Objectives[o])
+	}
+}

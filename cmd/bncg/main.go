@@ -7,7 +7,8 @@
 //	                [-interests file] [-budget 3] [-seed 1]
 //	bncg experiments [-id E5] [-quick] [-seed 1]
 //	bncg serve      [-addr :8347] [-pool 16] [-cache 512] [-timeout 30s]
-//	bncg load       [-url http://host:8347] [-k 8] [-rounds 2] [-json]
+//	bncg load       [-url http://host:8347] [-k 8] [-rounds 2] [-atlas dir] [-json]
+//	bncg atlas      hunt|verify|stats [-dir testdata/atlas] [-seed 1]
 //
 // `construct` emits one of the paper's graphs, `check` runs every
 // equilibrium and stability predicate on an input graph, `dynamics` runs
@@ -62,6 +63,8 @@ func main() {
 		err = cmdServe(os.Args[2:])
 	case "load":
 		err = cmdLoad(os.Args[2:])
+	case "atlas":
+		err = cmdAtlas(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -90,6 +93,9 @@ commands:
                dynamics on a warm session pool with a certified-verdict LRU)
   load         replay the mixed scenario corpus against a server from k
                concurrent clients, verifying every verdict bit-for-bit
+  atlas        equilibrium atlas: hunt (bounded deterministic search for
+               certified equilibria), verify (re-certify the checked-in
+               corpus bit-for-bit), stats (per-model structure tables)
 
 run 'bncg <command> -h' for flags`)
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	bncg "repro"
+	"repro/internal/atlas"
 	"repro/internal/game"
 	"repro/internal/serve"
 )
@@ -100,10 +102,25 @@ func cmdLoad(args []string) error {
 	url := fs.String("url", "", "server base URL; empty boots an in-process server on a loopback port")
 	k := fs.Int("k", 8, "concurrent clients")
 	rounds := fs.Int("rounds", 2, "corpus replays per client")
-	seed := fs.Int64("seed", 1, "corpus seed")
+	seed := fs.Int64("seed", 1, "corpus seed (also selects the atlas sample)")
+	atlasDir := fs.String("atlas", "testdata/atlas", "equilibrium-atlas corpus directory to seed extra scenarios from (empty disables; a missing directory is skipped with a notice)")
+	atlasMax := fs.Int("atlasmax", 48, "max atlas scenarios to replay (<= 0 replays the whole corpus)")
 	jsonOut := fs.Bool("json", false, "emit the full report as JSON")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var extra []serve.Scenario
+	if *atlasDir != "" {
+		var err error
+		extra, err = atlas.LoadScenarios(*atlasDir, *atlasMax, *seed)
+		switch {
+		case errors.Is(err, os.ErrNotExist):
+			fmt.Fprintf(os.Stderr, "bncg load: no atlas corpus at %s, replaying the built-in mix only\n", *atlasDir)
+		case err != nil:
+			return err
+		default:
+			fmt.Fprintf(os.Stderr, "bncg load: seeded %d scenarios from the atlas corpus at %s\n", len(extra), *atlasDir)
+		}
 	}
 
 	baseURL := *url
@@ -120,7 +137,7 @@ func cmdLoad(args []string) error {
 	}
 
 	report, err := serve.RunLoad(context.Background(), baseURL, serve.LoadOptions{
-		Clients: *k, Rounds: *rounds, Seed: *seed,
+		Clients: *k, Rounds: *rounds, Seed: *seed, Extra: extra,
 	})
 	if err != nil {
 		return err

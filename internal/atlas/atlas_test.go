@@ -1,0 +1,157 @@
+package atlas
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// quickHunt runs the smoke-sized hunt once per test binary; the hunt is
+// deterministic, so sharing the corpus across tests loses nothing.
+func quickHunt(t *testing.T) *Corpus {
+	t.Helper()
+	c, err := Hunt(HuntConfig{Seed: 1, Quick: true})
+	if err != nil {
+		t.Fatalf("quick hunt: %v", err)
+	}
+	return c
+}
+
+// TestHuntDeterministic pins the hunt's reproducibility contract: the same
+// seed must produce a byte-identical corpus, file for file.
+func TestHuntDeterministic(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	for _, dir := range []string{dirA, dirB} {
+		c, err := Hunt(HuntConfig{Seed: 7, Quick: true})
+		if err != nil {
+			t.Fatalf("hunt: %v", err)
+		}
+		if err := c.Write(dir); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	}
+	for _, name := range []string{JSONLFile, S6File} {
+		a, err := os.ReadFile(filepath.Join(dirA, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(dirB, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a) != string(b) {
+			t.Errorf("%s differs between two hunts with the same seed", name)
+		}
+	}
+}
+
+// TestHuntWriteReadVerifyRoundTrip hunts a fresh quick corpus, persists it,
+// and requires the full Verify gate to pass on the round-tripped files —
+// the invariant that lets `bncg atlas hunt` output be checked in as-is.
+func TestHuntWriteReadVerifyRoundTrip(t *testing.T) {
+	c := quickHunt(t)
+	if len(c.Entries) == 0 {
+		t.Fatal("quick hunt found nothing")
+	}
+	dir := t.TempDir()
+	if err := c.Write(dir); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	rc, err := Read(dir)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if len(rc.Entries) != len(c.Entries) {
+		t.Fatalf("round trip: wrote %d entries, read %d", len(c.Entries), len(rc.Entries))
+	}
+	for i := range c.Entries {
+		want, _ := json.Marshal(&c.Entries[i])
+		if rc.Raw[i] != string(want) {
+			t.Fatalf("entry %s: stored line differs from canonical marshal", c.Entries[i].ID)
+		}
+	}
+	if _, err := Verify(dir, 0); err != nil {
+		t.Fatalf("verify on fresh hunt output: %v", err)
+	}
+}
+
+// TestHuntDedupes asserts no two corpus entries share a CheckKey — the
+// hunter's admission filter and the final key assignment must agree.
+func TestHuntDedupes(t *testing.T) {
+	c := quickHunt(t)
+	seen := make(map[string]string, len(c.Entries))
+	for i := range c.Entries {
+		e := &c.Entries[i]
+		ck := e.CheckKey()
+		if prev, dup := seen[ck]; dup {
+			t.Errorf("entries %s and %s share check key %q", prev, e.ID, ck)
+		}
+		seen[ck] = e.ID
+	}
+}
+
+// TestScenariosSampling pins the scenario conversion: max bounds the draw
+// deterministically per seed, names are unique, equilibria get a batched
+// variant and near-misses do not.
+func TestScenariosSampling(t *testing.T) {
+	c := quickHunt(t)
+	all := Scenarios(c, 0, 1)
+	names := make(map[string]bool, len(all))
+	kinds := make(map[string]string, len(c.Entries))
+	for i := range c.Entries {
+		kinds[c.Entries[i].ID] = c.Entries[i].Kind
+	}
+	batched := 0
+	for _, sc := range all {
+		if sc.Check == nil {
+			t.Fatalf("scenario %s has no check request", sc.Name)
+		}
+		if names[sc.Name] {
+			t.Errorf("duplicate scenario name %s", sc.Name)
+		}
+		names[sc.Name] = true
+		id := strings.TrimSuffix(strings.TrimPrefix(sc.Name, "atlas/"), "/batched")
+		if sc.Check.Batched {
+			batched++
+			if kinds[id] != KindEquilibrium {
+				t.Errorf("batched scenario %s for non-equilibrium entry", sc.Name)
+			}
+		}
+	}
+	if batched == 0 {
+		t.Error("no batched scenario variants generated")
+	}
+
+	sampleA := Scenarios(c, 5, 42)
+	sampleB := Scenarios(c, 5, 42)
+	if len(sampleA) == 0 || len(sampleA) > 10 { // 5 entries, at most one batched twin each
+		t.Fatalf("sample size %d out of range for max=5", len(sampleA))
+	}
+	for i := range sampleA {
+		if sampleA[i].Name != sampleB[i].Name {
+			t.Fatalf("sampling not deterministic: %s vs %s at %d", sampleA[i].Name, sampleB[i].Name, i)
+		}
+	}
+	sampleC := Scenarios(c, 5, 43)
+	differs := len(sampleC) != len(sampleA)
+	for i := 0; !differs && i < len(sampleA); i++ {
+		differs = sampleA[i].Name != sampleC[i].Name
+	}
+	if !differs {
+		t.Error("different seeds drew the identical sample (suspicious for a shuffled draw)")
+	}
+}
+
+// TestLoadScenariosMissingDir pins the CLI contract: a missing corpus
+// directory surfaces as os.ErrNotExist so `bncg load` can skip gracefully.
+func TestLoadScenariosMissingDir(t *testing.T) {
+	_, err := LoadScenarios(filepath.Join(t.TempDir(), "nope"), 0, 1)
+	if err == nil {
+		t.Fatal("expected an error for a missing corpus directory")
+	}
+	if !os.IsNotExist(err) {
+		t.Fatalf("want os.ErrNotExist, got %v", err)
+	}
+}

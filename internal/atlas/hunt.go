@@ -1,0 +1,345 @@
+package atlas
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/constructions"
+	"repro/internal/core"
+	"repro/internal/dynamics"
+	"repro/internal/graph"
+	"repro/internal/iso"
+	"repro/internal/serve"
+	"repro/internal/treegen"
+)
+
+// HuntConfig bounds a hunt. Every knob is deterministic: the same config
+// produces the same corpus byte-for-byte (all randomness flows from Seed,
+// all iteration orders are slices).
+type HuntConfig struct {
+	// Seed drives random trees, random chords, dynamics random policies,
+	// and perturbation draws.
+	Seed int64
+	// Workers bounds pricing parallelism (verdicts are worker-independent).
+	Workers int
+	// Quick shrinks every stage to smoke-test size.
+	Quick bool
+	// MaxNearMisses caps recorded near-miss counterexamples (default 16).
+	MaxNearMisses int
+}
+
+func (c HuntConfig) withDefaults() HuntConfig {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.MaxNearMisses == 0 {
+		c.MaxNearMisses = 16
+	}
+	return c
+}
+
+// check is one (model, objective, side-condition) predicate the hunt
+// certifies graphs against.
+type check struct {
+	label      string
+	model      func(n int) serve.ModelDTO
+	objective  string
+	stableOnly bool
+}
+
+// ringInterests gives every vertex interest in its two cyclic successors —
+// the same deterministic nontrivial pattern the service load corpus uses.
+func ringInterests(n int) [][]int32 {
+	sets := make([][]int32, n)
+	for v := 0; v < n; v++ {
+		sets[v] = []int32{int32((v + 1) % n), int32((v + 2) % n)}
+	}
+	return sets
+}
+
+// checks enumerates the hunt's predicate zoo: the five deviation models
+// crossed with both objectives where the model prices them (2nb ignores
+// the distance objective and runs once), plus the swap game's stable-only
+// max variant — the condition swap dynamics converge to.
+func checks() []check {
+	swap := func(int) serve.ModelDTO { return serve.ModelDTO{} }
+	greedy := func(int) serve.ModelDTO { return serve.ModelDTO{Name: "greedy", EdgeCost: 2} }
+	interests := func(n int) serve.ModelDTO {
+		return serve.ModelDTO{Name: "interests", Interests: ringInterests(n)}
+	}
+	budget := func(k int) func(int) serve.ModelDTO {
+		return func(int) serve.ModelDTO { return serve.ModelDTO{Name: "budget", Budget: k} }
+	}
+	twonb := func(int) serve.ModelDTO { return serve.ModelDTO{Name: "2nb"} }
+	return []check{
+		{"swap/sum", swap, "sum", false},
+		{"swap/max", swap, "max", false},
+		{"swap/max-stable", swap, "max", true},
+		{"greedy/sum", greedy, "sum", false},
+		{"greedy/max", greedy, "max", false},
+		{"interests/sum", interests, "sum", false},
+		{"interests/max", interests, "max", false},
+		{"budget2/sum", budget(2), "sum", false},
+		{"budget2/max", budget(2), "max", false},
+		{"budget3/sum", budget(3), "sum", false},
+		{"budget4/sum", budget(4), "sum", false},
+		{"2nb", twonb, "sum", false},
+	}
+}
+
+// hunter accumulates deduped entries. Its Deduper sees every probed graph
+// (admitted or not), so admission-time iso keys are bookkeeping only; the
+// canonical stored keys are re-derived corpus-wide by AssignIsoKeys, which
+// feeds admitted entries alone in corpus order — the pass Verify replays.
+type hunter struct {
+	cfg     HuntConfig
+	corpus  *Corpus
+	seen    map[string]bool // CheckKey → present
+	dedup   *iso.Deduper
+	nEq     int
+	nMiss   int
+	rng     *rand.Rand
+	lastErr error
+}
+
+// record certifies g under ck and admits the entry if it is a fresh check
+// (new isomorphism class, or same class under a different predicate).
+// wantStable selects which verdicts to keep: equilibria (true) or
+// near-misses (false); verdicts of the other polarity are dropped.
+func (h *hunter) record(g *graph.Graph, ck check, source string, wantStable bool) bool {
+	if h.lastErr != nil || g.N() < 3 || !g.IsConnected() {
+		return false
+	}
+	e := Entry{
+		Kind:       KindEquilibrium,
+		Source:     source,
+		Model:      ck.model(g.N()),
+		Objective:  ck.objective,
+		StableOnly: ck.stableOnly,
+	}
+	if err := describe(&e, g, h.cfg.Workers); err != nil {
+		h.lastErr = err
+		return false
+	}
+	e.IsoKey, _ = h.dedup.Key(g.Clone())
+	if h.seen[e.CheckKey()] {
+		return false
+	}
+	verdict, err := Certify(g, e.Model, e.Objective, e.StableOnly, h.cfg.Workers)
+	if err != nil {
+		h.lastErr = fmt.Errorf("%s (%s): %w", source, ck.label, err)
+		return false
+	}
+	e.Stable = verdict.Stable
+	if verdict.Stable != wantStable {
+		return false
+	}
+	if !verdict.Stable {
+		if h.nMiss >= h.cfg.MaxNearMisses {
+			return false
+		}
+		e.Kind = KindNearMiss
+		e.Witness = witnessDTO(verdict.Violation)
+		h.nMiss++
+		e.ID = fmt.Sprintf("nm-%04d", h.nMiss)
+	} else {
+		h.nEq++
+		e.ID = fmt.Sprintf("eq-%04d", h.nEq)
+	}
+	h.seen[e.CheckKey()] = true
+	h.corpus.Entries = append(h.corpus.Entries, e)
+	return true
+}
+
+// Hunt sweeps graph families across the model × objective zoo, certifies
+// every hit through both checker paths, dedupes up to isomorphism (per
+// predicate), and returns the corpus: known families, exhaustive labeled
+// trees for small n, dynamics-converged positions from random starts, and
+// near-miss counterexamples obtained by perturbing certified equilibria by
+// one random move. Deterministic for a given config.
+func Hunt(cfg HuntConfig) (*Corpus, error) {
+	cfg = cfg.withDefaults()
+	h := &hunter{
+		cfg:    cfg,
+		corpus: &Corpus{},
+		seen:   map[string]bool{},
+		dedup:  iso.NewDeduper(),
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+	}
+	allChecks := checks()
+
+	// Stage 1 — known families. Stars and complete graphs are the paper's
+	// sum/max anchors; cycles, tori, and hypercubes probe the max version;
+	// double stars and caterpillars probe the tree structure results.
+	starNs := []int{4, 6, 8, 10, 12, 14, 16}
+	cycleNs := []int{4, 5, 6, 7, 8, 9, 10, 12}
+	completeNs := []int{4, 5, 6, 7, 8}
+	pathNs := []int{4, 6, 8, 10}
+	if cfg.Quick {
+		starNs, cycleNs, completeNs, pathNs = []int{5, 8}, []int{5, 6}, []int{4, 5}, []int{5}
+	}
+	type fam struct {
+		name string
+		g    *graph.Graph
+	}
+	var fams []fam
+	for _, n := range starNs {
+		fams = append(fams, fam{fmt.Sprintf("star%d", n), constructions.Star(n)})
+	}
+	for _, n := range pathNs {
+		fams = append(fams, fam{fmt.Sprintf("path%d", n), constructions.Path(n)})
+	}
+	for _, n := range cycleNs {
+		fams = append(fams, fam{fmt.Sprintf("cycle%d", n), constructions.Cycle(n)})
+	}
+	for _, n := range completeNs {
+		fams = append(fams, fam{fmt.Sprintf("complete%d", n), constructions.Complete(n)})
+	}
+	fams = append(fams,
+		fam{"doublestar2x2", constructions.DoubleStar(2, 2)},
+		fam{"doublestar3x3", constructions.DoubleStar(3, 3)},
+		fam{"petersen", constructions.Petersen()},
+		fam{"hypercube3", constructions.Hypercube(3)},
+		fam{"torus2", constructions.NewTorus(2).Graph()},
+	)
+	if !cfg.Quick {
+		fams = append(fams,
+			fam{"torus3", constructions.NewTorus(3).Graph()},
+			fam{"caterpillar4x2", constructions.Caterpillar(4, 2)},
+			fam{"grid3x4", constructions.Grid(3, 4)},
+		)
+	}
+	for _, f := range fams {
+		for _, ck := range allChecks {
+			h.record(f.g, ck, "family:"+f.name, true)
+		}
+	}
+
+	// Stage 2 — exhaustive labeled trees for small n through the swap
+	// checks: the whole n^(n-2) tree space, validating Theorem 1 (star is
+	// the unique sum-equilibrium tree) and the diameter ≤ 3 structure of
+	// max-equilibrium trees over every tree, not a sample.
+	treeNs := []int{5, 6, 7}
+	if cfg.Quick {
+		treeNs = []int{5}
+	}
+	swapChecks := allChecks[:3]
+	for _, n := range treeNs {
+		treegen.AllTrees(n, func(t *graph.Graph) bool {
+			for _, ck := range swapChecks {
+				h.record(t, ck, fmt.Sprintf("trees-exhaustive:n%d", n), true)
+			}
+			return h.lastErr == nil
+		})
+	}
+
+	// Stage 3 — dynamics-converged positions: best-response trajectories
+	// from seeded random trees (plus a chorded variant) under every check;
+	// a converged trajectory ends in a certified equilibrium of its model.
+	sizes := []int{10, 14, 18}
+	reps := 2
+	if cfg.Quick {
+		sizes, reps = []int{8}, 1
+	}
+	for _, n := range sizes {
+		for r := 0; r < reps; r++ {
+			for _, ck := range allChecks {
+				start := treegen.RandomTree(n, h.rng)
+				if r%2 == 1 {
+					for i := 0; i < n/4; i++ {
+						u, v := h.rng.Intn(n), h.rng.Intn(n)
+						if u != v {
+							start.AddEdge(u, v)
+						}
+					}
+				}
+				obj := core.Sum
+				if ck.objective == "max" {
+					obj = core.Max
+				}
+				model, err := ck.model(n).Build(n)
+				if err != nil {
+					return nil, err
+				}
+				res, err := dynamics.RunSpec(start, dynamics.Spec{
+					CheckSpec: core.CheckSpec{Model: model, Objective: obj, Workers: cfg.Workers},
+					Policy:    dynamics.BestResponse,
+					MaxMoves:  4000,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("atlas: dynamics %s n=%d: %w", ck.label, n, err)
+				}
+				if res.Converged {
+					h.record(start, ck, "dynamics:best", true)
+				}
+			}
+		}
+	}
+	if h.lastErr != nil {
+		return nil, h.lastErr
+	}
+
+	// Stage 4 — near-misses: perturb certified equilibria by one random
+	// swap and keep the ones that now fail their own check, witness
+	// attached. Perturbations that disconnect or accidentally remain
+	// stable are skipped.
+	equilibria := append([]Entry(nil), h.corpus.Entries...)
+	for _, src := range equilibria {
+		if h.nMiss >= cfg.MaxNearMisses {
+			break
+		}
+		g, err := src.Graph()
+		if err != nil {
+			return nil, err
+		}
+		p := perturb(g, h.rng)
+		if p == nil {
+			continue
+		}
+		ck := check{
+			label:      "perturbed",
+			model:      func(int) serve.ModelDTO { return src.Model },
+			objective:  src.Objective,
+			stableOnly: src.StableOnly,
+		}
+		h.record(p, ck, "perturbed:"+src.ID, false)
+	}
+	if h.lastErr != nil {
+		return nil, h.lastErr
+	}
+
+	// Re-derive iso keys corpus-wide from the admitted entries alone (the
+	// hunter's own Deduper also saw rejected probes, which may shift the
+	// rare colliding-class suffixes); this pass is the one Verify replays.
+	if err := h.corpus.AssignIsoKeys(); err != nil {
+		return nil, err
+	}
+	return h.corpus, nil
+}
+
+// perturb applies one random swap — a random edge (v,w) re-pointed to a
+// random non-neighbor — returning nil when the draw is infeasible or
+// disconnects the graph.
+func perturb(g *graph.Graph, rng *rand.Rand) *graph.Graph {
+	edges := g.Edges()
+	if len(edges) == 0 {
+		return nil
+	}
+	e := edges[rng.Intn(len(edges))]
+	v, w := e.U, e.V
+	if rng.Intn(2) == 1 {
+		v, w = w, v
+	}
+	cands := g.NonNeighbors(v)
+	if len(cands) == 0 {
+		return nil
+	}
+	add := cands[rng.Intn(len(cands))]
+	p := g.Clone()
+	p.RemoveEdge(v, w)
+	p.AddEdge(v, add)
+	if !p.IsConnected() {
+		return nil
+	}
+	return p
+}

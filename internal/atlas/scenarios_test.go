@@ -1,0 +1,56 @@
+package atlas_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/atlas"
+	"repro/internal/serve"
+)
+
+// This file lives in atlas (not serve) because serve must not import atlas:
+// the atlas reuses serve's wire shapes, so the dependency runs one way.
+
+// TestLoadReplaysAtlasScenarios is satellite coverage for the load-seeding
+// path: the load harness replays a corpus-seeded Extra set against a live
+// HTTP server and every response must be bit-identical to the direct
+// in-process one-shot path — the same contract the built-in mix is held
+// to, now over the much wider atlas instance set.
+func TestLoadReplaysAtlasScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load corpus in -short mode")
+	}
+	extra, err := atlas.LoadScenarios("../../testdata/atlas", 32, 1)
+	if err != nil {
+		t.Fatalf("load scenarios: %v", err)
+	}
+	if len(extra) < 32 {
+		t.Fatalf("got %d scenarios from a max=32 draw over the checked-in corpus", len(extra))
+	}
+	for _, sc := range extra {
+		if !strings.HasPrefix(sc.Name, "atlas/") {
+			t.Fatalf("scenario %q not namespaced under atlas/", sc.Name)
+		}
+	}
+
+	hs := httptest.NewServer(serve.NewServer(serve.Config{}).Handler())
+	defer hs.Close()
+	report, err := serve.RunLoad(context.Background(), hs.URL, serve.LoadOptions{
+		Clients: 2, Rounds: 2, Extra: extra,
+	})
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	if len(report.Failures) > 0 {
+		t.Fatalf("%d load failures with atlas scenarios, first: %s", len(report.Failures), report.Failures[0])
+	}
+	wantRequests := 2 * 2 * (len(serve.Corpus(1)) + len(extra))
+	if report.Requests != wantRequests {
+		t.Errorf("replayed %d requests, want %d (built-in corpus + atlas extras)", report.Requests, wantRequests)
+	}
+	if report.Stats.Cache.Hits == 0 {
+		t.Errorf("repeat rounds left the verdict LRU cold: %+v", report.Stats.Cache)
+	}
+}

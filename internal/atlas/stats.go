@@ -1,0 +1,161 @@
+package atlas
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/stats"
+	"repro/internal/uniformity"
+)
+
+// StatsTables renders the corpus's structure tables — the atlas extension
+// of experiments E18/E19 and the Conjecture-14 evidence of E16, computed
+// over certified equilibria instead of random samples:
+//
+//  1. per model × objective: entry counts, tree share, and the diameter /
+//     degree envelopes the structure literature bounds;
+//  2. the budget/diameter trade-off: max equilibrium diameter per budget k
+//     (Ehsani et al. — smaller budgets force deeper equilibria); and
+//  3. Conjecture-14 evidence over swap equilibria: distance-uniformity ε
+//     and worst diameter/lg n among ε < 1/4 instances.
+func StatsTables(c *Corpus, workers int) ([]*stats.Table, error) {
+	type groupKey struct {
+		model, objective string
+		stableOnly       bool
+	}
+	type agg struct {
+		entries, misses, trees            int
+		maxDiam, maxDeg, minN, maxN, maxK int
+	}
+	groups := map[groupKey]*agg{}
+	var order []groupKey
+	for i := range c.Entries {
+		e := &c.Entries[i]
+		name := e.Model.Name
+		if name == "" {
+			name = "swap"
+		}
+		if name == "budget" {
+			name = fmt.Sprintf("budget k=%d", e.Model.Budget)
+		}
+		k := groupKey{name, e.Objective, e.StableOnly}
+		a := groups[k]
+		if a == nil {
+			a = &agg{minN: e.N}
+			groups[k] = a
+			order = append(order, k)
+		}
+		if e.Kind == KindNearMiss {
+			a.misses++
+			continue
+		}
+		a.entries++
+		if e.Tree {
+			a.trees++
+		}
+		if e.Diameter > a.maxDiam {
+			a.maxDiam = e.Diameter
+		}
+		if e.MaxDegree > a.maxDeg {
+			a.maxDeg = e.MaxDegree
+		}
+		if e.N < a.minN || a.minN == 0 {
+			a.minN = e.N
+		}
+		if e.N > a.maxN {
+			a.maxN = e.N
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].model != order[j].model {
+			return order[i].model < order[j].model
+		}
+		if order[i].objective != order[j].objective {
+			return order[i].objective < order[j].objective
+		}
+		return !order[i].stableOnly && order[j].stableOnly
+	})
+	perModel := stats.NewTable(
+		"Atlas corpus: certified equilibria per model × objective",
+		"model", "objective", "equilibria", "near-misses", "trees", "n range", "max diameter", "max degree")
+	for _, k := range order {
+		a := groups[k]
+		obj := k.objective
+		if k.stableOnly {
+			obj += " (stable-only)"
+		}
+		perModel.Add(k.model, obj, a.entries, a.misses, a.trees,
+			fmt.Sprintf("%d–%d", a.minN, a.maxN), a.maxDiam, a.maxDeg)
+	}
+
+	// Budget/diameter trade-off over the budget-model equilibria.
+	budgetDiam := map[int]*agg{}
+	var ks []int
+	for i := range c.Entries {
+		e := &c.Entries[i]
+		if e.Model.Name != "budget" || e.Kind != KindEquilibrium {
+			continue
+		}
+		a := budgetDiam[e.Model.Budget]
+		if a == nil {
+			a = &agg{}
+			budgetDiam[e.Model.Budget] = a
+			ks = append(ks, e.Model.Budget)
+		}
+		a.entries++
+		if e.Diameter > a.maxDiam {
+			a.maxDiam = e.Diameter
+		}
+		if e.MaxDegree > a.maxDeg {
+			a.maxDeg = e.MaxDegree
+		}
+	}
+	sort.Ints(ks)
+	budget := stats.NewTable(
+		"Budget/diameter trade-off over certified budget-model equilibria (Ehsani et al.)",
+		"budget k", "equilibria", "max diameter", "max degree")
+	for _, k := range ks {
+		a := budgetDiam[k]
+		budget.Add(k, a.entries, a.maxDiam, a.maxDeg)
+	}
+
+	// Conjecture-14 evidence over swap equilibria: the certified corpus as
+	// the sample the E16 random families approximate.
+	conj := stats.NewTable(
+		"Conjecture 14 over swap-model equilibria: ε < 1/4 ⇒ diameter = O(lg n)",
+		"equilibria analyzed", "ε < 1/4 instances", "worst diameter/lg n", "consistent?")
+	analyzed, qualifying := 0, 0
+	worstRatio := 0.0
+	for i := range c.Entries {
+		e := &c.Entries[i]
+		if (e.Model.Name != "" && e.Model.Name != "swap") || e.Kind != KindEquilibrium {
+			continue
+		}
+		g, err := e.Graph()
+		if err != nil {
+			return nil, err
+		}
+		prof, err := uniformity.Analyze(g.AllPairsParallel(workers))
+		if err != nil {
+			continue
+		}
+		analyzed++
+		if prof.AlmostEpsilon < 0.25 {
+			qualifying++
+			if ratio := float64(prof.Diameter) / math.Log2(float64(e.N)); ratio > worstRatio {
+				worstRatio = ratio
+			}
+		}
+	}
+	conj.Add(analyzed, qualifying, worstRatio, boolMark(worstRatio < 4))
+	return []*stats.Table{perModel, budget, conj}, nil
+}
+
+// boolMark renders a boolean as the experiment tables do.
+func boolMark(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}

@@ -1,0 +1,148 @@
+package atlas
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/graphio"
+	"repro/internal/iso"
+)
+
+// VerifyEntry re-derives everything derivable about one entry — structure
+// metadata, social cost, both checker paths' verdicts and witnesses, and
+// the iso key (dedup must be the corpus-order Deduper fed all prior
+// entries) — then re-marshals the entry and compares it byte-for-byte with
+// the stored JSONL line. Any drift in a verdict, a witness, a cost, or a
+// derived field is an error naming the entry; a nil error certifies the
+// line is exactly what today's checker stack produces.
+func VerifyEntry(stored Entry, raw string, dedup *iso.Deduper, workers int) error {
+	g, err := stored.Graph()
+	if err != nil {
+		return fmt.Errorf("entry %s: %v", stored.ID, err)
+	}
+	re := Entry{
+		ID:         stored.ID,
+		Kind:       stored.Kind,
+		Source:     stored.Source,
+		Model:      stored.Model,
+		Objective:  stored.Objective,
+		StableOnly: stored.StableOnly,
+	}
+	if err := describe(&re, g, workers); err != nil {
+		return fmt.Errorf("entry %s: %v", stored.ID, err)
+	}
+	re.IsoKey, _ = dedup.Key(g)
+	verdict, err := Certify(g, re.Model, re.Objective, re.StableOnly, workers)
+	if err != nil {
+		return fmt.Errorf("entry %s: %v", stored.ID, err)
+	}
+	re.Stable = verdict.Stable
+	re.Witness = witnessDTO(verdict.Violation)
+	switch re.Kind {
+	case KindEquilibrium:
+		if !re.Stable {
+			return fmt.Errorf("entry %s: stored as equilibrium, now certifies unstable (%v)",
+				stored.ID, verdict.Violation)
+		}
+		re.Witness = nil // equilibria store no witness
+	case KindNearMiss:
+		if re.Stable {
+			return fmt.Errorf("entry %s: stored as near-miss, now certifies stable", stored.ID)
+		}
+	default:
+		return fmt.Errorf("entry %s: unknown kind %q", stored.ID, stored.Kind)
+	}
+	b, err := json.Marshal(&re)
+	if err != nil {
+		return err
+	}
+	if string(b) != raw {
+		return fmt.Errorf("entry %s: re-certified entry diverges from stored line\n  stored:   %s\n  recomputed: %s",
+			stored.ID, raw, b)
+	}
+	return nil
+}
+
+// Verify re-certifies every corpus entry in dir bit-for-bit (see
+// VerifyEntry), cross-checks the companion .s6 graph list against the
+// JSONL entries line-by-line, and enforces the corpus floor the regression
+// suite relies on: entries must be unique per CheckKey, IDs unique, and
+// kinds consistent. It returns the corpus on success.
+func Verify(dir string, workers int) (*Corpus, error) {
+	c, err := Read(dir)
+	if err != nil {
+		return nil, err
+	}
+	s6Raw, err := os.ReadFile(filepath.Join(dir, S6File))
+	if err != nil {
+		return nil, err
+	}
+	var s6Lines []string
+	for _, line := range strings.Split(string(s6Raw), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s6Lines = append(s6Lines, line)
+	}
+	if len(s6Lines) != len(c.Entries) {
+		return nil, fmt.Errorf("atlas: %s has %d graphs, %s has %d entries",
+			S6File, len(s6Lines), JSONLFile, len(c.Entries))
+	}
+	if _, err := graphio.ReadSparse6Lines(strings.NewReader(string(s6Raw))); err != nil {
+		return nil, err
+	}
+	dedup := iso.NewDeduper()
+	seenKeys := map[string]string{}
+	seenIDs := map[string]bool{}
+	for i := range c.Entries {
+		e := &c.Entries[i]
+		if s6Lines[i] != e.Sparse6 {
+			return nil, fmt.Errorf("atlas: entry %s: %s line %d is %q, JSONL sparse6 is %q",
+				e.ID, S6File, i+1, s6Lines[i], e.Sparse6)
+		}
+		if seenIDs[e.ID] {
+			return nil, fmt.Errorf("atlas: duplicate entry id %s", e.ID)
+		}
+		seenIDs[e.ID] = true
+		if err := VerifyEntry(*e, c.Raw[i], dedup, workers); err != nil {
+			return nil, fmt.Errorf("atlas: %w", err)
+		}
+		if prev, dup := seenKeys[e.CheckKey()]; dup {
+			return nil, fmt.Errorf("atlas: entries %s and %s duplicate check key %q", prev, e.ID, e.CheckKey())
+		}
+		seenKeys[e.CheckKey()] = e.ID
+	}
+	return c, nil
+}
+
+// Summary condenses a corpus for the CLI and the smoke gates.
+type Summary struct {
+	Entries, Equilibria, NearMisses int
+	Models                          map[string]int
+	Objectives                      map[string]int
+}
+
+// Summarize counts entries per kind, model, and objective.
+func Summarize(c *Corpus) Summary {
+	s := Summary{Models: map[string]int{}, Objectives: map[string]int{}}
+	for i := range c.Entries {
+		e := &c.Entries[i]
+		s.Entries++
+		if e.Kind == KindNearMiss {
+			s.NearMisses++
+		} else {
+			s.Equilibria++
+		}
+		name := e.Model.Name
+		if name == "" {
+			name = "swap"
+		}
+		s.Models[name]++
+		s.Objectives[e.Objective]++
+	}
+	return s
+}

@@ -1,0 +1,31 @@
+package experiments
+
+import (
+	"repro/internal/atlas"
+	"repro/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "E20",
+		Artifact: "Equilibrium structure at corpus scale (Nikoletseas et al.; Ehsani et al., arXiv:1111.0554; Conjecture 14)",
+		Title:    "Equilibrium atlas: hunted corpus structure tables across the model zoo",
+		Run:      runE20,
+	})
+}
+
+// runE20 runs the atlas hunt in memory (the same deterministic search
+// behind `bncg atlas hunt`; Quick selects the smoke-sized family set) and
+// renders its structure tables — the per-model equilibrium envelope
+// extending E18/E19 to corpus scale, the budget/diameter trade-off, and
+// the Conjecture-14 uniformity evidence over the swap equilibria. Every
+// tabulated row is a position certified through both checker paths.
+func runE20(cfg Config) ([]*stats.Table, error) {
+	c, err := atlas.Hunt(atlas.HuntConfig{
+		Seed: cfg.Seed, Workers: cfg.Workers, Quick: cfg.Quick,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return atlas.StatsTables(c, cfg.Workers)
+}

@@ -11,11 +11,11 @@ func quickCfg() Config {
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 19 {
-		t.Fatalf("registry has %d experiments, want 19", len(all))
+	if len(all) != 20 {
+		t.Fatalf("registry has %d experiments, want 20", len(all))
 	}
 	want := []string{"E1", "E10", "E11", "E12", "E13", "E14", "E15", "E16",
-		"E17", "E18", "E19", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
+		"E17", "E18", "E19", "E2", "E20", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
 	for i, e := range all {
 		if e.ID != want[i] {
 			t.Errorf("registry[%d] = %s, want %s", i, e.ID, want[i])

@@ -1,0 +1,56 @@
+package graphio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// WriteSparse6Lines writes one sparse6 line per graph — the standard .s6
+// multi-graph file format consumed by nauty/showg and friends. It is the
+// on-disk shape of the equilibrium atlas's graph corpus (one entry per
+// line, metadata carried separately).
+func WriteSparse6Lines(w io.Writer, graphs []*graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	for _, g := range graphs {
+		s, err := ToSparse6(g)
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(bw, s); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSparse6Lines parses a .s6 multi-graph file: one sparse6 string per
+// line. Blank lines and lines starting with '#' are ignored, and the
+// optional ">>sparse6<<" header emitted by some tools is tolerated (with or
+// without a trailing graph on the same line).
+func ReadSparse6Lines(r io.Reader) ([]*graph.Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	var out []*graph.Graph
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		line = strings.TrimPrefix(line, ">>sparse6<<")
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		g, err := FromSparse6(line)
+		if err != nil {
+			return nil, fmt.Errorf("graphio: sparse6 line %d: %v", lineNo, err)
+		}
+		out = append(out, g)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,84 @@
+package graphio
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func lineGraphs(t *testing.T) []*graph.Graph {
+	t.Helper()
+	star := graph.New(5)
+	for v := 1; v < 5; v++ {
+		star.AddEdge(0, v)
+	}
+	cycle := graph.New(6)
+	for v := 0; v < 6; v++ {
+		cycle.AddEdge(v, (v+1)%6)
+	}
+	return []*graph.Graph{star, cycle, graph.New(3)}
+}
+
+// TestSparse6LinesRoundTrip pins the .s6 multi-graph file shape the atlas
+// corpus checks in: write → read reproduces every graph in order.
+func TestSparse6LinesRoundTrip(t *testing.T) {
+	graphs := lineGraphs(t)
+	var sb strings.Builder
+	if err := WriteSparse6Lines(&sb, graphs); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if got := strings.Count(sb.String(), "\n"); got != len(graphs) {
+		t.Fatalf("wrote %d lines for %d graphs", got, len(graphs))
+	}
+	back, err := ReadSparse6Lines(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if len(back) != len(graphs) {
+		t.Fatalf("read %d graphs, wrote %d", len(back), len(graphs))
+	}
+	for i, g := range graphs {
+		if !back[i].Equal(g) {
+			t.Errorf("graph %d changed across the round trip", i)
+		}
+	}
+}
+
+// TestReadSparse6LinesTolerance covers the accepted decorations: comments,
+// blank lines, and the optional >>sparse6<< header with and without an
+// inline graph.
+func TestReadSparse6LinesTolerance(t *testing.T) {
+	graphs := lineGraphs(t)
+	var sb strings.Builder
+	if err := WriteSparse6Lines(&sb, graphs); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(strings.TrimSuffix(sb.String(), "\n"), "\n")
+	decorated := "# corpus comment\n\n>>sparse6<<\n" + lines[0] +
+		"# mid-file comment\n>>sparse6<<" + strings.Join(lines[1:], "")
+	back, err := ReadSparse6Lines(strings.NewReader(decorated))
+	if err != nil {
+		t.Fatalf("read decorated: %v", err)
+	}
+	if len(back) != len(graphs) {
+		t.Fatalf("read %d graphs from decorated file, want %d", len(back), len(graphs))
+	}
+	for i, g := range graphs {
+		if !back[i].Equal(g) {
+			t.Errorf("graph %d changed through decorations", i)
+		}
+	}
+}
+
+// TestReadSparse6LinesBadLine pins the error contract: a malformed line
+// fails with its line number rather than being skipped.
+func TestReadSparse6LinesBadLine(t *testing.T) {
+	_, err := ReadSparse6Lines(strings.NewReader("# header\n:not-a-graph!!\n"))
+	if err == nil {
+		t.Fatal("malformed sparse6 line accepted")
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error %q does not name the offending line", err)
+	}
+}

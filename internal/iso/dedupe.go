@@ -1,0 +1,63 @@
+package iso
+
+import (
+	"strconv"
+
+	"repro/internal/graph"
+)
+
+// Deduper assigns stable isomorphism-class keys to a stream of graphs: two
+// graphs receive the same key iff they are isomorphic. Certificates are the
+// first filter (exact for n <= MaxExactN, the color-refinement invariant
+// beyond), with certificate collisions resolved exactly by Isomorphic, so
+// keys are collision-free even where the refinement invariant is not. The
+// equilibrium atlas uses it to dedupe hunt hits and as the canonical half
+// of every corpus entry's identity.
+//
+// Keys are "<certificate>" for the first class seen under a certificate and
+// "<certificate>#<i>" for the i-th distinct non-isomorphic class colliding
+// on it, in order of first appearance. A Deduper fed the same graphs in the
+// same order therefore produces the same keys, which the corpus format
+// relies on; feeding orders that differ may permute the #i suffixes of
+// colliding classes (certificate collisions are rare — refinement separates
+// almost all graphs this library produces).
+type Deduper struct {
+	buckets map[string][]*graph.Graph
+}
+
+// NewDeduper returns an empty Deduper.
+func NewDeduper() *Deduper {
+	return &Deduper{buckets: map[string][]*graph.Graph{}}
+}
+
+// Key returns g's isomorphism-class key, registering a new class when g is
+// not isomorphic to any previously keyed graph. fresh reports whether the
+// class is new. The Deduper keeps a reference to one representative per
+// class; callers must not mutate graphs after keying them.
+func (d *Deduper) Key(g *graph.Graph) (key string, fresh bool) {
+	cert := Certificate(g)
+	reps := d.buckets[cert]
+	for i, rep := range reps {
+		if Isomorphic(rep, g) {
+			return suffixed(cert, i), false
+		}
+	}
+	d.buckets[cert] = append(reps, g)
+	return suffixed(cert, len(reps)), true
+}
+
+// Classes returns the number of distinct isomorphism classes seen.
+func (d *Deduper) Classes() int {
+	total := 0
+	for _, reps := range d.buckets {
+		total += len(reps)
+	}
+	return total
+}
+
+func suffixed(cert string, i int) string {
+	if i == 0 {
+		return cert
+	}
+	return cert + "#" + strconv.Itoa(i)
+}

@@ -147,6 +147,11 @@ type LoadOptions struct {
 	Rounds int
 	// Seed drives Corpus (default 1).
 	Seed int64
+	// Extra scenarios are replayed alongside the built-in corpus and
+	// verified the same way (bit-identical to the one-shot path). The CLI
+	// seeds these from the checked-in equilibrium atlas (internal/atlas),
+	// widening scenario diversity far beyond the hardcoded mix.
+	Extra []Scenario
 	// Timeout bounds each HTTP request (default 60s).
 	Timeout time.Duration
 }
@@ -189,7 +194,7 @@ type LoadReport struct {
 // where a warm verdict LRU shows up as a nonzero hit rate.
 func RunLoad(ctx context.Context, baseURL string, opts LoadOptions) (*LoadReport, error) {
 	opts = opts.withDefaults()
-	corpus := Corpus(opts.Seed)
+	corpus := append(Corpus(opts.Seed), opts.Extra...)
 
 	// Reference answers, computed once through the direct path.
 	reference := NewServer(Config{CacheSize: -1, DefaultTimeout: -1})
