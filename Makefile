@@ -62,14 +62,19 @@ fuzz:
 # End-to-end CLI smoke of every deviation model (mirrors the CI step),
 # then the service load harness: k concurrent clients replay the mixed
 # corpus against an in-process server and every verdict is compared
-# bit-for-bit with the direct engine path.
+# bit-for-bit with the direct engine path. The -dup pass fires all clients
+# simultaneously per scenario and fails unless the coalescer holds
+# certifications to one per distinct key. The streamed dynamics run
+# exercises the NDJSON move feed end to end.
 smoke:
 	$(GO) run ./cmd/bncg dynamics -n 24 -model swap -policy first -workers 2
 	$(GO) run ./cmd/bncg dynamics -n 24 -model greedy -edgecost 3 -policy best -workers 2
 	$(GO) run ./cmd/bncg dynamics -n 24 -model interests -policy random -seed 3 -workers 2
 	$(GO) run ./cmd/bncg dynamics -n 24 -model budget -budget 3 -policy best -workers 2
 	$(GO) run ./cmd/bncg dynamics -n 24 -model 2nb -policy first -seed 2 -workers 2
+	$(GO) run ./cmd/bncg dynamics -n 24 -model swap -policy best -stream -workers 2
 	$(GO) run ./cmd/bncg load -k 8 -rounds 2
+	$(GO) run ./cmd/bncg load -k 8 -dup
 
 # Atlas smoke (mirrors the CI step): a quick deterministic hunt into a
 # scratch directory must itself pass the bit-for-bit verify gate, and the

@@ -282,6 +282,7 @@ func cmdDynamics(args []string) error {
 	workers := fs.Int("workers", 0, "pricing workers for every policy, including the random policy's certification sweeps (0 = all cores; trajectories are identical for any count)")
 	batched := fs.Bool("batched", false, "certification sweeps via the batched cross-agent pass, with shared rows persisted in the session's row cache across sweeps (identical trajectories; trades O(n²) resident memory for fewer BFS; every BFS-priced model has one, greedy included — only 2nb and naive oracles fall back per agent, reported as batched=fallback)")
 	trace := fs.Bool("trace", false, "print every applied move")
+	stream := fs.Bool("stream", false, "run over the streaming endpoint, printing moves as they are applied (NDJSON /v1/dynamics/stream when -server is set)")
 	server := fs.String("server", "", "base URL of a running `bncg serve` to run on; empty runs the identical code path in process")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -329,15 +330,32 @@ func cmdDynamics(args []string) error {
 	// DTOs and the same engine path as `bncg serve`. Certify asks the
 	// server for a fresh one-shot stability check of the final graph.
 	api := newAPI(*server, *workers)
-	res, err := api.Dynamics(context.Background(), serve.DynamicsRequest{
+	req := serve.DynamicsRequest{
 		Graph: dto, Model: mdto, Objective: objective, Policy: *policy,
 		Seed: *seed, Batched: *batched, Workers: *workers,
 		Trace: *trace, Certify: true,
-	})
+	}
+	var res *serve.DynamicsResponse
+	if *stream {
+		// The streaming path prints moves as the run applies them, so a
+		// long convergence shows progress instead of a silent wait.
+		res, err = api.DynamicsStream(context.Background(), req, func(ev serve.StreamEvent) error {
+			switch ev.Event {
+			case serve.StreamMove:
+				fmt.Printf("move %3d: %v cost %d→%d\n",
+					ev.Move.MoveRank, ev.Move.Move.Move(), ev.Move.OldCost, ev.Move.NewCost)
+			case serve.StreamHeartbeat:
+				fmt.Fprintf(os.Stderr, "… %d moves, %.1fs\n", ev.Moves, float64(ev.ElapsedMS)/1000)
+			}
+			return nil
+		})
+	} else {
+		res, err = api.Dynamics(context.Background(), req)
+	}
 	if err != nil {
 		return err
 	}
-	if *trace {
+	if *trace && !*stream {
 		for _, e := range res.Trace {
 			fmt.Printf("move %3d: %v cost %d→%d\n", e.MoveRank, e.Move.Move(), e.OldCost, e.NewCost)
 		}

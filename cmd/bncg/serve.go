@@ -26,11 +26,17 @@ func newAPI(serverURL string, workers int) serve.API {
 	if serverURL != "" {
 		return serve.NewClient(serverURL)
 	}
-	return serve.NewServer(serve.Config{
+	srv, err := serve.NewServer(serve.Config{
 		CacheSize:      -1, // one-shot runs gain nothing from a verdict LRU
 		MaxWorkers:     workers,
 		DefaultTimeout: -1,
 	})
+	if err != nil {
+		// Unreachable: only a configured store path can fail, and the
+		// in-process one-shot config never sets one.
+		panic(err)
+	}
+	return srv
 }
 
 // modelDTOFromFlags resolves the -model / -edgecost / -interests / -budget
@@ -79,21 +85,37 @@ func cmdServe(args []string) error {
 	maxMoves := fs.Int("maxmoves", 0, "dynamics move-budget ceiling (0 = default 100000)")
 	workers := fs.Int("workers", 0, "per-request pricing-worker cap and default (0 = all cores)")
 	timeout := fs.Duration("timeout", 0, "default per-request deadline (0 = 30s, negative = none)")
+	store := fs.String("store", "", "persistent verdict store: JSONL journal path, replayed at boot and appended on every certification (empty disables)")
+	storeSeed := fs.String("storeseed", "", "warm-start the store from an atlas corpus (atlas.jsonl file or its directory; read-only)")
+	storeFsync := fs.Int("storefsync", 0, "journal fsync policy: 0 every append, N every Nth, negative never")
+	storeMax := fs.Int64("storemax", 0, "compact the journal past this many bytes (0 = never)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	srv := serve.NewServer(serve.Config{
-		Addr:           *addr,
-		PoolSize:       *pool,
-		CacheSize:      *cacheSize,
-		MaxN:           *maxN,
-		MaxMoves:       *maxMoves,
-		MaxWorkers:     *workers,
-		DefaultTimeout: *timeout,
+	srv, err := serve.NewServer(serve.Config{
+		Addr:            *addr,
+		PoolSize:        *pool,
+		CacheSize:       *cacheSize,
+		MaxN:            *maxN,
+		MaxMoves:        *maxMoves,
+		MaxWorkers:      *workers,
+		DefaultTimeout:  *timeout,
+		StorePath:       *store,
+		StoreSeed:       *storeSeed,
+		StoreFsyncEvery: *storeFsync,
+		StoreMaxBytes:   *storeMax,
 	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
 	cfg := srv.Config()
 	fmt.Fprintf(os.Stderr, "bncg serve: listening on %s (pool=%d cache=%d maxn=%d workers=%d)\n",
 		cfg.Addr, cfg.PoolSize, cfg.CacheSize, cfg.MaxN, cfg.MaxWorkers)
+	if cfg.StorePath != "" {
+		fmt.Fprintf(os.Stderr, "bncg serve: verdict store at %s (%d verdicts warm)\n",
+			cfg.StorePath, srv.Stats().Store.Entries)
+	}
 	return srv.ListenAndServe()
 }
 
@@ -106,6 +128,7 @@ func cmdLoad(args []string) error {
 	atlasDir := fs.String("atlas", "testdata/atlas", "equilibrium-atlas corpus directory to seed extra scenarios from (empty disables; a missing directory is skipped with a notice)")
 	atlasMax := fs.Int("atlasmax", 48, "max atlas scenarios to replay (<= 0 replays the whole corpus)")
 	jsonOut := fs.Bool("json", false, "emit the full report as JSON")
+	dup := fs.Bool("dup", false, "duplicate-heavy mode: all clients fire identical requests simultaneously per scenario, reporting the coalescing rate")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -129,16 +152,40 @@ func cmdLoad(args []string) error {
 		if err != nil {
 			return err
 		}
-		hs := &http.Server{Handler: serve.NewServer(serve.Config{}).Handler()}
+		srv, err := serve.NewServer(serve.Config{})
+		if err != nil {
+			return err
+		}
+		hs := &http.Server{Handler: srv.Handler()}
 		go hs.Serve(ln)
 		defer hs.Close()
 		baseURL = "http://" + ln.Addr().String()
 		fmt.Fprintf(os.Stderr, "bncg load: booted in-process server at %s\n", baseURL)
 	}
 
-	report, err := serve.RunLoad(context.Background(), baseURL, serve.LoadOptions{
-		Clients: *k, Rounds: *rounds, Seed: *seed, Extra: extra,
-	})
+	opts := serve.LoadOptions{Clients: *k, Rounds: *rounds, Seed: *seed, Extra: extra}
+	if *dup {
+		report, err := serve.RunDuplicateLoad(context.Background(), baseURL, opts)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(report); err != nil {
+				return err
+			}
+		} else {
+			printDuplicateReport(report)
+		}
+		if len(report.Failures) > 0 {
+			return fmt.Errorf("load -dup: %d of %d responses failed or diverged from the one-shot path",
+				len(report.Failures), report.Requests)
+		}
+		return nil
+	}
+
+	report, err := serve.RunLoad(context.Background(), baseURL, opts)
 	if err != nil {
 		return err
 	}
@@ -158,6 +205,20 @@ func cmdLoad(args []string) error {
 	return nil
 }
 
+func printDuplicateReport(r *serve.DuplicateReport) {
+	rps := float64(r.Requests) / (float64(r.DurationMS) / 1000)
+	fmt.Printf("load -dup: %d clients × %d distinct scenarios, %d requests in %v (%.0f req/s), %d failures\n",
+		r.Clients, r.Scenarios, r.Requests, r.Duration.Round(time.Millisecond), rps, len(r.Failures))
+	fmt.Printf("  coalescing    %d leaders, %d coalesced (rate %.1f%%)\n",
+		r.Leaders, r.Coalesced, 100*r.CoalesceRate)
+	c := r.Stats.Cache
+	fmt.Printf("  verdict LRU   %d hits / %d misses (hit rate %.1f%%), %d entries\n",
+		c.Hits, c.Misses, 100*c.HitRate, c.Entries)
+	for _, f := range r.Failures {
+		fmt.Printf("  FAIL %s\n", f)
+	}
+}
+
 func printLoadReport(r *serve.LoadReport) {
 	rps := float64(r.Requests) / (float64(r.DurationMS) / 1000)
 	fmt.Printf("load: %d clients × %d rounds, %d requests in %v (%.0f req/s), %d failures\n",
@@ -169,12 +230,20 @@ func printLoadReport(r *serve.LoadReport) {
 	sort.Strings(names)
 	for _, name := range names {
 		ep := r.Stats.Endpoints[name]
-		fmt.Printf("  %-13s %5d requests  %3d errors  mean %7.2fms  max %7.2fms\n",
+		fmt.Printf("  %-15s %5d requests  %3d errors  mean %7.2fms  max %7.2fms\n",
 			name, ep.Requests, ep.Errors, ep.MeanLatencyMS, ep.MaxLatencyMS)
 	}
 	c := r.Stats.Cache
 	fmt.Printf("  verdict LRU   %d hits / %d misses (hit rate %.1f%%), %d entries\n",
 		c.Hits, c.Misses, 100*c.HitRate, c.Entries)
+	co := r.Stats.Coalesce
+	if co.Leaders+co.Coalesced > 0 {
+		fmt.Printf("  coalescing    %d leaders, %d coalesced (rate %.1f%%)\n",
+			co.Leaders, co.Coalesced, 100*co.Rate)
+	}
+	if st := r.Stats.Store; st != nil {
+		fmt.Printf("  verdict store %d hits, %d appends, %d entries\n", st.Hits, st.Appends, st.Entries)
+	}
 	for _, f := range r.Failures {
 		fmt.Printf("  FAIL %s\n", f)
 	}

@@ -45,30 +45,20 @@ const (
 // derived structure metadata. Field order is the canonical JSONL rendering
 // order — Verify re-marshals recomputed entries and compares bytes, so the
 // stored lines pin verdicts, witnesses, and metadata bit-for-bit.
+//
+// The certification prefix — graph, check spec, verdict — is the
+// service's persistent-store line (serve.StoreEntry), embedded so the two
+// schemas stay in lockstep and a checked-in corpus parses directly as a
+// verdict-store seed. Atlas entries use their own vocabulary inside it:
+// ID is "eq-0001"/"nm-0001"-style, Kind is KindEquilibrium or
+// KindNearMiss, Source records how the hunt found the graph
+// ("family:star8", "trees-exhaustive:n6", "dynamics:best",
+// "perturbed:eq-0004"), and Witness is set for near-misses only. The
+// store-only Batched / BatchedRan bits are never set (the corpus pins the
+// per-agent path), so their omitempty tags keep the corpus rendering
+// byte-identical to the pre-embedding layout.
 type Entry struct {
-	// ID is the stable corpus identifier ("eq-0001", "nm-0001", ...).
-	ID string `json:"id"`
-	// Kind is KindEquilibrium or KindNearMiss.
-	Kind string `json:"kind"`
-	// Source records how the hunt found the graph ("family:star8",
-	// "trees-exhaustive:n6", "dynamics:best", "perturbed:eq-0004").
-	Source string `json:"source"`
-	// Sparse6 is the graph (graphio sparse6 encoding).
-	Sparse6 string `json:"sparse6"`
-	// Model selects the deviation model, in the service's wire shape so
-	// corpus entries replay through serve unchanged.
-	Model serve.ModelDTO `json:"model"`
-	// Objective is "sum" or "max".
-	Objective string `json:"objective"`
-	// StableOnly mirrors core.CheckSpec.StableOnly (swap max only: the
-	// no-improving-move half without deletion criticality).
-	StableOnly bool `json:"stable_only,omitempty"`
-	// Stable is the certified verdict: true for equilibria, false for
-	// near-misses.
-	Stable bool `json:"stable"`
-	// Witness is the violation witness (near-misses only), in the
-	// service's wire shape.
-	Witness *serve.ViolationDTO `json:"witness,omitempty"`
+	serve.StoreEntry
 	// IsoKey is the graph's isomorphism-class key under the corpus
 	// Deduper, fed entries in corpus order (see iso.Deduper).
 	IsoKey string `json:"iso_key"`

@@ -110,13 +110,13 @@ func (h *hunter) record(g *graph.Graph, ck check, source string, wantStable bool
 	if h.lastErr != nil || g.N() < 3 || !g.IsConnected() {
 		return false
 	}
-	e := Entry{
+	e := Entry{StoreEntry: serve.StoreEntry{
 		Kind:       KindEquilibrium,
 		Source:     source,
 		Model:      ck.model(g.N()),
 		Objective:  ck.objective,
 		StableOnly: ck.stableOnly,
-	}
+	}}
 	if err := describe(&e, g, h.cfg.Workers); err != nil {
 		h.lastErr = err
 		return false

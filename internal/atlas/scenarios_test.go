@@ -35,7 +35,11 @@ func TestLoadReplaysAtlasScenarios(t *testing.T) {
 		}
 	}
 
-	hs := httptest.NewServer(serve.NewServer(serve.Config{}).Handler())
+	srv, err := serve.NewServer(serve.Config{})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	hs := httptest.NewServer(srv.Handler())
 	defer hs.Close()
 	report, err := serve.RunLoad(context.Background(), hs.URL, serve.LoadOptions{
 		Clients: 2, Rounds: 2, Extra: extra,

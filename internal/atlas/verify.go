@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/graphio"
 	"repro/internal/iso"
+	"repro/internal/serve"
 )
 
 // VerifyEntry re-derives everything derivable about one entry — structure
@@ -23,14 +24,14 @@ func VerifyEntry(stored Entry, raw string, dedup *iso.Deduper, workers int) erro
 	if err != nil {
 		return fmt.Errorf("entry %s: %v", stored.ID, err)
 	}
-	re := Entry{
+	re := Entry{StoreEntry: serve.StoreEntry{
 		ID:         stored.ID,
 		Kind:       stored.Kind,
 		Source:     stored.Source,
 		Model:      stored.Model,
 		Objective:  stored.Objective,
 		StableOnly: stored.StableOnly,
-	}
+	}}
 	if err := describe(&re, g, workers); err != nil {
 		return fmt.Errorf("entry %s: %v", stored.ID, err)
 	}

@@ -114,6 +114,11 @@ type Spec struct {
 	PatienceFactor int
 	// Trace records every applied move when true.
 	Trace bool
+	// OnMove, when non-nil, is called synchronously with each applied
+	// move's trace entry, in application order, whether or not Trace is
+	// set. It observes the same entries Trace would record; the callback
+	// runs on the dynamics goroutine, so a slow observer slows the run.
+	OnMove func(TraceEntry)
 }
 
 // Options is the historical flat configuration of a dynamics run.
@@ -336,12 +341,18 @@ func drive(ctx context.Context, inst game.Instance, opt Spec) (*Result, error) {
 func applyAndRecord(inst game.Instance, m core.Move, oldCost, newCost int64, opt Spec, res *Result) {
 	inst.Apply(m)
 	res.Moves++
-	if opt.Trace {
-		res.Trace = append(res.Trace, TraceEntry{
+	if opt.Trace || opt.OnMove != nil {
+		entry := TraceEntry{
 			Move: m, OldCost: oldCost, NewCost: newCost,
 			SocialCost: inst.SocialCost(opt.Objective),
 			MoveRank:   res.Moves,
-		})
+		}
+		if opt.Trace {
+			res.Trace = append(res.Trace, entry)
+		}
+		if opt.OnMove != nil {
+			opt.OnMove(entry)
+		}
 	}
 }
 

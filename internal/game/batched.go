@@ -115,6 +115,7 @@ func scanAddMajorBatched(eng *pricing.Engine, view pricing.Snapshot, ps *pricing
 		Skip: func(add int) bool {
 			return add == v || (skipAdd != nil && skipAdd(add))
 		},
+		Cancel: ps.CancelHook(),
 	}
 	pricer := func(ws bfsRow, add int, threshold func() int64, yield func(int, int64) bool) {
 		shared := rows(add)
@@ -321,6 +322,7 @@ func (s *greedySession) scanMovesBatched(v int, obj Objective, rows rowLookup, f
 			Threshold: bestCost,
 			Order:     scan.ByEnumeration,
 			Skip:      skipKnown,
+			Cancel:    psc.CancelHook(),
 		}
 		var c scan.Cand
 		var found bool

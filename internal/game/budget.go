@@ -93,6 +93,10 @@ type budgetSession struct {
 
 func (s *budgetSession) Graph() *graph.Graph { return s.g }
 
+// SetScanCancel installs a cooperative cancel hook on the session's
+// per-agent scans (see ScanCanceller).
+func (s *budgetSession) SetScanCancel(cancel func() bool) { s.ps.SetCancel(cancel) }
+
 func (s *budgetSession) Cost(v int, obj Objective) int64 {
 	dist, queue, release := s.eng.Scratch(s.ps.N())
 	defer release()

@@ -107,6 +107,10 @@ type greedySession struct {
 
 func (s *greedySession) Graph() *graph.Graph { return s.g }
 
+// SetScanCancel installs a cooperative cancel hook on the session's
+// per-agent scans (see ScanCanceller).
+func (s *greedySession) SetScanCancel(cancel func() bool) { s.ps.SetCancel(cancel) }
+
 func (s *greedySession) Cost(v int, obj Objective) int64 {
 	dist, queue, release := s.eng.Scratch(s.ps.N())
 	defer release()
@@ -168,6 +172,7 @@ func (s *greedySession) scanMoves(v int, obj Objective, firstOnly bool) (best Mo
 			Threshold: bestCost,
 			Order:     scan.ByEnumeration,
 			Skip:      skipKnown,
+			Cancel:    psc.CancelHook(),
 		}
 		var c scan.Cand
 		var found bool

@@ -147,6 +147,10 @@ type interestsSession struct {
 
 func (s *interestsSession) Graph() *graph.Graph { return s.g }
 
+// SetScanCancel installs a cooperative cancel hook on the session's
+// per-agent scans (see ScanCanceller).
+func (s *interestsSession) SetScanCancel(cancel func() bool) { s.ps.SetCancel(cancel) }
+
 func (s *interestsSession) Cost(v int, obj Objective) int64 {
 	dist, queue, release := s.eng.Scratch(s.ps.N())
 	defer release()

@@ -54,6 +54,7 @@ func scanAddMajor(eng *pricing.Engine, view pricing.Snapshot, ps *pricing.Scan,
 		Skip: func(add int) bool {
 			return add == v || (skipAdd != nil && skipAdd(add))
 		},
+		Cancel: ps.CancelHook(),
 	}
 	pricer := func(ws bfsRow, add int, threshold func() int64, yield func(int, int64) bool) {
 		view.BFSSkipVertex(add, v, ws.dist, ws.queue)

@@ -209,6 +209,10 @@ func NewSwapSession(g *graph.Graph, workers int) *SwapSession {
 // desynchronizes the session; route moves through Apply.
 func (s *SwapSession) Graph() *graph.Graph { return s.g }
 
+// SetScanCancel installs a cooperative cancel hook on the session's
+// per-agent scans (see ScanCanceller).
+func (s *SwapSession) SetScanCancel(cancel func() bool) { s.ps.SetCancel(cancel) }
+
 // Workers returns the session's pricing parallelism.
 func (s *SwapSession) Workers() int { return s.workers }
 

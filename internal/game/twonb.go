@@ -87,6 +87,10 @@ type twoNBSession struct {
 
 func (s *twoNBSession) Graph() *graph.Graph { return s.g }
 
+// SetScanCancel installs a cooperative cancel hook on the session's
+// per-agent scans (see ScanCanceller).
+func (s *twoNBSession) SetScanCancel(cancel func() bool) { s.ps.SetCancel(cancel) }
+
 func (s *twoNBSession) ensureScratch() {
 	if s.cnt == nil {
 		s.cnt = make([]int32, s.ps.N())
@@ -195,6 +199,7 @@ func (s *twoNBSession) scanMoves(v int, firstOnly bool) (Move, int64, int64, boo
 		Threshold: cur,
 		Order:     scan.ByEnumeration,
 		Skip:      func(add int) bool { return add == v },
+		Cancel:    s.ps.CancelHook(),
 	}
 	state := func() (struct{}, func()) { return struct{}{}, func() {} }
 	pricer := func(_ struct{}, add int, threshold func() int64, yield func(int, int64) bool) {

@@ -153,11 +153,12 @@ type Scan struct {
 	e        *Engine
 	f        Snapshot
 	v        int
-	drops    []int32   // dropped-edge endpoints, ascending
-	cur      []int32   // d_G(v,·)
-	dropRows [][]int32 // dropRows[i] = d_{G−v·drops[i]}(v,·)
-	sess     *Session  // issuing session, nil for one-shot scans
-	gen      uint64    // session generation at build time
+	drops    []int32     // dropped-edge endpoints, ascending
+	cur      []int32     // d_G(v,·)
+	dropRows [][]int32   // dropRows[i] = d_{G−v·drops[i]}(v,·)
+	sess     *Session    // issuing session, nil for one-shot scans
+	gen      uint64      // session generation at build time
+	cancel   func() bool // cooperative cancel hook, see Session.SetCancel
 }
 
 // NewScan prepares pricing state for deviator v with every incident edge as
@@ -291,8 +292,16 @@ func (s *Scan) spec(ord scan.Order, threshold int64, skipAdjacent bool) scan.Spe
 		Skip: func(add int) bool {
 			return add == s.v || (skipAdjacent && s.f.HasEdge(s.v, add))
 		},
+		Cancel: s.cancel,
 	}
 }
+
+// SetCancel installs a cooperative cancel hook on this scan (see
+// Session.SetCancel); scans issued by a session inherit the session's hook.
+func (s *Scan) SetCancel(cancel func() bool) { s.cancel = cancel }
+
+// CancelHook returns the scan's cancel hook (nil when none).
+func (s *Scan) CancelHook() func() bool { return s.cancel }
 
 // state lends the engine's pooled BFS scratch to the scan engine as its
 // per-worker state.

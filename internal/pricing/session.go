@@ -20,11 +20,12 @@ import (
 // safe for concurrent mutation; concurrent reads (sharded scans) between
 // mutations are safe.
 type Session struct {
-	e    *Engine
-	d    *graph.Dyn
-	gen  uint64
-	undo []sessionOp
-	rows *RowCache // shared-row cache, created lazily by RowCache()
+	e      *Engine
+	d      *graph.Dyn
+	gen    uint64
+	undo   []sessionOp
+	rows   *RowCache   // shared-row cache, created lazily by RowCache()
+	cancel func() bool // cooperative scan-cancel hook, see SetCancel
 }
 
 // sessionOp records one applied mutation for Undo. added/removed record
@@ -191,14 +192,29 @@ func (s *Session) RowCacheStats() (recomputed, invalidated uint64, attached bool
 // until the session's next mutation.
 func (s *Session) NewScan(v int) *Scan {
 	sc := s.e.NewScan(s.d, v)
-	sc.sess, sc.gen = s, s.gen
+	sc.sess, sc.gen, sc.cancel = s, s.gen, s.cancel
 	return sc
 }
+
+// SetCancel installs a cooperative cancel hook on every Scan the session
+// issues from now on: the unified scan engine polls it between candidate
+// endpoints (one poll per endpoint BFS, never inside one) and stops
+// enumerating once it returns true. A cancelled scan's result is
+// unspecified; the installer must check its own cancellation source after
+// the scan and discard the result on expiry. nil uninstalls. The hook must
+// be cheap and safe for concurrent calls (the serve layer installs an
+// atomic-flag-guarded ctx.Err poll, the pattern batchRows uses).
+func (s *Session) SetCancel(cancel func() bool) { s.cancel = cancel }
+
+// CancelHook returns the installed cancel hook (nil when none), so
+// higher-layer scans that assemble their own scan.Spec — the game layer's
+// add-major and staged scans — can honor the same hook.
+func (s *Session) CancelHook() func() bool { return s.cancel }
 
 // NewScanDrops is NewScan restricted to the given dropped-edge endpoints
 // (ascending neighbors of v).
 func (s *Session) NewScanDrops(v int, drops []int32) *Scan {
 	sc := s.e.NewScanDrops(s.d, v, drops)
-	sc.sess, sc.gen = s, s.gen
+	sc.sess, sc.gen, sc.cancel = s, s.gen, s.cancel
 	return sc
 }

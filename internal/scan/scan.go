@@ -109,6 +109,14 @@ type Spec struct {
 	// Skip filters endpoints before any pricing work is paid (nil skips
 	// nothing). It must be safe for concurrent calls.
 	Skip func(add int) bool
+	// Cancel, when non-nil, is polled once per candidate endpoint — between
+	// pricing units, never inside one — and a true return makes every chunk
+	// stop enumerating. A cancelled scan's result is unspecified (it may be
+	// partial or absent); callers that install Cancel must check their own
+	// cancellation source after the scan and discard the result on expiry.
+	// It must be safe for concurrent calls and cheap (it rides the hot
+	// loop); the serve layer installs an atomic-flag-guarded ctx.Err poll.
+	Cancel func() bool
 }
 
 // Pricer prices the drop slots of one candidate endpoint using per-worker
@@ -167,6 +175,9 @@ func First[S any](spec Spec, state func() (S, func()), price Pricer[S]) (Cand, b
 			if int64(add) > bestAdd.Load() {
 				return
 			}
+			if spec.Cancel != nil && spec.Cancel() {
+				return
+			}
 			if spec.Skip != nil && spec.Skip(add) {
 				continue
 			}
@@ -223,6 +234,9 @@ func Best[S any](spec Spec, state func() (S, func()), price Pricer[S]) (Cand, bo
 			return true
 		}
 		for add := lo; add < hi; add++ {
+			if spec.Cancel != nil && spec.Cancel() {
+				break
+			}
 			if spec.Skip != nil && spec.Skip(add) {
 				continue
 			}

@@ -298,8 +298,16 @@ type CheckResponse struct {
 	N int `json:"n"`
 	M int `json:"m"`
 	VerdictDTO
-	// Cached reports that the verdict was served from the LRU.
+	// Cached reports that the verdict was served without a fresh
+	// certification (from the LRU, or from the persistent store).
 	Cached bool `json:"cached,omitempty"`
+	// Stored reports that the verdict came from the persistent store's
+	// index rather than the in-memory LRU (Cached is also set).
+	Stored bool `json:"stored,omitempty"`
+	// Coalesced reports that this request shared a concurrent identical
+	// request's certification instead of running its own (it was a
+	// follower of a coalesced flight).
+	Coalesced bool `json:"coalesced,omitempty"`
 }
 
 // BestResponseRequest asks for one agent's cost-minimizing move.

@@ -18,6 +18,10 @@ type API interface {
 	Check(ctx context.Context, req CheckRequest) (*CheckResponse, error)
 	BestResponse(ctx context.Context, req BestResponseRequest) (*BestResponseResponse, error)
 	Dynamics(ctx context.Context, req DynamicsRequest) (*DynamicsResponse, error)
+	// DynamicsStream is Dynamics with incremental delivery: onEvent
+	// observes start/move/heartbeat events in order and the terminal
+	// result or error (see StreamEvent).
+	DynamicsStream(ctx context.Context, req DynamicsRequest, onEvent func(StreamEvent) error) (*DynamicsResponse, error)
 }
 
 var (

@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// coalescer deduplicates concurrent identical check requests: the first
+// request for a key becomes the leader and runs the computation; requests
+// arriving for the same key while the leader is in flight become followers
+// that park on the leader's completion instead of burning a session slot
+// on a duplicate certification. Keys are the verdict-cache key extended
+// with the exact labeled sparse6, so only requests the cache itself would
+// treat as identical ever share a result — the same soundness rule that
+// keeps certificate-colliding labeled graphs apart in the LRU keeps them
+// apart here.
+//
+// Followers honor their own deadlines: a follower whose context expires
+// before the leader finishes gets its own context error (504 on the wire)
+// without disturbing the flight. A leader's failure propagates to every
+// follower of that flight; the next request for the key starts a fresh
+// flight.
+type coalescer struct {
+	mu      sync.Mutex
+	flights map[string]*flight
+	// waiting counts currently parked followers (test observability: the
+	// storm test holds the leader until every follower is parked).
+	waiting atomic.Int64
+}
+
+// flight is one in-progress computation. done is closed after resp/err
+// are set and the flight is unregistered, so late arrivals start fresh
+// flights rather than joining a completed one.
+type flight struct {
+	done chan struct{}
+	resp *CheckResponse
+	err  error
+}
+
+func newCoalescer() *coalescer {
+	return &coalescer{flights: make(map[string]*flight)}
+}
+
+// do runs fn once per in-flight key. The first caller (the leader) runs
+// fn and reports led=true; concurrent callers with the same key park on
+// the leader's flight and receive a copy of its result with led=false.
+// fn is responsible for its own caching side effects; do guarantees it is
+// not invoked twice for one flight.
+func (c *coalescer) do(ctx context.Context, key string, fn func() (*CheckResponse, error)) (resp *CheckResponse, led bool, err error) {
+	c.mu.Lock()
+	if f, ok := c.flights[key]; ok {
+		c.mu.Unlock()
+		c.waiting.Add(1)
+		defer c.waiting.Add(-1)
+		select {
+		case <-f.done:
+			if f.err != nil {
+				return nil, false, f.err
+			}
+			cp := *f.resp
+			return &cp, false, nil
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	c.mu.Unlock()
+
+	f.resp, f.err = fn()
+	// Unregister before release: once done is observable the flight is
+	// gone, so a caller can never join a completed flight.
+	c.mu.Lock()
+	delete(c.flights, key)
+	c.mu.Unlock()
+	close(f.done)
+	return f.resp, true, f.err
+}

@@ -197,7 +197,10 @@ func RunLoad(ctx context.Context, baseURL string, opts LoadOptions) (*LoadReport
 	corpus := append(Corpus(opts.Seed), opts.Extra...)
 
 	// Reference answers, computed once through the direct path.
-	reference := NewServer(Config{CacheSize: -1, DefaultTimeout: -1})
+	reference, err := NewServer(Config{CacheSize: -1, DefaultTimeout: -1})
+	if err != nil {
+		return nil, err
+	}
 	type expectation struct {
 		body []byte // canonical JSON of the expected comparable response
 		err  string // expected apiError message, when the request must fail
@@ -276,12 +279,140 @@ func RunLoad(ctx context.Context, baseURL string, opts LoadOptions) (*LoadReport
 	}, nil
 }
 
-// comparableCheck strips the transport-dependent Cached flag so cached and
-// freshly computed responses compare equal exactly when the verdicts are
-// bit-identical.
+// DuplicateReport is the outcome of a duplicate-heavy load run.
+type DuplicateReport struct {
+	Clients   int `json:"clients"`
+	Scenarios int `json:"scenarios"`
+	Requests  int `json:"requests"`
+	// Leaders / Coalesced are the server's coalescing counter deltas over
+	// the run: certifications actually executed, and requests answered by
+	// joining a concurrent leader's flight.
+	Leaders   uint64 `json:"leaders"`
+	Coalesced uint64 `json:"coalesced"`
+	// CoalesceRate is Coalesced / (Leaders + Coalesced) over the run.
+	CoalesceRate float64       `json:"coalesce_rate"`
+	Failures     []string      `json:"failures,omitempty"`
+	Duration     time.Duration `json:"-"`
+	DurationMS   int64         `json:"duration_ms"`
+	// Stats is the server's /stats snapshot after the run.
+	Stats StatsSnapshot `json:"stats"`
+}
+
+// RunDuplicateLoad replays a duplicate-heavy workload: for every check
+// scenario of the corpus, Clients clients fire the identical request
+// concurrently behind a per-scenario start barrier, so the server sees a
+// storm of duplicates per distinct key. Every response is verified
+// bit-for-bit against the direct one-shot path, and the report carries
+// the server's coalescing counter deltas: against a cold server, Leaders
+// stays at most the number of distinct scenarios — exactly one
+// certification per distinct key, everything else coalesced or served
+// from cache — and exceeding that is reported as a failure.
+func RunDuplicateLoad(ctx context.Context, baseURL string, opts LoadOptions) (*DuplicateReport, error) {
+	opts = opts.withDefaults()
+	var scenarios []Scenario
+	for _, sc := range append(Corpus(opts.Seed), opts.Extra...) {
+		if sc.Check != nil {
+			scenarios = append(scenarios, sc)
+		}
+	}
+
+	reference, err := NewServer(Config{CacheSize: -1, DefaultTimeout: -1})
+	if err != nil {
+		return nil, err
+	}
+	expected := make([][]byte, len(scenarios))
+	for i, sc := range scenarios {
+		body, err := directResponse(ctx, reference, sc)
+		if err != nil {
+			return nil, fmt.Errorf("reference %s: %w", sc.Name, err)
+		}
+		expected[i] = body
+	}
+
+	client := NewClient(baseURL)
+	client.HTTPClient = &http.Client{Timeout: opts.Timeout}
+	before, err := client.Stats(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("fetch /stats: %w", err)
+	}
+
+	var (
+		mu       sync.Mutex
+		failures []string
+		requests int
+	)
+	record := func(format string, args ...any) {
+		mu.Lock()
+		failures = append(failures, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+
+	start := time.Now()
+	for i, sc := range scenarios {
+		if ctx.Err() != nil {
+			break
+		}
+		gate := make(chan struct{})
+		var wg sync.WaitGroup
+		for c := 0; c < opts.Clients; c++ {
+			wg.Add(1)
+			go func(clientID int) {
+				defer wg.Done()
+				<-gate
+				got, err := issue(ctx, client, sc)
+				mu.Lock()
+				requests++
+				mu.Unlock()
+				if err != nil {
+					record("client %d %s: %v", clientID, sc.Name, err)
+					return
+				}
+				if !bytes.Equal(got, expected[i]) {
+					record("client %d %s: verdict diverges from one-shot path\n  got:  %s\n  want: %s",
+						clientID, sc.Name, got, expected[i])
+				}
+			}(c)
+		}
+		close(gate)
+		wg.Wait()
+	}
+	elapsed := time.Since(start)
+
+	after, err := client.Stats(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("fetch /stats: %w", err)
+	}
+	leaders := after.Coalesce.Leaders - before.Coalesce.Leaders
+	coalesced := after.Coalesce.Coalesced - before.Coalesce.Coalesced
+	if int(leaders) > len(scenarios) {
+		failures = append(failures, fmt.Sprintf(
+			"%d certifications for %d distinct keys — duplicates slipped past the coalescer", leaders, len(scenarios)))
+	}
+	rep := &DuplicateReport{
+		Clients:    opts.Clients,
+		Scenarios:  len(scenarios),
+		Requests:   requests,
+		Leaders:    leaders,
+		Coalesced:  coalesced,
+		Failures:   failures,
+		Duration:   elapsed,
+		DurationMS: elapsed.Milliseconds(),
+		Stats:      *after,
+	}
+	if total := leaders + coalesced; total > 0 {
+		rep.CoalesceRate = float64(coalesced) / float64(total)
+	}
+	return rep, nil
+}
+
+// comparableCheck strips the transport-dependent flags — Cached, Stored,
+// Coalesced — so cached, store-served, coalesced, and freshly computed
+// responses compare equal exactly when the verdicts are bit-identical.
 func comparableCheck(r *CheckResponse) *CheckResponse {
 	cp := *r
 	cp.Cached = false
+	cp.Stored = false
+	cp.Coalesced = false
 	return &cp
 }
 

@@ -17,7 +17,11 @@ import (
 
 func newTestServer(t *testing.T, cfg Config) (*Server, *Client) {
 	t.Helper()
-	srv := NewServer(cfg)
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
 	hs := httptest.NewServer(srv.Handler())
 	t.Cleanup(hs.Close)
 	return srv, NewClient(hs.URL)
@@ -281,7 +285,7 @@ func TestDynamicsEndpoint(t *testing.T) {
 	if got.Certified == nil || !got.Certified.Stable {
 		t.Errorf("final graph not certified stable: %+v", got.Certified)
 	}
-	ref := NewServer(Config{CacheSize: -1})
+	ref, _ := NewServer(Config{CacheSize: -1})
 	want, err := ref.Dynamics(context.Background(), req)
 	if err != nil {
 		t.Fatalf("direct dynamics: %v", err)
@@ -320,7 +324,7 @@ func TestConcurrentClientsSharedPool(t *testing.T) {
 		mustDTO(t, constructions.Star(9)),
 		mustDTO(t, constructions.Cycle(8)),
 	}
-	ref := NewServer(Config{CacheSize: -1})
+	ref, _ := NewServer(Config{CacheSize: -1})
 	const clients = 8
 	errs := make(chan error, clients)
 	for c := 0; c < clients; c++ {

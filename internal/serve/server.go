@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -39,6 +40,25 @@ type Config struct {
 	// DefaultTimeout bounds requests that carry no timeout_ms
 	// (default 30s; negative means no default deadline).
 	DefaultTimeout time.Duration
+	// StorePath, when non-empty, enables the persistent verdict store: an
+	// append-only JSONL journal (StoreEntry lines — the certification
+	// prefix of the atlas corpus schema) replayed at boot and appended on
+	// every cache-miss certification, so a restarted server answers
+	// previously certified checks without recomputation.
+	StorePath string
+	// StoreSeed optionally warm-starts the store's index from an atlas
+	// corpus before the journal replays: a JSONL file, or a directory
+	// holding atlas.jsonl. The seed is read-only; only StorePath is
+	// written.
+	StoreSeed string
+	// StoreFsyncEvery is the journal durability policy: 0 fsyncs every
+	// append (the default — a certified verdict is never lost to a
+	// crash), N > 1 fsyncs every Nth append, negative never fsyncs
+	// (the OS decides).
+	StoreFsyncEvery int
+	// StoreMaxBytes compacts the journal (rewriting one line per live
+	// verdict) when it grows past this size; 0 never compacts.
+	StoreMaxBytes int64
 }
 
 const (
@@ -84,24 +104,43 @@ type Server struct {
 	cfg   Config
 	slots chan struct{}
 	cache *verdictCache
+	store *verdictStore // nil without Config.StorePath
+	coal  *coalescer
 	stats *stats
+	// certifyHook, when set, runs on the leader's goroutine immediately
+	// before a cache-miss certification — a test seam that lets the storm
+	// test hold the one certification until every duplicate has parked on
+	// the coalescer.
+	certifyHook func()
 }
 
 // NewServer builds a server and warms the shared pricing engine for the
 // configured worker budget, so the first request pays no engine setup.
-func NewServer(cfg Config) *Server {
+// When Config.StorePath is set, the persistent verdict store is opened
+// (seeded, replayed) here; an unusable store path is the only error.
+func NewServer(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	pricing.Shared(cfg.MaxWorkers)
+	store, err := openVerdictStore(cfg)
+	if err != nil {
+		return nil, err
+	}
 	return &Server{
 		cfg:   cfg,
 		slots: make(chan struct{}, cfg.PoolSize),
 		cache: newVerdictCache(cfg.CacheSize),
+		store: store,
+		coal:  newCoalescer(),
 		stats: newStats(),
-	}
+	}, nil
 }
 
 // Config returns the resolved configuration.
 func (s *Server) Config() Config { return s.cfg }
+
+// Close releases the server's persistent store handle (a no-op without a
+// configured store). In-flight requests are not interrupted.
+func (s *Server) Close() error { return s.store.close() }
 
 // apiError carries the HTTP status a failure maps to. The Go-level
 // methods return it too, so in-process thin clients see the same taxonomy.
@@ -191,67 +230,107 @@ func checkCacheKey(cert string, req CheckRequest) string {
 		cert, req.Model.cacheKey(), objectiveName(req.Objective), req.StableOnly, req.Batched)
 }
 
-// Check answers a CheckRequest: decode, consult the verdict LRU, and on a
-// miss run the spec'd check on a pooled session with the request deadline
-// enforced between per-agent scan units.
+// Check answers a CheckRequest: decode, consult the verdict LRU and the
+// persistent store, coalesce with any identical in-flight request, and
+// otherwise run the spec'd check on a pooled session with the request
+// deadline enforced between per-agent scan units.
+//
+// Latency is tracked per outcome, not pooled: "check" counts full
+// certifications (leaders), "check.hit" LRU hits, "check.store" store
+// hits, and "check.coalesced" followers — a cache hit's microseconds no
+// longer deflate the certification histogram.
 func (s *Server) Check(ctx context.Context, req CheckRequest) (*CheckResponse, error) {
 	start := time.Now()
-	resp, err := s.check(ctx, req)
-	s.stats.observe("check", time.Since(start), err != nil)
+	resp, label, err := s.check(ctx, req)
+	s.stats.observe(label, time.Since(start), err != nil)
 	return resp, err
 }
 
-func (s *Server) check(ctx context.Context, req CheckRequest) (*CheckResponse, error) {
+func (s *Server) check(ctx context.Context, req CheckRequest) (*CheckResponse, string, error) {
+	const label = "check"
 	g, err := s.decodeGraph(req.Graph)
 	if err != nil {
-		return nil, err
+		return nil, label, err
 	}
 	model, err := req.Model.Build(g.N())
 	if err != nil {
-		return nil, errBadRequest("bad model: %v", err)
+		return nil, label, errBadRequest("bad model: %v", err)
 	}
 	obj, err := parseObjective(req.Objective)
 	if err != nil {
-		return nil, errBadRequest("%v", err)
+		return nil, label, errBadRequest("%v", err)
 	}
 
 	exact, err := graphio.ToSparse6(g)
 	if err != nil {
-		return nil, errBadRequest("bad graph: %v", err)
+		return nil, label, errBadRequest("bad graph: %v", err)
 	}
 	key := checkCacheKey(iso.Certificate(g), req)
 	if v, ok := s.cache.get(key, exact); ok {
 		s.stats.cacheHit()
-		return &CheckResponse{N: g.N(), M: g.M(), VerdictDTO: v, Cached: true}, nil
+		return &CheckResponse{N: g.N(), M: g.M(), VerdictDTO: v, Cached: true}, "check.hit", nil
 	}
-	s.stats.cacheMiss()
+	if v, ok := s.store.get(key, exact); ok {
+		s.stats.storeHit()
+		s.cache.put(key, exact, v)
+		return &CheckResponse{N: g.N(), M: g.M(), VerdictDTO: v, Cached: true, Stored: true}, "check.store", nil
+	}
 
 	ctx, cancel := s.withDeadline(ctx, req.TimeoutMS)
 	defer cancel()
-	release, err := s.acquire(ctx)
-	if err != nil {
-		return nil, classify(err)
-	}
-	defer release()
 
-	verdict, err := core.CheckCtx(ctx, g, core.CheckSpec{
-		Model:      model,
-		Objective:  obj,
-		StableOnly: req.StableOnly,
-		Batched:    req.Batched,
-		Workers:    s.clampWorkers(req.Workers),
+	// Coalesce on the cache identity extended with the exact labeled
+	// graph: concurrent identical requests share one certification and
+	// one session slot. The leader caches and journals before the flight
+	// resolves, so by the time any follower (or a later request) proceeds
+	// the verdict is already servable without recomputation.
+	resp, led, err := s.coal.do(ctx, key+"\x00"+exact, func() (*CheckResponse, error) {
+		s.stats.cacheMiss()
+		release, err := s.acquire(ctx)
+		if err != nil {
+			return nil, classify(err)
+		}
+		defer release()
+		if hook := s.certifyHook; hook != nil {
+			hook()
+		}
+		verdict, err := core.CheckCtx(ctx, g, core.CheckSpec{
+			Model:      model,
+			Objective:  obj,
+			StableOnly: req.StableOnly,
+			Batched:    req.Batched,
+			Workers:    s.clampWorkers(req.Workers),
+		})
+		if err != nil {
+			return nil, classify(err)
+		}
+		v := verdictToDTO(verdict)
+		s.cache.put(key, exact, v)
+		if s.store != nil {
+			s.stats.storeAppend(s.store.append(key, exact, req, v) != nil)
+		}
+		return &CheckResponse{N: g.N(), M: g.M(), VerdictDTO: v}, nil
 	})
-	if err != nil {
-		return nil, classify(err)
+	if led {
+		if err != nil {
+			return nil, label, err
+		}
+		s.stats.coalesceLeader()
+		return resp, label, nil
 	}
-	v := verdictToDTO(verdict)
-	s.cache.put(key, exact, v)
-	return &CheckResponse{N: g.N(), M: g.M(), VerdictDTO: v}, nil
+	if err != nil {
+		return nil, "check.coalesced", classify(err)
+	}
+	s.stats.coalesceFollower()
+	resp.Coalesced = true
+	return resp, "check.coalesced", nil
 }
 
 // BestResponse answers a BestResponseRequest: one agent's cost-minimizing
-// move under the model. The scan is a single uncancellable pricing unit;
-// the deadline applies to slot wait and is checked before the scan.
+// move under the model. The deadline applies to slot wait and to the scan
+// itself: the per-agent scan polls a cancel hook between pricing units
+// (per candidate endpoint, never inside one), so a deadline expiring
+// mid-scan returns 504 instead of running the scan to completion.
 func (s *Server) BestResponse(ctx context.Context, req BestResponseRequest) (*BestResponseResponse, error) {
 	start := time.Now()
 	resp, err := s.bestResponse(ctx, req)
@@ -289,7 +368,24 @@ func (s *Server) bestResponse(ctx context.Context, req BestResponseRequest) (*Be
 
 	inst := model.New(g, s.clampWorkers(req.Workers))
 	defer game.CloseInstance(inst)
+	// Cooperative mid-scan cancellation, the same shape batchRows uses: a
+	// ctx.Err() poll latched through an atomic flag so every scan chunk
+	// observes the first expiry without re-querying the context.
+	var stop atomic.Bool
+	game.SetScanCancel(inst, func() bool {
+		if stop.Load() {
+			return true
+		}
+		if ctx.Err() != nil {
+			stop.Store(true)
+			return true
+		}
+		return false
+	})
 	m, oldCost, newCost, ok := inst.BestMove(req.Agent, obj)
+	if err := ctx.Err(); err != nil {
+		return nil, classify(err)
+	}
 	resp := &BestResponseResponse{OldCost: oldCost, NewCost: newCost, Improves: ok}
 	if ok {
 		dto := moveToDTO(m)
@@ -311,6 +407,26 @@ func (s *Server) Dynamics(ctx context.Context, req DynamicsRequest) (*DynamicsRe
 }
 
 func (s *Server) dynamics(ctx context.Context, req DynamicsRequest) (*DynamicsResponse, error) {
+	run, err := s.prepDynamics(req)
+	if err != nil {
+		return nil, err
+	}
+	return s.execDynamics(ctx, req, run, nil)
+}
+
+// dynamicsRun is a validated dynamics request, split from execution so
+// the streaming endpoint can answer validation failures with an ordinary
+// JSON status before the first streamed byte commits the response to 200.
+type dynamicsRun struct {
+	g       *graph.Graph
+	model   game.Model
+	obj     core.Objective
+	policy  dynamics.Policy
+	workers int
+}
+
+// prepDynamics decodes and validates a dynamics request (the 4xx half).
+func (s *Server) prepDynamics(req DynamicsRequest) (*dynamicsRun, error) {
 	g, err := s.decodeGraph(req.Graph)
 	if err != nil {
 		return nil, err
@@ -330,7 +446,19 @@ func (s *Server) dynamics(ctx context.Context, req DynamicsRequest) (*DynamicsRe
 	if req.MaxMoves < 0 || req.MaxMoves > s.cfg.MaxMoves {
 		return nil, errBadRequest("max_moves %d outside [0,%d]", req.MaxMoves, s.cfg.MaxMoves)
 	}
+	return &dynamicsRun{
+		g:       g,
+		model:   model,
+		obj:     obj,
+		policy:  policy,
+		workers: s.clampWorkers(req.Workers),
+	}, nil
+}
 
+// execDynamics runs a validated dynamics request on a pooled session.
+// onMove, when non-nil, observes every applied move in order on the run's
+// goroutine (the streaming endpoint's feed).
+func (s *Server) execDynamics(ctx context.Context, req DynamicsRequest, run *dynamicsRun, onMove func(dynamics.TraceEntry)) (*DynamicsResponse, error) {
 	ctx, cancel := s.withDeadline(ctx, req.TimeoutMS)
 	defer cancel()
 	release, err := s.acquire(ctx)
@@ -339,25 +467,25 @@ func (s *Server) dynamics(ctx context.Context, req DynamicsRequest) (*DynamicsRe
 	}
 	defer release()
 
-	workers := s.clampWorkers(req.Workers)
 	spec := dynamics.Spec{
 		CheckSpec: core.CheckSpec{
-			Model:     model,
-			Objective: obj,
+			Model:     run.model,
+			Objective: run.obj,
 			Batched:   req.Batched,
-			Workers:   workers,
+			Workers:   run.workers,
 		},
-		Policy:   policy,
+		Policy:   run.policy,
 		MaxMoves: req.MaxMoves,
 		Seed:     req.Seed,
 		Trace:    req.Trace,
+		OnMove:   onMove,
 	}
-	res, err := dynamics.RunSpecCtx(ctx, g, spec)
+	res, err := dynamics.RunSpecCtx(ctx, run.g, spec)
 	if err != nil {
 		return nil, classify(err)
 	}
 
-	final, err := EncodeGraph(g, FormatSparse6)
+	final, err := EncodeGraph(run.g, FormatSparse6)
 	if err != nil {
 		return nil, classify(err)
 	}
@@ -372,21 +500,15 @@ func (s *Server) dynamics(ctx context.Context, req DynamicsRequest) (*DynamicsRe
 	}
 	s.stats.rowCache(res.RowsRecomputed, res.RowsInvalidated)
 	for _, te := range res.Trace {
-		resp.Trace = append(resp.Trace, TraceEntryDTO{
-			Move:       moveToDTO(te.Move),
-			OldCost:    te.OldCost,
-			NewCost:    te.NewCost,
-			SocialCost: te.SocialCost,
-			MoveRank:   te.MoveRank,
-		})
+		resp.Trace = append(resp.Trace, traceEntryToDTO(te))
 	}
 	if req.Certify {
-		verdict, err := core.CheckCtx(ctx, g, core.CheckSpec{
-			Model:      model,
-			Objective:  obj,
+		verdict, err := core.CheckCtx(ctx, run.g, core.CheckSpec{
+			Model:      run.model,
+			Objective:  run.obj,
 			StableOnly: true, // dynamics certify exactly the no-improving-move condition
 			Batched:    req.Batched,
-			Workers:    workers,
+			Workers:    run.workers,
 		})
 		if err != nil {
 			return nil, classify(err)
@@ -397,9 +519,21 @@ func (s *Server) dynamics(ctx context.Context, req DynamicsRequest) (*DynamicsRe
 	return resp, nil
 }
 
+// traceEntryToDTO converts one applied move to the wire shape shared by
+// the blob trace and the streamed move events.
+func traceEntryToDTO(te dynamics.TraceEntry) TraceEntryDTO {
+	return TraceEntryDTO{
+		Move:       moveToDTO(te.Move),
+		OldCost:    te.OldCost,
+		NewCost:    te.NewCost,
+		SocialCost: te.SocialCost,
+		MoveRank:   te.MoveRank,
+	}
+}
+
 // Stats returns the live counter snapshot served on GET /stats.
 func (s *Server) Stats() StatsSnapshot {
-	return s.stats.snapshot(s.cache.len())
+	return s.stats.snapshot(s.cache.len(), s.store != nil, s.store.len())
 }
 
 // Handler returns the HTTP surface: POST /v1/check, /v1/bestresponse,
@@ -430,6 +564,7 @@ func (s *Server) Handler() http.Handler {
 		resp, err := s.Dynamics(r.Context(), req)
 		writeResult(w, resp, err)
 	})
+	mux.HandleFunc("POST /v1/dynamics/stream", s.handleDynamicsStream)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{
 			"status":    "ok",

@@ -14,6 +14,16 @@ type stats struct {
 	endpoints map[string]*endpointCounters
 	hits      uint64
 	misses    uint64
+	// leaders / coalesced count coalescer outcomes: certifications led,
+	// and follower requests answered by sharing a leader's flight.
+	leaders   uint64
+	coalesced uint64
+	// storeHits / storeAppends / storeErrors track the persistent verdict
+	// store: lookups answered from the journal index, lines appended, and
+	// append failures (the request still succeeds; durability did not).
+	storeHits    uint64
+	storeAppends uint64
+	storeErrors  uint64
 	// rowsRecomputed / rowsInvalidated aggregate the session row caches'
 	// counters over every dynamics run the server has completed.
 	rowsRecomputed  uint64
@@ -64,6 +74,35 @@ func (s *stats) cacheMiss() {
 	s.mu.Unlock()
 }
 
+// coalesceLeader / coalesceFollower record request-coalescing outcomes.
+func (s *stats) coalesceLeader() {
+	s.mu.Lock()
+	s.leaders++
+	s.mu.Unlock()
+}
+
+func (s *stats) coalesceFollower() {
+	s.mu.Lock()
+	s.coalesced++
+	s.mu.Unlock()
+}
+
+// storeHit / storeAppend record persistent-store outcomes.
+func (s *stats) storeHit() {
+	s.mu.Lock()
+	s.storeHits++
+	s.mu.Unlock()
+}
+
+func (s *stats) storeAppend(failed bool) {
+	s.mu.Lock()
+	s.storeAppends++
+	if failed {
+		s.storeErrors++
+	}
+	s.mu.Unlock()
+}
+
 // rowCache folds one finished dynamics run's row-cache counters into the
 // server-lifetime aggregate.
 func (s *stats) rowCache(recomputed, invalidated uint64) {
@@ -89,6 +128,25 @@ type CacheSnapshot struct {
 	Entries int     `json:"entries"`
 }
 
+// CoalesceSnapshot reports the request coalescer's outcomes: leaders are
+// certifications actually run, coalesced are requests answered by joining
+// a concurrent leader's flight. Rate is coalesced / (leaders + coalesced)
+// — the fraction of would-be duplicate certifications avoided.
+type CoalesceSnapshot struct {
+	Leaders   uint64  `json:"leaders"`
+	Coalesced uint64  `json:"coalesced"`
+	Rate      float64 `json:"rate"`
+}
+
+// StoreSnapshot reports the persistent verdict store's counters; it is
+// present in a StatsSnapshot only when the server has a configured store.
+type StoreSnapshot struct {
+	Hits    uint64 `json:"hits"`
+	Appends uint64 `json:"appends"`
+	Errors  uint64 `json:"errors"`
+	Entries int    `json:"entries"`
+}
+
 // RowCacheSnapshot aggregates the session row caches' counters across all
 // finished dynamics runs: BFS row rebuilds paid and rows invalidated by
 // applied moves. A recompute count far below moves×n is the reuse win.
@@ -102,12 +160,15 @@ type StatsSnapshot struct {
 	UptimeMS  int64                       `json:"uptime_ms"`
 	Endpoints map[string]EndpointSnapshot `json:"endpoints"`
 	Cache     CacheSnapshot               `json:"cache"`
+	Coalesce  CoalesceSnapshot            `json:"coalesce"`
+	Store     *StoreSnapshot              `json:"store,omitempty"`
 	RowCache  RowCacheSnapshot            `json:"row_cache"`
 }
 
-// snapshot captures the counters. cacheLen is supplied by the server so
-// the stats aggregate stays free of cache internals.
-func (s *stats) snapshot(cacheLen int) StatsSnapshot {
+// snapshot captures the counters. cacheLen and the store's presence/size
+// are supplied by the server so the stats aggregate stays free of cache
+// and store internals.
+func (s *stats) snapshot(cacheLen int, storeEnabled bool, storeLen int) StatsSnapshot {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	snap := StatsSnapshot{
@@ -118,6 +179,10 @@ func (s *stats) snapshot(cacheLen int) StatsSnapshot {
 			Misses:  s.misses,
 			Entries: cacheLen,
 		},
+		Coalesce: CoalesceSnapshot{
+			Leaders:   s.leaders,
+			Coalesced: s.coalesced,
+		},
 		RowCache: RowCacheSnapshot{
 			RowsRecomputed:  s.rowsRecomputed,
 			RowsInvalidated: s.rowsInvalidated,
@@ -125,6 +190,17 @@ func (s *stats) snapshot(cacheLen int) StatsSnapshot {
 	}
 	if total := s.hits + s.misses; total > 0 {
 		snap.Cache.HitRate = float64(s.hits) / float64(total)
+	}
+	if total := s.leaders + s.coalesced; total > 0 {
+		snap.Coalesce.Rate = float64(s.coalesced) / float64(total)
+	}
+	if storeEnabled {
+		snap.Store = &StoreSnapshot{
+			Hits:    s.storeHits,
+			Appends: s.storeAppends,
+			Errors:  s.storeErrors,
+			Entries: storeLen,
+		}
 	}
 	for name, ep := range s.endpoints {
 		es := EndpointSnapshot{Requests: ep.requests, Errors: ep.errors}

@@ -1,0 +1,235 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dynamics"
+)
+
+// Stream event kinds emitted by POST /v1/dynamics/stream (one JSON object
+// per NDJSON line, in order): a single "start", zero or more "move" and
+// "heartbeat" events interleaved, and a terminal "result" or "error".
+const (
+	StreamStart     = "start"
+	StreamMove      = "move"
+	StreamHeartbeat = "heartbeat"
+	StreamResult    = "result"
+	StreamError     = "error"
+)
+
+// heartbeatInterval paces "heartbeat" events while no move is applied —
+// liveness for clients watching a long convergence run.
+const heartbeatInterval = time.Second
+
+// StreamEvent is one NDJSON line of a streamed dynamics run.
+type StreamEvent struct {
+	// Event is one of the Stream* kinds.
+	Event string `json:"event"`
+	// ElapsedMS is the wall-clock time since the stream started.
+	ElapsedMS int64 `json:"elapsed_ms"`
+	// Moves is the number of applied moves so far (move and heartbeat
+	// events; on a move event it equals Move.MoveRank).
+	Moves int `json:"moves,omitempty"`
+	// Move carries the applied move (move events only). The sequence of
+	// Move values concatenates to exactly the blob endpoint's Trace.
+	Move *TraceEntryDTO `json:"move,omitempty"`
+	// Result carries the full final response (result events only).
+	Result *DynamicsResponse `json:"result,omitempty"`
+	// Error and Status report a run failure after streaming began (error
+	// events only); pre-stream failures use the ordinary JSON taxonomy.
+	Error  string `json:"error,omitempty"`
+	Status int    `json:"status,omitempty"`
+}
+
+// DynamicsStream runs move dynamics like Dynamics, but delivers progress
+// incrementally: onEvent receives a "start" event, every applied move in
+// application order, heartbeats while the run is quiet, and a terminal
+// "result" (or "error") event. onEvent is never called concurrently; an
+// error it returns cancels the run and is returned verbatim (the HTTP
+// handler uses this to tear down when the client goes away). Validation
+// failures are returned without any event, so transports can still answer
+// them with a plain status.
+func (s *Server) DynamicsStream(ctx context.Context, req DynamicsRequest, onEvent func(StreamEvent) error) (*DynamicsResponse, error) {
+	start := time.Now()
+	resp, err := s.dynamicsStream(ctx, req, onEvent)
+	s.stats.observe("dynamics.stream", time.Since(start), err != nil)
+	return resp, err
+}
+
+func (s *Server) dynamicsStream(ctx context.Context, req DynamicsRequest, onEvent func(StreamEvent) error) (*DynamicsResponse, error) {
+	run, err := s.prepDynamics(req)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu      sync.Mutex
+		emitErr error
+		moves   atomic.Int64
+		started = time.Now()
+	)
+	emit := func(ev StreamEvent) {
+		mu.Lock()
+		defer mu.Unlock()
+		if emitErr != nil {
+			return
+		}
+		ev.ElapsedMS = time.Since(started).Milliseconds()
+		if err := onEvent(ev); err != nil {
+			emitErr = err
+			cancel() // the consumer is gone; stop the run
+		}
+	}
+
+	emit(StreamEvent{Event: StreamStart})
+	hbDone := make(chan struct{})
+	var hb sync.WaitGroup
+	hb.Add(1)
+	go func() {
+		defer hb.Done()
+		t := time.NewTicker(heartbeatInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-hbDone:
+				return
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				emit(StreamEvent{Event: StreamHeartbeat, Moves: int(moves.Load())})
+			}
+		}
+	}()
+
+	resp, err := s.execDynamics(ctx, req, run, func(te dynamics.TraceEntry) {
+		moves.Add(1)
+		dto := traceEntryToDTO(te)
+		emit(StreamEvent{Event: StreamMove, Moves: te.MoveRank, Move: &dto})
+	})
+	close(hbDone)
+	hb.Wait()
+
+	mu.Lock()
+	failed := emitErr
+	mu.Unlock()
+	if failed != nil {
+		return nil, failed
+	}
+	if err != nil {
+		ev := StreamEvent{Event: StreamError, Error: err.Error()}
+		var ae *apiError
+		if errors.As(err, &ae) {
+			ev.Error, ev.Status = ae.Msg, ae.Status
+		}
+		emit(ev)
+		return nil, err
+	}
+	emit(StreamEvent{Event: StreamResult, Moves: resp.Moves, Result: resp})
+	return resp, nil
+}
+
+// handleDynamicsStream serves POST /v1/dynamics/stream: NDJSON
+// StreamEvent lines, flushed per event. Validation failures answer with
+// the ordinary JSON error taxonomy; failures after the first event are
+// reported in-band as a terminal "error" event (the 200 is already on
+// the wire).
+func (s *Server) handleDynamicsStream(w http.ResponseWriter, r *http.Request) {
+	var req DynamicsRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	wrote := false
+	onEvent := func(ev StreamEvent) error {
+		if !wrote {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(http.StatusOK)
+			wrote = true
+		}
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	}
+	if _, err := s.DynamicsStream(r.Context(), req, onEvent); err != nil && !wrote {
+		writeResult(w, nil, err)
+	}
+}
+
+// DynamicsStream consumes POST /v1/dynamics/stream: it decodes each
+// NDJSON line, forwards it to onEvent (when non-nil), and returns the
+// terminal result. A terminal "error" event comes back as the transported
+// apiError; an onEvent error aborts the stream and is returned.
+func (c *Client) DynamicsStream(ctx context.Context, req DynamicsRequest, onEvent func(StreamEvent) error) (*DynamicsResponse, error) {
+	buf, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/dynamics/stream", bytes.NewReader(buf))
+	if err != nil {
+		return nil, err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	httpResp, err := c.httpClient().Do(httpReq)
+	if err != nil {
+		return nil, err
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		var eb errorBody
+		dec := json.NewDecoder(httpResp.Body)
+		if dec.Decode(&eb) == nil && eb.Error != "" {
+			return nil, &apiError{Status: httpResp.StatusCode, Msg: eb.Error}
+		}
+		return nil, &apiError{Status: httpResp.StatusCode, Msg: httpResp.Status}
+	}
+	sc := bufio.NewScanner(httpResp.Body)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	var result *DynamicsResponse
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev StreamEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return nil, err
+		}
+		if onEvent != nil {
+			if err := onEvent(ev); err != nil {
+				return nil, err
+			}
+		}
+		switch ev.Event {
+		case StreamResult:
+			result = ev.Result
+		case StreamError:
+			status := ev.Status
+			if status == 0 {
+				status = http.StatusInternalServerError
+			}
+			return nil, &apiError{Status: status, Msg: ev.Error}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if result == nil {
+		return nil, errors.New("stream ended without a result event")
+	}
+	return result, nil
+}
